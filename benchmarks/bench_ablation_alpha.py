@@ -1,0 +1,59 @@
+"""Ablation — smoothing coefficient and initial-value policy (Fig 10b+).
+
+Sweeps alpha over the paper's discussed range on the volatile demand
+series and checks the guidance of Section IV-C(2): small alpha for
+stable series, large for volatile ones; mean-of-history initialisation
+for short series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor.combined import CombinedPredictor
+from repro.experiments.fig10_prediction import demand_series
+from repro.metrics.errors import mean_absolute_percentage_error
+
+ALPHAS = (0.1, 0.2, 0.3, 0.5, 0.8, 0.9, 0.95)
+
+
+def sweep(seed: int = 0, length: int = 60):
+    series = demand_series(seed=seed, length=length)
+    errors = {}
+    for alpha in ALPHAS:
+        forecasts = CombinedPredictor(alpha=alpha, init="auto").fit_series(series)
+        errors[alpha] = mean_absolute_percentage_error(series[1:], forecasts[:-1])
+    early = {}
+    for init in ("first", "mean5"):
+        forecasts = CombinedPredictor(alpha=0.8, init=init).fit_series(series)
+        early[init] = mean_absolute_percentage_error(series[1:6], forecasts[:5])
+    # A genuinely stable series for the "small alpha" guidance.
+    rng = np.random.default_rng(seed + 1)
+    stable = 10.0 + rng.normal(0, 0.4, size=length)
+    stable_errors = {}
+    for alpha in (0.1, 0.8):
+        forecasts = CombinedPredictor(alpha=alpha, init="auto").fit_series(stable)
+        stable_errors[alpha] = mean_absolute_percentage_error(
+            stable[1:], forecasts[:-1], floor=1.0
+        )
+    return errors, early, stable_errors
+
+
+def test_bench_ablation_alpha(benchmark):
+    errors, early, stable_errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for alpha, error in errors.items():
+        print(f"  alpha={alpha:<5} MAPE={100 * error:5.1f}%")
+    print(f"  early MAPE: init=first {100 * early['first']:.1f}%, "
+          f"init=mean5 {100 * early['mean5']:.1f}%")
+    print(f"  stable series: alpha=0.1 {100 * stable_errors[0.1]:.2f}%, "
+          f"alpha=0.8 {100 * stable_errors[0.8]:.2f}%")
+
+    # Volatile series: the paper's alpha=0.8 beats the small alphas.
+    assert errors[0.8] < errors[0.1]
+    assert errors[0.8] < errors[0.3]
+    # Pushing to the extreme does not keep improving.
+    assert errors[0.95] >= errors[0.8]
+    # Stable series: a small alpha is at least competitive (Sec IV-C(2)).
+    assert stable_errors[0.1] <= stable_errors[0.8] * 1.1
+    # Mean-of-first-five init helps the early forecasts.
+    assert early["mean5"] <= early["first"] * 1.05

@@ -1,0 +1,73 @@
+"""Ablation — multi-host placement (Section VII load-balancing).
+
+Reuse-aware routing vs round-robin on a 3-host cluster under a steady
+single-function stream plus a parallel burst: reuse-aware should serve
+the steady stream from one warm host and spread only the genuinely
+concurrent cold boots.
+"""
+
+import pytest
+
+from repro.core import make_cluster_platform
+from repro.faas.function import FunctionSpec
+from repro.workloads.apps import default_catalog
+
+
+def run_placement(placement: str, seed: int = 0):
+    catalog = default_catalog()
+    platform = make_cluster_platform(
+        catalog.make_registry(),
+        n_hosts=3,
+        seed=seed,
+        placement=placement,
+        jitter_sigma=0.0,
+    )
+    platform.deploy(FunctionSpec(name="fn", image="python:3.6", exec_ms=20))
+    for engine in [h.engine for h in platform.provider.hosts]:
+        platform.sim.process(engine.ensure_image("python:3.6"))
+    platform.run()
+
+    # Steady stream...
+    for index in range(12):
+        platform.submit("fn", delay=index * 3_000.0)
+    # ...then a 9-wide parallel burst.
+    for _ in range(9):
+        platform.submit("fn", delay=40_000.0)
+    platform.run()
+    return platform
+
+
+def run_both(seed: int = 0):
+    return {
+        placement: run_placement(placement, seed)
+        for placement in ("reuse-aware", "round-robin")
+    }
+
+
+def test_bench_ablation_cluster(benchmark):
+    platforms = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    for placement, platform in platforms.items():
+        print(
+            f"  {placement:<12} cold={platform.traces.cold_count():>2} "
+            f"mean={platform.traces.mean_latency():.0f} ms "
+            f"pools={platform.provider.pool_sizes()}"
+        )
+
+    import numpy as np
+
+    reuse = platforms["reuse-aware"]
+    rr = platforms["round-robin"]
+    # Steady phase (the first 12 completions): reuse-aware pins the
+    # stream to one warm host (1 cold), round-robin cold-starts once per
+    # host it rotates through (3 cold).
+    reuse_steady = np.array([t.cold_start for t in reuse.traces.traces[:12]])
+    rr_steady = np.array([t.cold_start for t in rr.traces.traces[:12]])
+    assert reuse_steady.sum() == 1
+    assert rr_steady.sum() == 3
+    reuse_mean = np.mean([t.total_latency for t in reuse.traces.traces[:12]])
+    rr_mean = np.mean([t.total_latency for t in rr.traces.traces[:12]])
+    assert reuse_mean < rr_mean
+    # The parallel burst still forces capacity onto multiple hosts even
+    # for reuse-aware routing (load balancing, not pinning).
+    assert sum(1 for size in reuse.provider.pool_sizes() if size > 0) >= 2

@@ -1,0 +1,51 @@
+"""Ablation — the keep-alive window trade-off (Section III-B).
+
+"AWS adopts a fixed keep-alive policy ... it disregards actual
+invocation frequency and patterns, and also wastes lots of resources."
+This bench sweeps the window against a 4-minute request stream and
+shows the cliff: windows shorter than the inter-arrival gap pay every
+cold start; longer ones pay idle capacity instead.
+"""
+
+import pytest
+
+from repro.analysis import keep_alive_sensitivity
+
+WINDOWS = (
+    60_000.0,          # 1 min  — lapses every time
+    3 * 60_000.0,      # 3 min  — still short of the 4-min gap
+    5 * 60_000.0,      # 5 min  — just covers it
+    15 * 60_000.0,     # AWS default
+    60 * 60_000.0,     # an hour — pure waste beyond the 5-min mark
+)
+
+
+def run_sweep(seed: int = 0):
+    return keep_alive_sensitivity(
+        windows_ms=WINDOWS,
+        inter_arrival_ms=4 * 60_000.0,
+        n_requests=20,
+        seed=seed,
+    )
+
+
+def test_bench_ablation_keepalive(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    for window in WINDOWS:
+        stats = sweep[window]
+        print(
+            f"  window={window / 60_000:5.0f} min  cold={stats['cold']:4.0f}  "
+            f"held={stats['held_container_minutes']:6.1f} container-min"
+        )
+
+    # The cliff sits at the inter-arrival gap.
+    assert sweep[60_000.0]["cold"] == 20
+    assert sweep[3 * 60_000.0]["cold"] == 20
+    assert sweep[5 * 60_000.0]["cold"] == 1
+    # Beyond the cliff, longer windows buy nothing but held capacity.
+    assert sweep[60 * 60_000.0]["cold"] == sweep[5 * 60_000.0]["cold"]
+    assert (
+        sweep[60 * 60_000.0]["held_container_minutes"]
+        >= sweep[5 * 60_000.0]["held_container_minutes"]
+    )

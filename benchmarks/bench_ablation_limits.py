@@ -1,0 +1,117 @@
+"""Ablation — pool limits: container cap and memory threshold.
+
+Sweeps ``max_containers`` under a many-type workload and the memory
+threshold on a small host, verifying both guards work and quantifying
+the reuse lost to tighter limits.
+"""
+
+import pytest
+
+from repro.core.hotc import HotC, HotCConfig
+from repro.core.pool import PoolLimits
+from repro.faas.platform import FaasPlatform
+from repro.faas.function import FunctionSpec
+from repro.hardware.profiles import RASPBERRY_PI3
+from repro.workloads.apps import default_catalog
+
+N_TYPES = 8
+
+
+def run_with_cap(max_containers: int, seed: int = 0):
+    config = HotCConfig(limits=PoolLimits(max_containers=max_containers))
+    catalog = default_catalog()
+    platform = FaasPlatform(
+        catalog.make_registry(),
+        seed=seed,
+        provider_factory=lambda engine: HotC(engine, config),
+        jitter_sigma=0.0,
+    )
+    for index in range(N_TYPES):
+        platform.deploy(
+            FunctionSpec(
+                name=f"fn-{index}",
+                image="python:3.6",
+                exec_ms=10,
+                env=(("T", str(index)),),
+            )
+        )
+    platform.sim.process(platform.engine.ensure_image("python:3.6"))
+    platform.run()
+    # Two passes over all types: the second pass reuses what survived.
+    delay = 0.0
+    for _ in range(2):
+        for index in range(N_TYPES):
+            platform.submit(f"fn-{index}", delay=delay)
+            delay += 1_500.0
+    platform.run()
+    return platform
+
+
+def run_memory_threshold(threshold: float, seed: int = 0):
+    config = HotCConfig(
+        limits=PoolLimits(memory_threshold=threshold),
+    )
+    catalog = default_catalog()
+    platform = FaasPlatform(
+        catalog.make_registry(),
+        seed=seed,
+        profile=RASPBERRY_PI3,
+        provider_factory=lambda engine: HotC(engine, config),
+        jitter_sigma=0.0,
+    )
+    # 400 MB / 2000-millicore executions on a 1 GB / 4-core Pi: at most
+    # two run concurrently (CPU bound), holding up to 800 MB — above a
+    # 0.2 threshold (205 MB) while the releases happen, below 0.9.
+    platform.deploy(
+        FunctionSpec(
+            name="fat",
+            image="python:3.6",
+            exec_ms=2_000,
+            mem_mb=400,
+            cpu_millicores=2_000,
+        )
+    )
+    platform.sim.process(platform.engine.ensure_image("python:3.6"))
+    platform.run()
+    for _ in range(6):
+        platform.submit("fat")
+    platform.run()
+    return platform
+
+
+def run_sweep(seed: int = 0):
+    caps = {cap: run_with_cap(cap, seed) for cap in (2, 4, 8)}
+    thresholds = {t: run_memory_threshold(t, seed) for t in (0.2, 0.9)}
+    return caps, thresholds
+
+
+def test_bench_ablation_limits(benchmark):
+    caps, thresholds = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    hits = {}
+    for cap, platform in caps.items():
+        stats = platform.provider.pool.stats
+        hits[cap] = stats.hits
+        print(
+            f"  cap={cap}  hits={stats.hits:>2} evictions="
+            f"{stats.evictions_capacity:>2} live={platform.provider.pool.total_live}"
+        )
+    for threshold, platform in thresholds.items():
+        stats = platform.provider.pool.stats
+        print(
+            f"  mem-threshold={threshold}  pressure-evictions="
+            f"{stats.evictions_pressure}"
+        )
+
+    # A cap >= the working set preserves all second-pass reuse.
+    assert hits[8] == N_TYPES
+    # Tighter caps lose reuse monotonically and stay within the cap.
+    assert hits[2] <= hits[4] <= hits[8]
+    for cap, platform in caps.items():
+        assert platform.provider.pool.total_live <= cap
+    # The aggressive memory threshold triggers pressure evictions on the
+    # 1GB Pi; the permissive one does not.
+    aggressive = thresholds[0.2].provider.pool.stats.evictions_pressure
+    permissive = thresholds[0.9].provider.pool.stats.evictions_pressure
+    assert aggressive > 0
+    assert permissive == 0

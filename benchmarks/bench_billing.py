@@ -1,0 +1,87 @@
+"""Billing — the monetary cost of cold starts across policies.
+
+Section I argues cold starts "incur unnecessary costs" because FaaS
+bills by request duration; Section III-B adds that periodic warm-up
+pings carry their own fees.  This bench prices a steady workload under
+four policies with a Lambda-style billing model.
+"""
+
+import pytest
+
+from repro.core import (
+    FixedKeepAliveProvider,
+    HotC,
+    NoReuseProvider,
+    PeriodicWarmupProvider,
+)
+from repro.faas.platform import FaasPlatform
+from repro.metrics import BillingModel
+from repro.workloads.apps import default_catalog, qr_encoder_app
+
+N_REQUESTS = 30
+INTERVAL_MS = 20_000.0  # one request every 20 s over 10 minutes
+
+
+def run_policy(name: str, seed: int = 0):
+    factories = {
+        "cold-boot": NoReuseProvider,
+        "hotc": HotC,
+        "fixed-keepalive": lambda e: FixedKeepAliveProvider(e),
+        "periodic-warmup": lambda e: PeriodicWarmupProvider(
+            e, period_ms=60_000.0, ping_ms=10.0
+        ),
+    }
+    catalog = default_catalog()
+    platform = FaasPlatform(
+        catalog.make_registry(),
+        seed=seed,
+        provider_factory=factories[name],
+        jitter_sigma=0.0,
+    )
+    spec = qr_encoder_app(name="svc", language="python")
+    platform.deploy(spec)
+    platform.sim.process(platform.engine.ensure_image(spec.image))
+    platform.run()
+    for index in range(N_REQUESTS):
+        platform.submit("svc", delay=index * INTERVAL_MS)
+    run_until = None
+    if name == "periodic-warmup":
+        # The ping loop never drains on its own.
+        run_until = platform.sim.now + N_REQUESTS * INTERVAL_MS + 120_000.0
+    platform.run(until=run_until)
+    ping_count = getattr(platform.provider, "pings", 0)
+    if name == "periodic-warmup":
+        platform.provider._running = False
+    report = BillingModel().report(
+        platform.traces, mem_mb=spec.mem_mb, ping_count=ping_count, ping_ms=10.0
+    )
+    return report
+
+
+def run_all(seed: int = 0):
+    return {
+        name: run_policy(name, seed)
+        for name in ("cold-boot", "hotc", "fixed-keepalive", "periodic-warmup")
+    }
+
+
+def test_bench_billing(benchmark):
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for name, report in reports.items():
+        print(
+            f"  {name:<16} billed={report.billed_ms:8.0f} ms "
+            f"overhead={100 * report.overhead_fraction:4.1f}% "
+            f"cost=${report.total_usd * 1e6:7.2f}e-6 "
+            f"(pings ${report.ping_cost_usd * 1e6:.2f}e-6)"
+        )
+
+    # Cold boots bill their initiation time on every request.
+    assert reports["cold-boot"].overhead_fraction > 0.5
+    # HotC pays initiation once: the cheapest bill.
+    assert reports["hotc"].total_usd < 0.5 * reports["cold-boot"].total_usd
+    assert reports["hotc"].total_usd == min(r.total_usd for r in reports.values())
+    # Periodic warm-up avoids most cold starts but pays ping fees on top.
+    warmup = reports["periodic-warmup"]
+    assert warmup.ping_cost_usd > 0
+    assert warmup.total_usd > reports["hotc"].total_usd

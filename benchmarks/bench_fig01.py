@@ -1,0 +1,28 @@
+"""Fig 1 — Lambda-style latency spikes and the long-tail CDF."""
+
+import numpy as np
+
+from repro.experiments import run_fig01
+
+
+def test_bench_fig01(benchmark, render):
+    figure = benchmark.pedantic(run_fig01, kwargs={"seed": 0}, rounds=1, iterations=1)
+    render(figure)
+
+    table = figure.get_table("fig1a-summary")
+    metrics = dict(zip(table.column("metric"), table.column("value")))
+
+    # Paper: the first request of every burst is cold (5 bursts).
+    assert metrics["cold starts"] == 5
+    # Paper: highest ~41.8% over lowest, ~31.7% over mean.
+    assert 1.30 <= metrics["max/min"] <= 1.55
+    assert 1.20 <= metrics["max/mean"] <= 1.45
+    # Paper Fig 1b: serverless has a long tail, local does not.
+    assert metrics["p99/p50 serverless"] > 1.2
+    assert metrics["p99/p50 local"] < 1.1
+
+    # The per-request series spikes exactly at burst starts.
+    _, latency = figure.get_series("serverless-latency").as_arrays()
+    spikes = latency[::10]
+    others = np.delete(latency, slice(None, None, 10))
+    assert spikes.min() > others.max()

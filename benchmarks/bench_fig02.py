@@ -1,0 +1,26 @@
+"""Fig 2 — Dockerfile survey: image dominance and category shares."""
+
+from repro.experiments import run_fig02
+
+
+def test_bench_fig02(benchmark, render):
+    figure = benchmark.pedantic(
+        run_fig02, kwargs={"seed": 0, "n_projects": 2_000}, rounds=1, iterations=1
+    )
+    render(figure)
+
+    shares = figure.get_table("fig2a-image-shares")
+    all_shares = shares.column("all projects %")
+    top_shares = shares.column("top-100 %")
+
+    # Paper: a few commonly used images dominate both panels.
+    assert sum(all_shares[:5]) > 45
+    assert sum(top_shares[:5]) > 45
+    # Shares sorted descending over the "all" panel.
+    assert list(all_shares) == sorted(all_shares, reverse=True)
+
+    categories = figure.get_table("fig2b-category-shares")
+    by_name = dict(zip(categories.column("category"), categories.column("all projects %")))
+    # Paper: OS and language bases dominate the configurations.
+    assert by_name["os"] + by_name["language"] > 60
+    assert by_name["os"] > by_name["application"]

@@ -1,0 +1,33 @@
+"""Fig 4 — language cold/hot ratios and network-mode setup costs."""
+
+from repro.experiments import run_fig04
+
+
+def test_bench_fig04(benchmark, render):
+    figure = benchmark.pedantic(
+        run_fig04, kwargs={"seed": 0, "runs": 5}, rounds=1, iterations=1
+    )
+    render(figure)
+
+    languages = figure.get_table("fig4ab-language-cold-hot")
+    ratios = dict(zip(languages.column("language"), languages.column("cold/hot")))
+    colds = dict(zip(languages.column("language"), languages.column("cold (ms)")))
+    hots = dict(zip(languages.column("language"), languages.column("hot (ms)")))
+
+    # Paper: Go cold execution is 3.06x its hot execution.
+    assert 2.8 <= ratios["go"] <= 3.3
+    # Paper: cold start doubles Java's already long execution (~1.07s hot).
+    assert 1.8 <= ratios["java"] <= 2.3
+    assert 900 <= hots["java"] <= 1_300
+    # Java has the longest absolute times; Go the shortest hot run.
+    assert colds["java"] == max(colds.values())
+    assert hots["go"] == min(hots.values())
+
+    networks = figure.get_table("fig4c-network-startup")
+    setup = dict(zip(networks.column("mode"), networks.column("network setup (ms)")))
+    # Paper: bridge/host close to none; container mode about half.
+    assert abs(setup["bridge"] - setup["none"]) < 0.3 * setup["none"]
+    assert 0.35 <= setup["container"] / setup["none"] <= 0.65
+    # Paper: overlay up to 23x the multi-host host mode.
+    assert 18 <= setup["overlay"] / setup["multihost-host"] <= 25
+    assert setup["routing"] > 10 * setup["multihost-host"]

@@ -1,0 +1,23 @@
+"""Fig 5 / Section III — the six-moment pipeline breakdown."""
+
+from repro.experiments import run_fig05
+
+
+def test_bench_fig05(benchmark, render):
+    figure = benchmark.pedantic(
+        run_fig05, kwargs={"seed": 0, "warm_requests": 5}, rounds=1, iterations=1
+    )
+    render(figure)
+
+    for host in ("t430-server", "raspberry-pi3", "jetson-tx2"):
+        table = figure.get_table(f"breakdown-{host}")
+        cold = dict(zip(table.column("segment"), table.column("cold (ms)")))
+        warm = dict(zip(table.column("segment"), table.column("warm (ms)")))
+
+        # Paper: function initiation (2->3) dominates the cold request.
+        total_cold = sum(cold.values())
+        assert cold["function_init"] > 0.6 * total_cold
+        # Warm requests collapse the initiation segment.
+        assert warm["function_init"] < 0.1 * cold["function_init"]
+        # Forwarding stages are small in both arms.
+        assert cold["gateway_forward"] < 0.05 * total_cold

@@ -1,0 +1,34 @@
+"""Fig 8 — image-recognition execution time with and without HotC."""
+
+from repro.experiments import run_fig08
+
+
+def test_bench_fig08(benchmark, render):
+    figure = benchmark.pedantic(
+        run_fig08, kwargs={"seed": 0, "runs": 10}, rounds=1, iterations=1
+    )
+    render(figure)
+
+    # Paper reductions: server −33.2% (v3), −23.9% (TF-API);
+    #                   Pi     −26.6% (v3), −20.6% (TF-API).
+    bands = {
+        ("fig8-t430-server", "v3-app"): (30, 37),
+        ("fig8-t430-server", "tf-api-app"): (21, 28),
+        ("fig8-raspberry-pi3", "v3-app"): (22, 31),
+        ("fig8-raspberry-pi3", "tf-api-app"): (17, 27),
+    }
+    for (table_name, app), (low, high) in bands.items():
+        table = figure.get_table(table_name)
+        reductions = dict(zip(table.column("app"), table.column("reduction %")))
+        assert low <= reductions[app] <= high, (table_name, app, reductions[app])
+
+    # Shape: v3-app benefits more than tf-api-app on both hosts, and the
+    # server benefits more than the Pi for v3 (cold start is a smaller
+    # share of the Pi's much longer execution).
+    server = figure.get_table("fig8-t430-server")
+    pi = figure.get_table("fig8-raspberry-pi3")
+    server_red = dict(zip(server.column("app"), server.column("reduction %")))
+    pi_red = dict(zip(pi.column("app"), pi.column("reduction %")))
+    assert server_red["v3-app"] > server_red["tf-api-app"]
+    assert pi_red["v3-app"] > pi_red["tf-api-app"]
+    assert server_red["v3-app"] > pi_red["v3-app"]

@@ -1,0 +1,32 @@
+"""Fig 9 — QR web application latency without and with HotC."""
+
+import numpy as np
+
+from repro.experiments import run_fig09
+
+
+def test_bench_fig09(benchmark, render):
+    figure = benchmark.pedantic(
+        run_fig09, kwargs={"seed": 0, "requests": 40}, rounds=1, iterations=1
+    )
+    render(figure)
+
+    table = figure.get_table("fig9-summary")
+    default_col = dict(zip(table.column("metric"), table.column("default")))
+    hotc_col = dict(zip(table.column("metric"), table.column("hotc")))
+
+    # Paper: without HotC every request pays the runtime setup.
+    assert default_col["cold starts"] == 40
+    # With HotC only the first request per configuration is cold.
+    assert hotc_col["cold starts"] == 3
+    # Paper: latency drops dramatically once runtimes are pooled; the QR
+    # transformation itself is ~60 ms.
+    assert hotc_col["steady-state latency (ms)"] < 0.25 * default_col["mean latency (ms)"]
+    assert 60 <= hotc_col["steady-state latency (ms)"] <= 120
+
+    # Per-request series: HotC's early requests look like the default,
+    # later ones are far below it.
+    _, default_latency = figure.get_series("default-latency").as_arrays()
+    _, hotc_latency = figure.get_series("hotc-latency").as_arrays()
+    assert hotc_latency[0] > 0.7 * default_latency[0]          # first is cold
+    assert np.mean(hotc_latency[10:]) < 0.3 * np.mean(default_latency[10:])

@@ -1,0 +1,33 @@
+"""Fig 10 — prediction strategies and parameter sensitivity."""
+
+from repro.experiments import run_fig10
+
+
+def test_bench_fig10(benchmark, render):
+    figure = benchmark.pedantic(
+        run_fig10, kwargs={"seed": 0, "length": 40}, rounds=1, iterations=1
+    )
+    render(figure)
+
+    errors = figure.get_table("fig10a-errors")
+    overall = dict(zip(errors.column("strategy"), errors.column("overall MAPE %")))
+    jump = dict(zip(errors.column("strategy"), errors.column("jump-window MAPE %")))
+
+    # Paper: the ES+Markov combination beats plain exponential smoothing.
+    assert overall["es+markov"] < overall["exp-smoothing"]
+    # And it also beats the Markov-only ablation overall.
+    assert overall["es+markov"] < overall["markov-only"] + 5
+    # Around the 8->19 jump the correction reduces the relative error
+    # (paper: 29% -> 10%).
+    assert jump["es+markov"] < jump["exp-smoothing"]
+
+    sensitivity = figure.get_table("fig10b-sensitivity")
+    by_config = dict(
+        zip(sensitivity.column("configuration"), sensitivity.column("MAPE %"))
+    )
+    # Paper: on this volatile series a large alpha tracks better than a
+    # small one, but pushing alpha to the extreme does not keep helping.
+    assert by_config["alpha=0.8"] < by_config["alpha=0.1"]
+    assert by_config["alpha=0.95"] >= by_config["alpha=0.8"]
+    # Paper: mean-of-history initial values help the early predictions.
+    assert by_config["init=mean5 (early)"] <= by_config["init=first (early)"] + 1

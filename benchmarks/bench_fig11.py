@@ -1,0 +1,21 @@
+"""Fig 11 — the campus YouTube trace and its three features."""
+
+from repro.experiments import run_fig11
+
+
+def test_bench_fig11(benchmark, render):
+    figure = benchmark.pedantic(run_fig11, kwargs={"seed": 0}, rounds=1, iterations=1)
+    render(figure)
+
+    table = figure.get_table("fig11-features")
+    features = dict(zip(table.column("feature"), table.column("value")))
+
+    # Paper: burst from ~20 to ~300 requests at T710.
+    assert 15 <= features["pre-burst level (req/min)"] <= 30
+    assert 250 <= features["burst peak @T710"] <= 350
+    assert features["burst magnitude (x)"] > 10
+    # Paper: afternoon decline, night rise.
+    decline = [v for k, v in features.items() if k.startswith("decline slope")][0]
+    rise = [v for k, v in features.items() if k.startswith("rise slope")][0]
+    assert decline < -0.2
+    assert rise > 0.5

@@ -1,0 +1,31 @@
+"""Fig 12 — serial and parallel request latency."""
+
+import numpy as np
+
+from repro.experiments import run_fig12
+
+
+def test_bench_fig12(benchmark, render):
+    figure = benchmark.pedantic(run_fig12, kwargs={"seed": 0}, rounds=1, iterations=1)
+    render(figure)
+
+    table = figure.get_table("fig12-summary")
+    rows = {row[0]: row for row in table.rows}
+
+    # Paper Fig 12a: with HotC only the very first serial request is cold.
+    serial = rows["serial"]
+    assert serial[4] == 1          # cold: hotc
+    assert serial[3] == 20         # cold: default (every request)
+    assert serial[2] < 0.3 * serial[1]
+
+    # Paper Fig 12b: HotC's average latency ~9% of the default case.
+    parallel = rows["parallel"]
+    ratio = parallel[2] / parallel[1]
+    assert 0.05 <= ratio <= 0.25
+    # Each of the ten per-thread configurations cold-starts exactly once.
+    assert parallel[4] == 10
+
+    # The serial HotC series drops after round 1 and stays flat.
+    _, hotc_series = figure.get_series("serial-hotc").as_arrays()
+    assert hotc_series[0] > 3 * hotc_series[1]
+    assert np.std(hotc_series[1:]) < 0.2 * np.mean(hotc_series[1:])

@@ -1,0 +1,33 @@
+"""Fig 13 — linear increasing and decreasing request flows."""
+
+import numpy as np
+
+from repro.experiments import run_fig13
+
+
+def test_bench_fig13(benchmark, render):
+    figure = benchmark.pedantic(run_fig13, kwargs={"seed": 0}, rounds=1, iterations=1)
+    render(figure)
+
+    table = figure.get_table("fig13-summary")
+    rows = {row[0]: row for row in table.rows}
+
+    # Paper: increasing — only the +2 increment cold-starts each round:
+    # 10 rounds x 2 = 20 cold with HotC vs 110 (all) without.
+    increasing = rows["increasing"]
+    assert increasing[3] == 110
+    assert increasing[4] == 20
+
+    # Paper: decreasing — after round 1 a hot container is always
+    # available; all cold starts happen in the first round.
+    decreasing = rows["decreasing"]
+    assert decreasing[4] == 20  # the 20 requests of round 1
+
+    # HotC's increasing latency stays well below the default's.
+    _, default_series = figure.get_series("increasing-default").as_arrays()
+    _, hotc_series = figure.get_series("increasing-hotc").as_arrays()
+    assert np.mean(hotc_series) < 0.5 * np.mean(default_series)
+
+    # Decreasing with HotC: rounds 2+ are all-warm and flat.
+    _, decreasing_hotc = figure.get_series("decreasing-hotc").as_arrays()
+    assert np.all(decreasing_hotc[1:] < 0.3 * decreasing_hotc[0])

@@ -1,0 +1,30 @@
+"""Fig 14 — exponential request flows and 10x bursts."""
+
+from repro.experiments import run_fig14
+
+
+def test_bench_fig14(benchmark, render):
+    figure = benchmark.pedantic(run_fig14, kwargs={"seed": 0}, rounds=1, iterations=1)
+    render(figure)
+
+    # Paper Fig 14a: at least half of the exponentially increasing
+    # requests can reuse instances from the previous wave.
+    note = next(n for n in figure.notes if "warm share" in n)
+    # The note embeds the measured warm shares; re-derive from series
+    # instead: increasing HotC latency stays below increasing default.
+    _, inc_default = figure.get_series("exp-increasing-default").as_arrays()
+    _, inc_hotc = figure.get_series("exp-increasing-hotc").as_arrays()
+    assert inc_hotc[1:].mean() < inc_default[1:].mean()
+
+    # Decreasing flow: everything after round 1 is warm under HotC.
+    _, dec_hotc = figure.get_series("exp-decreasing-hotc").as_arrays()
+    assert all(dec_hotc[1:] < 0.35 * dec_hotc[0])
+
+    # Paper Fig 14b: ~9% reduction at the first burst; up to 73% later.
+    table = figure.get_table("fig14b-burst-reductions")
+    reductions = list(table.column("reduction %"))
+    assert 4 <= reductions[0] <= 15
+    assert max(reductions[1:]) >= 60
+    assert max(reductions) <= 80
+    # Improvements grow (or persist) across bursts.
+    assert reductions[1] > reductions[0]

@@ -1,0 +1,31 @@
+"""Fig 15 — HotC's resource overhead."""
+
+import numpy as np
+
+from repro.experiments import run_fig15
+
+
+def test_bench_fig15(benchmark, render):
+    figure = benchmark.pedantic(run_fig15, kwargs={"seed": 0}, rounds=1, iterations=1)
+    render(figure)
+
+    # Fig 15a on the server: 10 live containers cost <1% CPU, ~0.7MB each.
+    server = figure.get_table("fig15a-t430-server")
+    by_count = {row[0]: row for row in server.rows}
+    assert by_count[10][1] < 1.0                       # cpu delta %
+    assert abs(by_count[10][2] - 7.0) < 0.5            # mem delta MB
+    assert by_count[500][1] < 5.0                      # even 500 are cheap
+    # Memory grows linearly with the pool size.
+    counts = np.array([row[0] for row in server.rows], dtype=float)
+    mems = np.array([row[2] for row in server.rows], dtype=float)
+    nonzero = counts > 0
+    per_container = mems[nonzero] / counts[nonzero]
+    assert np.allclose(per_container, 0.7, atol=0.1)
+
+    # Fig 15b: execution dominates; the idle live container is tiny.
+    lifecycle = figure.get_table("fig15b-summary")
+    rows = {row[0]: row for row in lifecycle.rows}
+    executing = rows["app executing (6-13s)"]
+    idle = rows["container live, app stopped"]
+    assert executing[1] > 100 * idle[1]    # memory
+    assert executing[2] > 10 * idle[2]     # cpu

@@ -1,0 +1,91 @@
+"""Trace replay — a scaled day of the campus trace through every provider.
+
+Not a single paper figure, but the synthesis the paper motivates with
+Fig 11: replay the diurnal trace (burst, decline, night rise) against
+all four providers and compare cold starts, latency, and boot churn.
+"""
+
+import pytest
+
+from repro.core import (
+    FixedKeepAliveProvider,
+    HistogramKeepAliveProvider,
+    HotC,
+    HotCConfig,
+)
+from repro.faas.platform import FaasPlatform
+from repro.workloads import TracePattern, WorkloadGenerator, youtube_campus_trace
+from repro.workloads.apps import default_catalog, qr_encoder_app
+
+#: One trace minute replayed as 2 simulated seconds, 1% of the volume:
+#: keeps the bench fast while preserving the burst/decline/rise shape.
+SLOT_MS = 2_000.0
+SCALE = 0.01
+SEGMENT = (680, 820)  # covers the pre-burst level, T710 burst, and decline
+
+
+def run_provider(name: str, seed: int = 0):
+    factories = {
+        "cold-boot": None,
+        "hotc": lambda e: HotC(e, HotCConfig(control_interval_ms=10_000.0)),
+        "fixed-15min": lambda e: FixedKeepAliveProvider(e),
+        "histogram": HistogramKeepAliveProvider,
+    }
+    catalog = default_catalog()
+    platform = FaasPlatform(
+        catalog.make_registry(),
+        seed=seed,
+        provider_factory=factories[name],
+        jitter_sigma=0.03,
+    )
+    spec = qr_encoder_app(name="svc", language="python")
+    platform.deploy(spec)
+    platform.sim.process(platform.engine.ensure_image(spec.image))
+    platform.run()
+
+    counts = youtube_campus_trace(seed=3).segment(*SEGMENT)
+    pattern = TracePattern(counts, slot_ms=SLOT_MS, scale=SCALE)
+    run_until = None
+    if name == "hotc":
+        platform.provider.start_control_loop()
+        run_until = platform.sim.now + len(counts) * SLOT_MS + 120_000.0
+    result = WorkloadGenerator(platform).run(pattern, "svc", run_until=run_until)
+    if name == "hotc":
+        platform.provider.stop_control_loop()
+        platform.run()
+    return result, platform
+
+
+def run_all(seed: int = 0):
+    return {
+        name: run_provider(name, seed)
+        for name in ("cold-boot", "hotc", "fixed-15min", "histogram")
+    }
+
+
+def test_bench_trace_replay(benchmark):
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    stats = {}
+    for name, (result, platform) in outcomes.items():
+        stats[name] = {
+            "cold": result.total_cold(),
+            "mean": result.mean_latency(),
+            "boots": platform.engine.stats.boots,
+            "requests": result.total_requests,
+        }
+        print(
+            f"  {name:<12} requests={stats[name]['requests']:>3} "
+            f"cold={stats[name]['cold']:>3} mean={stats[name]['mean']:6.1f} ms "
+            f"boots={stats[name]['boots']:>3}"
+        )
+
+    # Everyone served the same trace.
+    assert len({s["requests"] for s in stats.values()}) == 1
+    # HotC: far fewer cold starts and far lower latency than cold-boot.
+    assert stats["hotc"]["cold"] < 0.25 * stats["cold-boot"]["cold"]
+    assert stats["hotc"]["mean"] < 0.5 * stats["cold-boot"]["mean"]
+    # The keep-alive baselines fall between the two extremes.
+    for baseline in ("fixed-15min", "histogram"):
+        assert stats[baseline]["cold"] <= stats["cold-boot"]["cold"]
+        assert stats["hotc"]["cold"] <= stats[baseline]["cold"] * 1.5

@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Each ``bench_figXX.py`` regenerates one paper figure under
+pytest-benchmark and asserts the paper's *shape* (who wins, by roughly
+what factor, where crossovers fall) — absolute values differ because the
+substrate is a simulator, not the authors' testbed.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def render(capsys):
+    """Print a figure's rendering so benchmark logs show the rows."""
+
+    def _render(figure):
+        with capsys.disabled():
+            print()
+            print(figure.render())
+
+    return _render

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Tuning the adaptive pool: predictors and keep-alive policies head-on.
+
+Part 1 replays a volatile demand series through the three prediction
+strategies (exponential smoothing, Markov-only, ES+Markov) and prints
+their errors — the paper's Fig 10 comparison.
+
+Part 2 runs the same bursty workload against four providers — cold-boot,
+AWS-style fixed keep-alive, histogram keep-alive, and HotC with the
+adaptive controller — and reports cold starts, mean latency, and
+container boots (a resource-waste proxy).
+
+Run:  python examples/adaptive_pool_tuning.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CombinedPredictor,
+    ExponentialSmoothing,
+    FixedKeepAliveProvider,
+    HistogramKeepAliveProvider,
+    HotC,
+    HotCConfig,
+)
+from repro.experiments.fig10_prediction import demand_series, _markov_only_forecasts
+from repro.faas import FaasPlatform
+from repro.metrics import mean_absolute_percentage_error
+from repro.workloads import BurstPattern, WorkloadGenerator, default_catalog, qr_encoder_app
+
+
+def part1_predictors() -> None:
+    series = demand_series(seed=3, length=48)
+    arms = {
+        "exp smoothing (a=0.8)": ExponentialSmoothing(alpha=0.8).fit_series(series),
+        "markov only": _markov_only_forecasts(series),
+        "ES + Markov (HotC)": CombinedPredictor(alpha=0.8).fit_series(series),
+    }
+    print("Part 1 - one-step-ahead prediction error on a volatile demand series")
+    for name, forecasts in arms.items():
+        error = mean_absolute_percentage_error(series[1:], forecasts[:-1])
+        print(f"  {name:<24} MAPE {100 * error:5.1f}%")
+    print()
+
+
+def part2_policies() -> None:
+    providers = {
+        "cold-boot": None,
+        "fixed keep-alive 15min": lambda e: FixedKeepAliveProvider(e),
+        "histogram keep-alive": lambda e: HistogramKeepAliveProvider(e),
+        "HotC adaptive": lambda e: HotC(
+            e, HotCConfig(control_interval_ms=30_000.0)
+        ),
+    }
+    pattern = BurstPattern(base_requests=4, n_rounds=12, burst_rounds=(4, 8),
+                           burst_factor=8, round_ms=30_000.0)
+    print("Part 2 - bursty workload (4 req / 30s, 8x bursts at rounds 4 and 8)")
+    print(f"  {'policy':<24} {'cold':>5} {'mean ms':>9} {'boots':>6}")
+    for name, factory in providers.items():
+        catalog = default_catalog()
+        platform = FaasPlatform(
+            catalog.make_registry(), seed=5, provider_factory=factory
+        )
+        spec = qr_encoder_app(name="qr", language="python")
+        platform.deploy(spec)
+        platform.sim.process(platform.engine.ensure_image(spec.image))
+        platform.run()
+        adaptive = isinstance(platform.provider, HotC)
+        if adaptive:
+            platform.provider.start_control_loop()
+            # The control loop re-arms forever; bound the run.
+            run_until = platform.sim.now + 12 * 30_000.0 + 120_000.0
+        else:
+            run_until = None
+        result = WorkloadGenerator(platform).run(pattern, "qr", run_until=run_until)
+        if adaptive:
+            platform.provider.stop_control_loop()
+            platform.run()
+        print(
+            f"  {name:<24} {result.total_cold():>5} "
+            f"{result.mean_latency():>9.1f} {platform.engine.stats.boots:>6}"
+        )
+    print(
+        "\nFixed keep-alive matches HotC on cold starts here but holds\n"
+        "containers for 15 minutes regardless of demand; HotC sizes the\n"
+        "pool from its forecast instead."
+    )
+
+
+if __name__ == "__main__":
+    part1_predictors()
+    part2_policies()

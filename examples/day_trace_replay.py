@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Replay a (scaled) day of the campus trace and price it.
+
+Combines three parts of the reproduction: the Fig 11 synthetic trace,
+the provider zoo (cold-boot / fixed keep-alive / HotC), and the billing
+model of Section I — how much money the cold starts cost at Lambda-like
+rates.
+
+Run:  python examples/day_trace_replay.py
+"""
+
+from repro.core import FixedKeepAliveProvider, HotC, HotCConfig
+from repro.faas import FaasPlatform
+from repro.metrics import BillingModel
+from repro.workloads import (
+    TracePattern,
+    WorkloadGenerator,
+    default_catalog,
+    qr_encoder_app,
+    youtube_campus_trace,
+)
+
+# Replay minutes 680-880 of the day (covers the T710 burst and the
+# early decline) at 1% volume, one trace-minute per 2 simulated seconds.
+SEGMENT = (680, 880)
+SCALE = 0.01
+SLOT_MS = 2_000.0
+
+
+def run_provider(label, factory, adaptive=False):
+    catalog = default_catalog()
+    platform = FaasPlatform(
+        catalog.make_registry(), seed=13, provider_factory=factory
+    )
+    spec = qr_encoder_app(name="svc", language="python")
+    platform.deploy(spec)
+    platform.sim.process(platform.engine.ensure_image(spec.image))
+    platform.run()
+
+    counts = youtube_campus_trace(seed=4).segment(*SEGMENT)
+    pattern = TracePattern(counts, slot_ms=SLOT_MS, scale=SCALE)
+    run_until = None
+    if adaptive:
+        platform.provider.start_control_loop()
+        run_until = platform.sim.now + len(counts) * SLOT_MS + 120_000.0
+    result = WorkloadGenerator(platform).run(pattern, "svc", run_until=run_until)
+    if adaptive:
+        platform.provider.stop_control_loop()
+        platform.run()
+
+    bill = BillingModel().report(result.all_traces, mem_mb=spec.mem_mb)
+    print(
+        f"  {label:<18} requests={result.total_requests:>3}  "
+        f"cold={result.total_cold():>3}  mean={result.mean_latency():6.1f} ms  "
+        f"billed overhead={100 * bill.overhead_fraction:4.1f}%  "
+        f"cost=${bill.total_usd * 1e6:.2f}e-6"
+    )
+
+
+def main() -> None:
+    print(
+        f"Campus trace minutes {SEGMENT[0]}-{SEGMENT[1]} at {SCALE:.0%} volume "
+        f"({SLOT_MS / 1000:.0f}s per trace-minute)\n"
+    )
+    run_provider("cold-boot", None)
+    run_provider("fixed keep-alive", lambda e: FixedKeepAliveProvider(e))
+    run_provider(
+        "HotC adaptive",
+        lambda e: HotC(e, HotCConfig(control_interval_ms=10_000.0)),
+        adaptive=True,
+    )
+    print(
+        "\nCold starts both slow requests down and inflate the bill:\n"
+        "the provider charges for initiation time on every cold request."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: feel the cold start, then fix it with HotC.
+
+Deploys a tiny serverless function on the simulated OpenFaaS-like
+platform twice — once with the default cold-boot-per-request behaviour
+and once behind the HotC middleware — and prints the per-request
+latency of both arms.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import HotC
+from repro.faas import FaasPlatform, FunctionSpec
+from repro.workloads import default_catalog
+
+
+def run_arm(use_hotc: bool) -> None:
+    catalog = default_catalog()
+    platform = FaasPlatform(
+        catalog.make_registry(),
+        seed=42,
+        provider_factory=HotC if use_hotc else None,
+    )
+    platform.deploy(
+        FunctionSpec(
+            name="hello",
+            image="python:3.6",
+            language="python",
+            exec_ms=25.0,  # 25 ms of business logic
+        )
+    )
+    # Stage the image locally, as any real deployment would.
+    platform.sim.process(platform.engine.ensure_image("python:3.6"))
+    platform.run()
+
+    # One request every 2 seconds for 8 requests.
+    for index in range(8):
+        platform.submit("hello", delay=index * 2_000.0)
+    platform.run()
+
+    label = "with HotC   " if use_hotc else "without HotC"
+    latencies = platform.traces.latencies()
+    cold = platform.traces.cold_count()
+    print(f"{label}: cold starts = {cold}/8")
+    for number, (latency, is_cold) in enumerate(
+        zip(latencies, platform.traces.cold_flags()), start=1
+    ):
+        marker = "  <-- cold start" if is_cold else ""
+        print(f"  request {number}: {latency:8.1f} ms{marker}")
+    print(f"  mean latency: {latencies.mean():.1f} ms\n")
+
+
+def main() -> None:
+    print("HotC quickstart: 8 requests, 2s apart, 25ms of real work each\n")
+    run_arm(use_hotc=False)
+    run_arm(use_hotc=True)
+    print(
+        "The default platform pays container boot + runtime init on every\n"
+        "request; HotC pays it once and reuses the live runtime afterwards."
+    )
+
+
+if __name__ == "__main__":
+    main()

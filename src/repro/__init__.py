@@ -1,0 +1,23 @@
+"""repro — reproduction of HotC (CLUSTER 2021).
+
+"Tackling Cold Start of Serverless Applications by Efficient and
+Adaptive Container Runtime Reusing" — Suo, Son, Cheng, Chen, Baidya.
+
+The package is layered bottom-up:
+
+- :mod:`repro.sim` — deterministic discrete-event simulation kernel.
+- :mod:`repro.hardware` — host profiles and latency calibration.
+- :mod:`repro.containers` — Docker-like container engine substrate.
+- :mod:`repro.faas` — OpenFaaS-like serverless platform substrate.
+- :mod:`repro.core` — the paper's contribution: HotC middleware,
+  runtime pool, adaptive predictor, and baseline keep-alive policies.
+- :mod:`repro.workloads` — application catalog and request patterns.
+- :mod:`repro.metrics` — latency/error/resource metrics.
+- :mod:`repro.analysis` — motivation-study analyses (Dockerfiles, cold
+  start breakdowns).
+- :mod:`repro.experiments` — one module per paper figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,137 @@
+"""Top-level CLI: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [figXX ...]``
+    Run (all or selected) figure reproductions and print them.
+``apps``
+    List the evaluation application catalog with cost profiles.
+``profiles``
+    List the host hardware profiles.
+``survey [--projects N]``
+    Run the Fig 2 Dockerfile survey and print both panels.
+``version``
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import repro
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import run_all
+
+    only = args.figures or None
+    for figure in run_all(only=only, seed=args.seed).values():
+        print(figure.render())
+        print()
+    return 0
+
+
+def cmd_apps(args) -> int:
+    from repro.metrics.report import format_table
+    from repro.workloads import default_catalog
+
+    catalog = default_catalog()
+    rows = []
+    for name in catalog.names():
+        spec = catalog.get(name)
+        rows.append(
+            (
+                name,
+                spec.image,
+                spec.language,
+                spec.exec_ms,
+                spec.app_init_ms,
+                spec.mem_mb,
+            )
+        )
+    print(
+        format_table(
+            ("app", "image", "language", "exec (ms)", "init (ms)", "mem (MB)"),
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_profiles(args) -> int:
+    from repro.hardware import get_profile, list_profiles
+    from repro.metrics.report import format_table
+
+    rows = []
+    for name in list_profiles():
+        profile = get_profile(name)
+        rows.append(
+            (
+                name,
+                profile.cores,
+                profile.clock_ghz,
+                profile.mem_mb,
+                profile.compute_scale,
+                profile.container_op_scale,
+            )
+        )
+    print(
+        format_table(
+            ("profile", "cores", "GHz", "mem (MB)", "compute x", "ops x"),
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_survey(args) -> int:
+    from repro.experiments import run_fig02
+
+    print(run_fig02(seed=args.seed, n_projects=args.projects).render())
+    return 0
+
+
+def cmd_version(args) -> int:
+    print(repro.__version__)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HotC reproduction (CLUSTER 2021) command line",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiments = commands.add_parser(
+        "experiments", help="run figure reproductions"
+    )
+    experiments.add_argument("figures", nargs="*", help="e.g. fig08 fig14")
+    experiments.set_defaults(func=cmd_experiments)
+
+    apps = commands.add_parser("apps", help="list the application catalog")
+    apps.set_defaults(func=cmd_apps)
+
+    profiles = commands.add_parser("profiles", help="list host profiles")
+    profiles.set_defaults(func=cmd_profiles)
+
+    survey = commands.add_parser("survey", help="run the Dockerfile survey")
+    survey.add_argument("--projects", type=int, default=2_000)
+    survey.set_defaults(func=cmd_survey)
+
+    version = commands.add_parser("version", help="print the version")
+    version.set_defaults(func=cmd_version)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Motivation-study analyses (Sections I-III of the paper).
+
+- :mod:`repro.analysis.dockerfiles` — the GitHub Dockerfile survey
+  behind Fig 2: corpus generation, parsing, base-image popularity and
+  category shares.
+- :mod:`repro.analysis.coldstart` — cold-start micro-analyses behind
+  Figs 1, 4 and 5: language cold/hot ratios, network-mode startup
+  costs, and the OpenFaaS six-moment breakdown.
+"""
+
+from repro.analysis.dockerfiles import (
+    DockerfileCorpus,
+    SurveyResult,
+    generate_corpus,
+    survey_corpus,
+)
+from repro.analysis.coldstart import (
+    keep_alive_sensitivity,
+    language_cold_hot_comparison,
+    network_mode_startup,
+    pipeline_breakdown,
+)
+
+__all__ = [
+    "DockerfileCorpus",
+    "SurveyResult",
+    "generate_corpus",
+    "keep_alive_sensitivity",
+    "language_cold_hot_comparison",
+    "network_mode_startup",
+    "pipeline_breakdown",
+    "survey_corpus",
+]

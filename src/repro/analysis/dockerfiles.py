@@ -1,0 +1,198 @@
+"""The Dockerfile survey behind Fig 2.
+
+The paper: "We analyzed thousands of Dockerfiles from GitHub projects.
+... both the top 100 popular and all surveyed projects are dominated by
+a few commonly used images, which mostly contain similar OSes, language
+runtimes, etc., or their combination."
+
+The GitHub corpus is not redistributable offline, so
+:func:`generate_corpus` synthesises one: project popularity follows a
+Zipf law, base images are drawn from a heavy-tailed distribution over
+the well-known bases (plus a long tail of custom images), and each
+Dockerfile is real text that goes through the real parser.
+:func:`survey_corpus` then re-derives both Fig 2 panels from the parsed
+corpus — the *analysis* is faithful even though the corpus is
+synthetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.containers.dockerfile import (
+    Dockerfile,
+    categorize_base_image,
+    parse_dockerfile,
+)
+
+__all__ = ["DockerfileCorpus", "SurveyResult", "generate_corpus", "survey_corpus"]
+
+
+#: Popularity weights of well-known base images (heavy head), shaped
+#: after the paper's observation that a handful of OS and language
+#: images dominate.
+_BASE_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("alpine:3.8", 0.19),
+    ("ubuntu:16.04", 0.16),
+    ("python:3.6", 0.12),
+    ("node:10", 0.10),
+    ("debian:stretch", 0.07),
+    ("golang:1.11", 0.06),
+    ("openjdk:8", 0.06),
+    ("centos:7", 0.05),
+    ("nginx:1.15", 0.04),
+    ("busybox:1.29", 0.03),
+    ("redis:5.0", 0.02),
+    ("mysql:5.7", 0.02),
+    ("postgres:11", 0.02),
+)
+#: Remaining probability mass goes to a long tail of custom images.
+_TAIL_MASS = 1.0 - sum(weight for _, weight in _BASE_WEIGHTS)
+
+_RUN_SNIPPETS = (
+    "apt-get update && apt-get install -y curl",
+    "pip install -r requirements.txt",
+    "npm install --production",
+    "go build -o /usr/local/bin/app ./cmd/app",
+    "mkdir -p /var/app/data",
+    "adduser -D appuser",
+)
+
+_CMD_SNIPPETS = (
+    '["python", "app.py"]',
+    '["node", "server.js"]',
+    '["/usr/local/bin/app"]',
+    '["sh", "-c", "exec $APP"]',
+)
+
+
+@dataclass(frozen=True)
+class CorpusProject:
+    """One synthetic GitHub project."""
+
+    name: str
+    stars: int
+    dockerfile_text: str
+
+
+@dataclass
+class DockerfileCorpus:
+    """A bag of projects with Dockerfiles."""
+
+    projects: List[CorpusProject] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.projects)
+
+    def top_by_stars(self, n: int) -> "DockerfileCorpus":
+        """The ``n`` most-starred projects."""
+        ranked = sorted(self.projects, key=lambda p: (-p.stars, p.name))
+        return DockerfileCorpus(projects=ranked[:n])
+
+    def parsed(self) -> List[Tuple[CorpusProject, Dockerfile]]:
+        """Parse every project's Dockerfile."""
+        return [(p, parse_dockerfile(p.dockerfile_text)) for p in self.projects]
+
+
+def generate_corpus(
+    n_projects: int = 2_000,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> DockerfileCorpus:
+    """Synthesize a corpus of ``n_projects`` Dockerfile projects."""
+    if n_projects < 1:
+        raise ValueError("n_projects must be >= 1")
+    rng = rng or np.random.default_rng(seed)
+
+    references = [reference for reference, _ in _BASE_WEIGHTS]
+    weights = np.array([weight for _, weight in _BASE_WEIGHTS])
+
+    # Popular projects skew even harder toward the head images: the
+    # paper's top-100 panel is more concentrated than the all-projects
+    # panel.  Draw stars from a Zipf-like law and bias the head images
+    # for high-star projects.
+    stars = np.floor(1_000.0 / np.power(np.arange(1, n_projects + 1), 0.8)).astype(int)
+    rng.shuffle(stars)
+
+    projects: List[CorpusProject] = []
+    for index in range(n_projects):
+        popular = stars[index] > np.percentile(stars, 90)
+        tail_mass = _TAIL_MASS * (0.4 if popular else 1.0)
+        probabilities = np.concatenate([weights * (1 - tail_mass) / weights.sum(),
+                                        [tail_mass]])
+        choice = rng.choice(len(references) + 1, p=probabilities)
+        if choice < len(references):
+            base = references[choice]
+        else:
+            base = f"user{rng.integers(0, 400):03d}/custom:{rng.integers(1, 9)}"
+        projects.append(
+            CorpusProject(
+                name=f"project-{index:05d}",
+                stars=int(stars[index]),
+                dockerfile_text=_render_dockerfile(base, rng),
+            )
+        )
+    return DockerfileCorpus(projects=projects)
+
+
+def _render_dockerfile(base: str, rng: np.random.Generator) -> str:
+    lines = [f"FROM {base}"]
+    if rng.random() < 0.6:
+        lines.append(f"ENV APP_ENV {'production' if rng.random() < 0.7 else 'staging'}")
+    lines.append("WORKDIR /app")
+    lines.append("COPY . /app")
+    for _ in range(int(rng.integers(1, 4))):
+        lines.append(f"RUN {_RUN_SNIPPETS[rng.integers(0, len(_RUN_SNIPPETS))]}")
+    if rng.random() < 0.5:
+        lines.append(f"EXPOSE {int(rng.choice([80, 443, 3000, 5000, 8080]))}")
+    lines.append(f"CMD {_CMD_SNIPPETS[rng.integers(0, len(_CMD_SNIPPETS))]}")
+    return "\n".join(lines) + "\n"
+
+
+@dataclass(frozen=True)
+class SurveyResult:
+    """Fig 2's two panels, recomputed from a corpus."""
+
+    #: (base image, share of projects), descending — Fig 2a.
+    image_shares: Tuple[Tuple[str, float], ...]
+    #: category -> share, over os/language/application/other — Fig 2b.
+    category_shares: Dict[str, float]
+    n_projects: int
+
+    def top_images(self, n: int) -> Tuple[Tuple[str, float], ...]:
+        """The ``n`` most common base images."""
+        return self.image_shares[:n]
+
+    def head_concentration(self, n: int = 5) -> float:
+        """Share of projects using the ``n`` most common bases — the
+        paper's "dominated by a few commonly used images" measure."""
+        return sum(share for _, share in self.image_shares[:n])
+
+
+def survey_corpus(corpus: DockerfileCorpus) -> SurveyResult:
+    """Parse a corpus and compute both Fig 2 panels."""
+    if len(corpus) == 0:
+        raise ValueError("corpus is empty")
+    image_counts: Dict[str, int] = {}
+    category_counts: Dict[str, int] = {
+        "os": 0, "language": 0, "application": 0, "other": 0,
+    }
+    for _, dockerfile in corpus.parsed():
+        base = dockerfile.base_image
+        image_counts[base] = image_counts.get(base, 0) + 1
+        category_counts[categorize_base_image(base)] += 1
+
+    total = len(corpus)
+    shares = sorted(
+        ((image, count / total) for image, count in image_counts.items()),
+        key=lambda kv: (-kv[1], kv[0]),
+    )
+    categories = {name: count / total for name, count in category_counts.items()}
+    return SurveyResult(
+        image_shares=tuple(shares),
+        category_shares=categories,
+        n_projects=total,
+    )

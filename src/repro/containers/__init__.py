@@ -1,0 +1,76 @@
+"""Docker-like container engine substrate (simulated).
+
+The paper runs HotC against Docker 1.17; offline we reproduce the exact
+surface HotC touches: image pulls (:mod:`repro.containers.registry`),
+container lifecycle (:mod:`repro.containers.container`,
+:mod:`repro.containers.engine`), network modes with their very different
+setup costs (:mod:`repro.containers.network`), per-container volumes
+(:mod:`repro.containers.volume`) and Dockerfile parsing
+(:mod:`repro.containers.dockerfile`).
+
+All engine operations are simulation processes whose latencies come
+from :class:`repro.hardware.LatencyModel`, so the cost structure matches
+the paper's Fig 4 calibration.
+"""
+
+from repro.containers.image import Image, ImageLayer, make_base_image
+from repro.containers.registry import Registry, RegistryError
+from repro.containers.network import (
+    NETWORK_MODES,
+    NetworkConfig,
+    validate_network_mode,
+)
+from repro.containers.volume import Volume, VolumeError, VolumeStore
+from repro.containers.container import (
+    Container,
+    ContainerConfig,
+    ContainerError,
+    ContainerState,
+    ExecResult,
+    ExecSpec,
+)
+from repro.containers.engine import ContainerEngine, EngineStats
+from repro.containers.dockerfile import (
+    Dockerfile,
+    DockerfileError,
+    Instruction,
+    parse_dockerfile,
+)
+from repro.containers.distribution import (
+    DistributionNetwork,
+    FullPullStrategy,
+    LazyPullStrategy,
+    P2PPullStrategy,
+    PullStrategy,
+)
+
+__all__ = [
+    "Container",
+    "ContainerConfig",
+    "ContainerEngine",
+    "ContainerError",
+    "ContainerState",
+    "DistributionNetwork",
+    "Dockerfile",
+    "DockerfileError",
+    "EngineStats",
+    "FullPullStrategy",
+    "LazyPullStrategy",
+    "P2PPullStrategy",
+    "PullStrategy",
+    "ExecResult",
+    "ExecSpec",
+    "Image",
+    "ImageLayer",
+    "Instruction",
+    "NETWORK_MODES",
+    "NetworkConfig",
+    "Registry",
+    "RegistryError",
+    "Volume",
+    "VolumeError",
+    "VolumeStore",
+    "make_base_image",
+    "parse_dockerfile",
+    "validate_network_mode",
+]

@@ -1,0 +1,195 @@
+"""Container objects: configuration, lifecycle state machine, exec specs.
+
+The lifecycle mirrors Docker's, restricted to what HotC needs::
+
+    CREATED -> STARTING -> RUNNING <-> EXECUTING
+                              |            |
+                              v            v
+                          STOPPING  ->  STOPPED -> REMOVED
+
+``RUNNING`` is the *live idle* state the paper calls a hot container;
+``EXECUTING`` is busy with a function.  The HotC pool layers its own
+three-value availability view (-1 / 0 / 1, Fig 7) on top of this.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.containers.network import NetworkConfig
+from repro.containers.volume import Volume
+
+__all__ = [
+    "Container",
+    "ContainerConfig",
+    "ContainerError",
+    "ContainerState",
+    "ExecResult",
+    "ExecSpec",
+]
+
+
+class ContainerError(RuntimeError):
+    """Raised on invalid lifecycle transitions or exec errors."""
+
+
+class ContainerState(enum.Enum):
+    """Docker-like lifecycle states."""
+
+    CREATED = "created"
+    STARTING = "starting"
+    RUNNING = "running"          # live and idle: reusable
+    EXECUTING = "executing"      # busy with a function
+    STOPPING = "stopping"
+    STOPPED = "stopped"
+    REMOVED = "removed"
+
+
+#: Legal transitions of the lifecycle FSM.
+_TRANSITIONS: Dict[ContainerState, Tuple[ContainerState, ...]] = {
+    ContainerState.CREATED: (ContainerState.STARTING, ContainerState.REMOVED),
+    ContainerState.STARTING: (ContainerState.RUNNING, ContainerState.STOPPING),
+    ContainerState.RUNNING: (ContainerState.EXECUTING, ContainerState.STOPPING),
+    ContainerState.EXECUTING: (ContainerState.RUNNING, ContainerState.STOPPING),
+    ContainerState.STOPPING: (ContainerState.STOPPED,),
+    ContainerState.STOPPED: (ContainerState.REMOVED, ContainerState.STARTING),
+    ContainerState.REMOVED: (),
+}
+
+
+@dataclass(frozen=True)
+class ContainerConfig:
+    """Everything that defines a container *runtime environment*.
+
+    These are the parameters the paper's "Parameter Analysis" step
+    extracts from the user command / configuration file (Section IV-B):
+    image, network configuration, UTS and IPC settings, execution
+    options, and resource limits.  Two containers with equal configs are
+    the same *type* of runtime and are interchangeable for reuse.
+    """
+
+    image: str
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    uts_mode: str = "private"
+    ipc_mode: str = "private"
+    env: Tuple[Tuple[str, str], ...] = ()
+    exec_options: Tuple[str, ...] = ()
+    cpu_millicores: float = 250.0
+    mem_mb: float = 128.0
+
+    def __post_init__(self) -> None:
+        if not self.image:
+            raise ValueError("image reference must be non-empty")
+        if self.uts_mode not in ("private", "host"):
+            raise ValueError(f"invalid uts_mode {self.uts_mode!r}")
+        if self.ipc_mode not in ("private", "host", "shareable"):
+            raise ValueError(f"invalid ipc_mode {self.ipc_mode!r}")
+        if self.cpu_millicores <= 0 or self.mem_mb <= 0:
+            raise ValueError("resource limits must be positive")
+
+
+@dataclass(frozen=True)
+class ExecSpec:
+    """One unit of work to run inside a container.
+
+    Parameters
+    ----------
+    app_id:
+        Identity of the application/function.  A container that last ran
+        the same ``app_id`` keeps its business logic initialised (model
+        loaded, caches hot), so ``app_init_ms`` is skipped on reuse.
+    language:
+        Language runtime key (see calibration tables).
+    exec_ms:
+        Warm execution time of the business logic on the reference host.
+    app_init_ms:
+        Business-logic initialisation (model load, connection setup)
+        paid on the first run of this app in a given container.
+    write_mb:
+        Data the app writes to its volume (cleaned by HotC afterwards).
+    payload:
+        Optional real computation executed at exec time; its return
+        value lands in :attr:`ExecResult.output`.
+    """
+
+    app_id: str
+    language: str = "python"
+    exec_ms: float = 100.0
+    app_init_ms: float = 0.0
+    write_mb: float = 0.0
+    payload: Optional[Callable[[], Any]] = None
+
+    def __post_init__(self) -> None:
+        if not self.app_id:
+            raise ValueError("app_id must be non-empty")
+        if self.exec_ms < 0 or self.app_init_ms < 0 or self.write_mb < 0:
+            raise ValueError("exec costs must be >= 0")
+
+
+@dataclass(frozen=True)
+class ExecResult:
+    """Outcome of one exec, with the latency decomposition."""
+
+    container_id: str
+    app_id: str
+    started_at: float
+    finished_at: float
+    cold_start: bool
+    runtime_init_ms: float
+    app_init_ms: float
+    exec_ms: float
+    output: Any = None
+
+    @property
+    def total_ms(self) -> float:
+        """Wall-clock duration of the exec inside the container."""
+        return self.finished_at - self.started_at
+
+
+class Container:
+    """A single simulated container instance."""
+
+    def __init__(self, container_id: str, config: ContainerConfig, created_at: float) -> None:
+        self.container_id = container_id
+        self.config = config
+        self.created_at = created_at
+        self.started_at: Optional[float] = None
+        self.state = ContainerState.CREATED
+        self.volume: Optional[Volume] = None
+        #: Whether the language runtime inside has been booted (first exec).
+        self.runtime_initialized = False
+        #: app_id of the last function run here (hot business logic).
+        self.last_app_id: Optional[str] = None
+        self.exec_count = 0
+        #: Set by the engine: resource allocation backing the idle footprint.
+        self.idle_allocation: Any = None
+        self.exec_allocation: Any = None
+
+    # -- state machine ----------------------------------------------------
+    def transition(self, new_state: ContainerState) -> None:
+        """Move to ``new_state``; illegal moves raise ContainerError."""
+        allowed = _TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise ContainerError(
+                f"container {self.container_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def is_live(self) -> bool:
+        """Live means running or executing — i.e. keeps a warm runtime."""
+        return self.state in (ContainerState.RUNNING, ContainerState.EXECUTING)
+
+    @property
+    def is_reusable(self) -> bool:
+        """Idle and live: can accept new work immediately."""
+        return self.state is ContainerState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Container {self.container_id} {self.state.value} "
+            f"image={self.config.image}>"
+        )

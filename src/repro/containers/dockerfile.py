@@ -1,0 +1,236 @@
+"""A small Dockerfile parser.
+
+Used twice in the reproduction:
+
+* the Fig 2 survey (:mod:`repro.analysis.dockerfiles`) parses a corpus
+  of Dockerfiles and groups projects by base image and by the OS /
+  language / application category of that base;
+* HotC's parameter analysis (:mod:`repro.core.keys`) can derive a
+  container configuration from a Dockerfile-style definition.
+
+Supports the common instruction set, comments, blank lines, line
+continuations with ``\\`` and multi-stage builds (``FROM ... AS name``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Dockerfile",
+    "DockerfileError",
+    "Instruction",
+    "parse_dockerfile",
+    "categorize_base_image",
+]
+
+
+class DockerfileError(ValueError):
+    """Raised on malformed Dockerfile text."""
+
+
+_KNOWN_INSTRUCTIONS = frozenset(
+    {
+        "FROM", "RUN", "CMD", "ENTRYPOINT", "ENV", "EXPOSE", "COPY", "ADD",
+        "WORKDIR", "VOLUME", "USER", "LABEL", "ARG", "HEALTHCHECK",
+        "SHELL", "STOPSIGNAL", "ONBUILD", "MAINTAINER",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One parsed instruction: keyword plus its raw argument string."""
+
+    keyword: str
+    argument: str
+    line: int
+
+    def __post_init__(self) -> None:
+        if self.keyword not in _KNOWN_INSTRUCTIONS:
+            raise DockerfileError(
+                f"line {self.line}: unknown instruction {self.keyword!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Dockerfile:
+    """A parsed Dockerfile."""
+
+    instructions: Tuple[Instruction, ...]
+
+    @property
+    def stages(self) -> Tuple[str, ...]:
+        """The FROM references, one per build stage, in order."""
+        return tuple(
+            _strip_stage_alias(i.argument)
+            for i in self.instructions
+            if i.keyword == "FROM"
+        )
+
+    @property
+    def base_image(self) -> str:
+        """The final stage's base image (what the built image runs on)."""
+        stages = self.stages
+        if not stages:
+            raise DockerfileError("Dockerfile has no FROM instruction")
+        return stages[-1]
+
+    @property
+    def exposed_ports(self) -> Tuple[int, ...]:
+        """All EXPOSEd ports, sorted, duplicates removed."""
+        ports: set[int] = set()
+        for instruction in self.instructions:
+            if instruction.keyword != "EXPOSE":
+                continue
+            for token in instruction.argument.split():
+                port_text = token.split("/", 1)[0]
+                try:
+                    port = int(port_text)
+                except ValueError:
+                    raise DockerfileError(
+                        f"line {instruction.line}: bad port {token!r}"
+                    ) from None
+                ports.add(port)
+        return tuple(sorted(ports))
+
+    @property
+    def env(self) -> Tuple[Tuple[str, str], ...]:
+        """Accumulated ENV bindings, sorted by key (later wins)."""
+        bindings: Dict[str, str] = {}
+        for instruction in self.instructions:
+            if instruction.keyword != "ENV":
+                continue
+            bindings.update(_parse_env(instruction.argument, instruction.line))
+        return tuple(sorted(bindings.items()))
+
+    @property
+    def run_count(self) -> int:
+        """Number of RUN steps (a proxy for build complexity)."""
+        return sum(1 for i in self.instructions if i.keyword == "RUN")
+
+    def has(self, keyword: str) -> bool:
+        """Whether any instruction of ``keyword`` appears."""
+        return any(i.keyword == keyword for i in self.instructions)
+
+
+def _strip_stage_alias(argument: str) -> str:
+    """``ubuntu:16.04 AS builder`` -> ``ubuntu:16.04``."""
+    tokens = argument.split()
+    if len(tokens) >= 3 and tokens[-2].upper() == "AS":
+        return " ".join(tokens[:-2])
+    return argument.strip()
+
+
+def _parse_env(argument: str, line: int) -> Dict[str, str]:
+    """Parse both ``ENV k v`` and ``ENV k1=v1 k2=v2`` forms."""
+    argument = argument.strip()
+    if "=" in argument.split()[0]:
+        bindings: Dict[str, str] = {}
+        for token in argument.split():
+            if "=" not in token:
+                raise DockerfileError(
+                    f"line {line}: expected key=value, got {token!r}"
+                )
+            key, _, value = token.partition("=")
+            bindings[key] = value.strip('"')
+        return bindings
+    parts = argument.split(None, 1)
+    if len(parts) != 2:
+        raise DockerfileError(f"line {line}: ENV needs a key and a value")
+    return {parts[0]: parts[1]}
+
+
+def parse_dockerfile(text: str) -> Dockerfile:
+    """Parse Dockerfile ``text`` into a :class:`Dockerfile`.
+
+    Raises :class:`DockerfileError` on unknown instructions, missing
+    arguments, or content before the first FROM (ARG excepted, as per
+    the Dockerfile spec).
+    """
+    instructions: List[Instruction] = []
+    pending: Optional[str] = None
+    pending_line = 0
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        stripped = line.strip()
+        if pending is None and (not stripped or stripped.startswith("#")):
+            continue
+        if pending is not None:
+            merged = pending + " " + stripped
+        else:
+            merged = stripped
+            pending_line = line_number
+        if merged.endswith("\\"):
+            pending = merged[:-1].rstrip()
+            continue
+        pending = None
+        _append_instruction(instructions, merged, pending_line)
+
+    if pending is not None:
+        _append_instruction(instructions, pending, pending_line)
+
+    dockerfile = Dockerfile(instructions=tuple(instructions))
+    _validate_order(dockerfile)
+    # Force EXPOSE/ENV validation now so malformed files fail at parse
+    # time rather than on first property access.
+    dockerfile.exposed_ports
+    dockerfile.env
+    return dockerfile
+
+
+def _append_instruction(
+    instructions: List[Instruction], text: str, line: int
+) -> None:
+    parts = text.split(None, 1)
+    keyword = parts[0].upper()
+    if keyword not in _KNOWN_INSTRUCTIONS:
+        raise DockerfileError(f"line {line}: unknown instruction {parts[0]!r}")
+    if len(parts) < 2 or not parts[1].strip():
+        raise DockerfileError(f"line {line}: {keyword} needs an argument")
+    instructions.append(Instruction(keyword, parts[1].strip(), line))
+
+
+def _validate_order(dockerfile: Dockerfile) -> None:
+    seen_from = False
+    for instruction in dockerfile.instructions:
+        if instruction.keyword == "FROM":
+            seen_from = True
+        elif instruction.keyword != "ARG" and not seen_from:
+            raise DockerfileError(
+                f"line {instruction.line}: {instruction.keyword} before FROM"
+            )
+    if not seen_from:
+        raise DockerfileError("Dockerfile has no FROM instruction")
+
+
+#: Category tables for Fig 2b: the paper groups dominant base images by
+#: whether they pin an OS, a language runtime, or an application stack.
+_OS_BASES = frozenset(
+    {"alpine", "ubuntu", "debian", "centos", "busybox", "fedora",
+     "amazonlinux", "scratch"}
+)
+_LANGUAGE_BASES = frozenset(
+    {"python", "node", "golang", "openjdk", "java", "ruby", "php",
+     "dotnet", "rust", "erlang"}
+)
+_APPLICATION_BASES = frozenset(
+    {"nginx", "redis", "mysql", "postgres", "mongo", "cassandra",
+     "httpd", "memcached", "rabbitmq", "elasticsearch",
+     "tensorflow/tensorflow", "wordpress", "tomcat"}
+)
+
+
+def categorize_base_image(reference: str) -> str:
+    """Classify a base image as ``os``, ``language``, ``application``
+    or ``other`` — the Fig 2b grouping."""
+    name = reference.split(":", 1)[0].strip().lower()
+    if name in _OS_BASES:
+        return "os"
+    if name in _LANGUAGE_BASES:
+        return "language"
+    if name in _APPLICATION_BASES:
+        return "application"
+    return "other"

@@ -1,0 +1,133 @@
+"""Container images: layers, sizes, and well-known base images.
+
+Sizes matter because pull + decompress cost is proportional to the
+compressed image size (the Alibaba practice discussed in Section III-B),
+and because the Dockerfile survey (Fig 2) groups projects by base image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Image", "ImageLayer", "make_base_image", "WELL_KNOWN_BASES"]
+
+
+@dataclass(frozen=True)
+class ImageLayer:
+    """One filesystem layer of an image."""
+
+    digest: str
+    size_mb: float
+    compressed_mb: float
+
+    def __post_init__(self) -> None:
+        if self.size_mb < 0 or self.compressed_mb < 0:
+            raise ValueError("layer sizes must be >= 0")
+        if self.compressed_mb > self.size_mb and self.size_mb > 0:
+            raise ValueError("compressed size cannot exceed uncompressed size")
+
+
+@dataclass(frozen=True)
+class Image:
+    """An immutable container image.
+
+    ``language`` records the primary language runtime baked into the
+    image (used by the FaaS layer to pick cold-start costs) and
+    ``os_family`` the base OS (used by the Fig 2 survey).
+    """
+
+    name: str
+    tag: str
+    layers: Tuple[ImageLayer, ...]
+    language: Optional[str] = None
+    os_family: str = "linux"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("image name must be non-empty")
+        if not self.tag:
+            raise ValueError("image tag must be non-empty")
+
+    @property
+    def reference(self) -> str:
+        """Canonical ``name:tag`` reference."""
+        return f"{self.name}:{self.tag}"
+
+    @property
+    def size_mb(self) -> float:
+        """Total uncompressed size."""
+        return sum(layer.size_mb for layer in self.layers)
+
+    @property
+    def compressed_mb(self) -> float:
+        """Total compressed (wire) size."""
+        return sum(layer.compressed_mb for layer in self.layers)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.reference
+
+
+def make_base_image(
+    name: str,
+    tag: str = "latest",
+    size_mb: float = 100.0,
+    language: Optional[str] = None,
+    os_family: str = "debian",
+    compression_ratio: float = 0.42,
+    n_layers: int = 3,
+) -> Image:
+    """Build a plausible layered image of roughly ``size_mb``.
+
+    Layer sizes follow a fixed 60/30/10-ish split so images are
+    deterministic; digests are derived from the reference.
+    """
+    if size_mb <= 0:
+        raise ValueError("size_mb must be positive")
+    if not 0 < compression_ratio <= 1:
+        raise ValueError("compression_ratio must be in (0, 1]")
+    if n_layers < 1:
+        raise ValueError("n_layers must be >= 1")
+    weights = [2.0 ** (n_layers - 1 - i) for i in range(n_layers)]
+    total_weight = sum(weights)
+    layers = []
+    for index, weight in enumerate(weights):
+        layer_size = size_mb * weight / total_weight
+        layers.append(
+            ImageLayer(
+                digest=f"sha256:{name}-{tag}-{index:02d}",
+                size_mb=layer_size,
+                compressed_mb=layer_size * compression_ratio,
+            )
+        )
+    return Image(
+        name=name,
+        tag=tag,
+        layers=tuple(layers),
+        language=language,
+        os_family=os_family,
+    )
+
+
+#: The base images dominating the paper's GitHub survey (Fig 2a):
+#: common OSes, language runtimes, and their combinations.
+WELL_KNOWN_BASES: Tuple[Image, ...] = (
+    make_base_image("alpine", "3.8", size_mb=4.5, os_family="alpine"),
+    make_base_image("ubuntu", "16.04", size_mb=120.0, os_family="ubuntu"),
+    make_base_image("debian", "stretch", size_mb=101.0, os_family="debian"),
+    make_base_image("centos", "7", size_mb=200.0, os_family="centos"),
+    make_base_image("busybox", "1.29", size_mb=1.2, os_family="busybox"),
+    make_base_image("python", "3.6", size_mb=330.0, language="python"),
+    make_base_image("python", "3.6-alpine", size_mb=62.0, language="python",
+                    os_family="alpine"),
+    make_base_image("node", "10", size_mb=290.0, language="node"),
+    make_base_image("golang", "1.11", size_mb=310.0, language="go"),
+    make_base_image("openjdk", "8", size_mb=360.0, language="java"),
+    make_base_image("nginx", "1.15", size_mb=44.0, os_family="debian"),
+    make_base_image("redis", "5.0", size_mb=35.0, os_family="debian"),
+    make_base_image("mysql", "5.7", size_mb=140.0, os_family="debian"),
+    make_base_image("postgres", "11", size_mb=115.0, os_family="debian"),
+    make_base_image("cassandra", "3.11", size_mb=145.0, language="java"),
+    make_base_image("tensorflow/tensorflow", "1.13", size_mb=410.0,
+                    language="python"),
+)

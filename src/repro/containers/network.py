@@ -1,0 +1,76 @@
+"""Container network modes and configuration.
+
+The paper's Fig 4c measures container boot under different network
+configurations: ``none``, ``bridge``, ``host`` and ``container`` mode on
+a single host, and ``host`` vs ``overlay`` vs ``routing`` across hosts
+(overlay/routing up to 23x slower to set up).  The latency table lives
+in :mod:`repro.hardware.calibration`; this module owns the mode
+vocabulary and per-container network state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.hardware.calibration import NETWORK_SETUP_MS
+
+__all__ = ["NETWORK_MODES", "NetworkConfig", "validate_network_mode"]
+
+#: All supported network modes (keys of the calibration table).
+NETWORK_MODES: FrozenSet[str] = frozenset(NETWORK_SETUP_MS)
+
+#: Modes that require a peer container whose namespace is joined.
+_JOIN_MODES = frozenset({"container"})
+
+#: Modes that only make sense in a multi-host deployment.
+MULTI_HOST_MODES: FrozenSet[str] = frozenset(
+    {"multihost-host", "overlay", "routing"}
+)
+
+
+def validate_network_mode(mode: str) -> str:
+    """Return ``mode`` if known, else raise ``ValueError`` listing modes."""
+    if mode not in NETWORK_MODES:
+        known = ", ".join(sorted(NETWORK_MODES))
+        raise ValueError(f"unknown network mode {mode!r}; known: {known}")
+    return mode
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Network half of a container configuration.
+
+    ``peer`` names the proxy container joined in ``container`` mode;
+    ``ports`` are published ports (part of the HotC runtime key).
+    """
+
+    mode: str = "bridge"
+    ports: Tuple[int, ...] = ()
+    dns: Tuple[str, ...] = ()
+    peer: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_network_mode(self.mode)
+        if self.mode in _JOIN_MODES and not self.peer:
+            raise ValueError(
+                f"network mode {self.mode!r} requires a peer container"
+            )
+        if self.peer and self.mode not in _JOIN_MODES:
+            raise ValueError(f"peer is only valid in container mode")
+        if any(not (0 < p < 65536) for p in self.ports):
+            raise ValueError("ports must be in (0, 65536)")
+
+    @property
+    def is_multi_host(self) -> bool:
+        """Whether this configuration spans hosts."""
+        return self.mode in MULTI_HOST_MODES
+
+    def canonical(self) -> Tuple:
+        """Stable tuple used in HotC runtime keys."""
+        return (
+            self.mode,
+            tuple(sorted(self.ports)),
+            tuple(sorted(self.dns)),
+            self.peer or "",
+        )

@@ -1,0 +1,68 @@
+"""Image registry with pull + decompress cost model.
+
+A :class:`Registry` is shared between hosts; each
+:class:`~repro.containers.engine.ContainerEngine` keeps a local cache of
+pulled images.  Pull time = wire transfer of the *compressed* layers;
+decompress time is CPU-bound — exactly the split the Alibaba engineers
+optimise in Section III-B.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.containers.image import Image
+
+__all__ = ["Registry", "RegistryError"]
+
+
+class RegistryError(KeyError):
+    """Raised when an image reference cannot be resolved."""
+
+
+class Registry:
+    """A name:tag -> :class:`Image` catalog."""
+
+    def __init__(self, images: Iterable[Image] = ()) -> None:
+        self._images: Dict[str, Image] = {}
+        self.pull_count: Dict[str, int] = {}
+        for image in images:
+            self.push(image)
+
+    def push(self, image: Image) -> None:
+        """Publish (or overwrite) an image."""
+        self._images[image.reference] = image
+
+    def resolve(self, reference: str) -> Image:
+        """Resolve ``name:tag`` (bare names default to ``:latest``)."""
+        if ":" not in reference:
+            reference = f"{reference}:latest"
+        try:
+            return self._images[reference]
+        except KeyError:
+            known = ", ".join(sorted(self._images)) or "<empty>"
+            raise RegistryError(
+                f"image {reference!r} not in registry; known: {known}"
+            ) from None
+
+    def __contains__(self, reference: str) -> bool:
+        if ":" not in reference:
+            reference = f"{reference}:latest"
+        return reference in self._images
+
+    def __len__(self) -> int:
+        return len(self._images)
+
+    def references(self) -> Tuple[str, ...]:
+        """All published references, sorted."""
+        return tuple(sorted(self._images))
+
+    def record_pull(self, reference: str) -> None:
+        """Count a pull (diagnostics for the Fig 2/registry analyses)."""
+        image = self.resolve(reference)
+        self.pull_count[image.reference] = self.pull_count.get(image.reference, 0) + 1
+
+    def most_pulled(self, top: Optional[int] = None) -> Tuple[Tuple[str, int], ...]:
+        """``(reference, count)`` pairs sorted by descending pulls."""
+        ranked = sorted(self.pull_count.items(), key=lambda kv: (-kv[1], kv[0]))
+        return tuple(ranked[:top] if top is not None else ranked)

@@ -1,0 +1,60 @@
+"""Used-container cleanup (Algorithm 2, Section IV-B).
+
+"The cleanup of the used container includes two steps: First, it
+deletes all files and directories in the old volumes.  Second, HotC
+mounts new volumes to the containers for future use."
+
+The :class:`CleanupWorker` performs that sequence off the request's
+critical path and returns the container to the pool (``num_avail++``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.containers.container import Container
+from repro.containers.engine import ContainerEngine
+from repro.core.pool import ContainerRuntimePool
+
+__all__ = ["CleanupWorker"]
+
+
+class CleanupWorker:
+    """Cleans used containers and recycles them into the pool."""
+
+    def __init__(
+        self,
+        sim,
+        engine: ContainerEngine,
+        pool: ContainerRuntimePool,
+    ) -> None:
+        self.sim = sim
+        self.engine = engine
+        self.pool = pool
+        self.cleaned = 0
+
+    def clean_and_recycle(self, container: Container) -> Generator:
+        """Process: Algorithm 2 — wipe volume, remount, mark available."""
+        yield from self.engine.clean_container(container)
+        self.pool.release(container, now=self.sim.now)
+        self.cleaned += 1
+        return container
+
+    def retire(self, container: Container) -> Generator:
+        """Process: drop a container from the pool and destroy it.
+
+        Used for evictions and scale-downs; the volume is deleted with
+        the container ("to avoid resource waste and zombie files").
+        Tolerates containers that already died (crash injection): those
+        only need to be forgotten.
+        """
+        from repro.containers.container import ContainerState
+
+        if self.pool.contains(container):
+            self.pool.remove(container)
+        if container.is_live:
+            yield from self.engine.stop_container(container)
+            yield from self.engine.remove_container(container)
+        elif container.state is ContainerState.STOPPED:
+            yield from self.engine.remove_container(container)
+        return container

@@ -1,0 +1,216 @@
+"""Multi-host HotC: reuse-aware scheduling across backends.
+
+Implements the paper's first future-work direction (Section VII): "in a
+distributed system, a few containers are extremely popular ... Some
+host machines might become overloaded and we need to consider load
+balancing when reusing the hot runtime."
+
+:class:`ClusterHotC` fronts one :class:`~repro.core.hotc.HotC` instance
+per host and routes each request with a two-level policy:
+
+1. **Reuse first** — prefer hosts holding an *available* container of
+   the request's runtime key (warm hit beats any cold boot);
+   among them pick the least loaded.
+2. **Balance the cold boots** — otherwise pick the least-loaded host
+   overall (by in-flight requests, with committed memory as the
+   tie-breaker) and cold-boot there.
+
+The scheduler also exposes per-host statistics so the load-balancing
+ablation can quantify skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.containers.container import Container, ContainerConfig
+from repro.containers.engine import ContainerEngine
+from repro.core.hotc import HotC, HotCConfig
+from repro.faas.platform import RuntimeProvider
+
+__all__ = ["ClusterHotC", "ClusterStats", "make_cluster_platform"]
+
+
+@dataclass
+class ClusterStats:
+    """Routing counters for one cluster."""
+
+    reuse_routed: int = 0
+    cold_routed: int = 0
+
+    @property
+    def total_routed(self) -> int:
+        """All routing decisions taken."""
+        return self.reuse_routed + self.cold_routed
+
+
+class ClusterHotC(RuntimeProvider):
+    """A HotC instance per host plus a reuse-aware scheduler.
+
+    Parameters
+    ----------
+    engines:
+        One container engine per backend host.
+    config:
+        Shared HotC configuration (per-host pools use the same limits).
+    placement:
+        ``"reuse-aware"`` (the future-work design) or ``"round-robin"``
+        (the strawman used as the ablation baseline).
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[ContainerEngine],
+        config: Optional[HotCConfig] = None,
+        placement: str = "reuse-aware",
+    ) -> None:
+        if not engines:
+            raise ValueError("cluster needs at least one engine")
+        if placement not in ("reuse-aware", "round-robin"):
+            raise ValueError(f"unknown placement policy {placement!r}")
+        self.placement = placement
+        self.hosts: List[HotC] = [HotC(engine, config) for engine in engines]
+        self.stats = ClusterStats()
+        self._inflight: Dict[int, int] = {index: 0 for index in range(len(engines))}
+        self._by_container: Dict[str, int] = {}
+        self._rr_next = 0
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def n_hosts(self) -> int:
+        """Number of backend hosts."""
+        return len(self.hosts)
+
+    def host_of(self, container: Container) -> HotC:
+        """The per-host HotC that owns ``container``."""
+        try:
+            return self.hosts[self._by_container[container.container_id]]
+        except KeyError:
+            raise KeyError(
+                f"container {container.container_id} is not tracked by this cluster"
+            ) from None
+
+    def engine_for(self, container: Container) -> ContainerEngine:
+        """The engine a container runs on (used by the watchdog)."""
+        return self.host_of(container).engine
+
+    def inflight(self, host_index: int) -> int:
+        """Requests currently assigned to a host."""
+        return self._inflight[host_index]
+
+    def pool_sizes(self) -> Tuple[int, ...]:
+        """Live pooled containers per host."""
+        return tuple(host.pool.total_live for host in self.hosts)
+
+    # -- placement ----------------------------------------------------------
+    def _load_key(self, index: int) -> Tuple[float, float, int]:
+        host = self.hosts[index]
+        return (
+            float(self._inflight[index]),
+            host.engine.resources.mem_fraction,
+            index,
+        )
+
+    def _pick_host(self, config: ContainerConfig) -> Tuple[int, bool]:
+        """Returns ``(host index, found_warm)``."""
+        if self.placement == "round-robin":
+            index = self._rr_next % len(self.hosts)
+            self._rr_next += 1
+            key = self.hosts[index].key_of(config)
+            return index, self.hosts[index].pool.num_available(key) > 0
+
+        warm_hosts = []
+        for index, host in enumerate(self.hosts):
+            key = host.key_of(config)
+            if host.pool.num_available(key) > 0:
+                warm_hosts.append(index)
+        if warm_hosts:
+            return min(warm_hosts, key=self._load_key), True
+        return min(range(len(self.hosts)), key=self._load_key), False
+
+    # -- provider protocol --------------------------------------------------
+    def acquire(self, config: ContainerConfig) -> Generator:
+        index, warm = self._pick_host(config)
+        if warm:
+            self.stats.reuse_routed += 1
+        else:
+            self.stats.cold_routed += 1
+        self._inflight[index] += 1
+        container, cold = yield from self.hosts[index].acquire(config)
+        self._by_container[container.container_id] = index
+        return container, cold
+
+    def release(self, container: Container) -> Generator:
+        index = self._by_container.pop(container.container_id)
+        self._inflight[index] -= 1
+        yield from self.hosts[index].release(container)
+
+    def on_tick(self, now: float) -> None:
+        for host in self.hosts:
+            host.on_tick(now)
+
+    def start_control_loops(self) -> None:
+        """Start every per-host adaptive control loop."""
+        for host in self.hosts:
+            host.start_control_loop()
+
+    def stop_control_loops(self) -> None:
+        """Stop every per-host adaptive control loop."""
+        for host in self.hosts:
+            host.stop_control_loop()
+
+    def shutdown(self) -> Generator:
+        for host in self.hosts:
+            yield from host.shutdown()
+
+
+def make_cluster_platform(
+    registry,
+    n_hosts: int = 3,
+    seed: int = 0,
+    profile=None,
+    hotc_config: Optional[HotCConfig] = None,
+    placement: str = "reuse-aware",
+    jitter_sigma: float = 0.06,
+    gateway_concurrency: int = 1024,
+):
+    """Build a :class:`~repro.faas.FaasPlatform` backed by ``n_hosts``.
+
+    The first host is the platform's default engine (gateway-side
+    latencies come from it); the remaining hosts are created on the same
+    simulator with independent jitter streams.  Returns the platform;
+    its ``provider`` is the :class:`ClusterHotC`.
+    """
+    from repro.faas.platform import FaasPlatform
+    from repro.hardware.profiles import T430_SERVER
+    from repro.sim.rng import RngRegistry
+
+    if n_hosts < 1:
+        raise ValueError("n_hosts must be >= 1")
+    profile = profile or T430_SERVER
+    extra_rngs = RngRegistry(seed).fork("cluster-hosts")
+
+    def factory(first_engine: ContainerEngine) -> ClusterHotC:
+        engines = [first_engine]
+        for index in range(1, n_hosts):
+            engines.append(
+                ContainerEngine(
+                    first_engine.sim,
+                    registry,
+                    profile=profile,
+                    rng=extra_rngs.stream(f"engine-jitter-{index}"),
+                    jitter_sigma=jitter_sigma,
+                    name=f"host-{index}",
+                )
+            )
+        return ClusterHotC(engines, config=hotc_config, placement=placement)
+
+    return FaasPlatform(
+        registry,
+        seed=seed,
+        profile=profile,
+        provider_factory=factory,
+        jitter_sigma=jitter_sigma,
+        gateway_concurrency=gateway_concurrency,
+    )

@@ -1,0 +1,338 @@
+"""HotC: the container-based runtime management middleware (Section IV).
+
+HotC sits between clients and backend hosts as a
+:class:`~repro.faas.platform.RuntimeProvider`:
+
+* **acquire** — parameter analysis derives the runtime key; an
+  available pooled container of that type is reused (Algorithm 1),
+  otherwise a new one is booted, after making room if the pool is at
+  its container cap or the host shows memory pressure.
+* **release** — the used container is cleaned (Algorithm 2) and
+  returned to the pool off the critical path.
+* **control loop** — every interval, per-key demand (peak concurrent
+  containers needed) feeds the combined ES+Markov predictor; the pool
+  is resized toward the forecast: pre-boot on predicted growth, retire
+  the oldest idle containers on predicted decline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.containers.container import Container, ContainerConfig
+from repro.containers.engine import ContainerEngine
+from repro.core.cleanup import CleanupWorker
+from repro.core.keys import KeyPolicy, RuntimeKey, runtime_key
+from repro.core.pool import ContainerRuntimePool, PoolLimits
+from repro.core.predictor.combined import CombinedPredictor
+from repro.core.predictor.controller import AdaptivePoolController
+from repro.faas.platform import RuntimeProvider
+
+__all__ = ["HotC", "HotCConfig"]
+
+
+@dataclass(frozen=True)
+class HotCConfig:
+    """Tunables of the middleware (defaults follow the paper)."""
+
+    key_policy: KeyPolicy = KeyPolicy.FULL
+    limits: PoolLimits = field(default_factory=PoolLimits)
+    eviction: str = "oldest"
+    #: Adaptive control period; 0 disables the prediction loop.
+    control_interval_ms: float = 1_000.0
+    #: Eq. 1 smoothing coefficient (paper: 0.8).
+    alpha: float = 0.8
+    #: Markov region states for the residual chain.
+    n_states: int = 4
+    #: Initial-value policy of the smoother ("auto" per the paper).
+    init: str = "auto"
+    #: Use the Markov correction (False = ES only; the Fig 10a ablation).
+    markov_correction: bool = True
+    #: Pre-boot containers toward the forecast (False = reuse only).
+    prewarm: bool = True
+    #: Pool-sizing risk level: provision for this quantile of the
+    #: predicted demand over ``target_horizon`` control intervals.
+    target_quantile: float = 0.9
+    #: Look-ahead (control intervals) for the k-step Markov forecast.
+    target_horizon: int = 4
+    #: Future-work partial-key matching (Section VII): on a full-key
+    #: miss, reuse an idle container whose *relaxed* key matches and
+    #: apply the configuration delta.  ``None`` disables the fallback.
+    fallback_key_policy: Optional[KeyPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.fallback_key_policy is self.key_policy:
+            raise ValueError(
+                "fallback_key_policy must differ from key_policy"
+            )
+
+    def make_predictor(self) -> CombinedPredictor:
+        """A fresh predictor configured per this config."""
+        min_history = 6 if self.markov_correction else 10**9
+        return CombinedPredictor(
+            alpha=self.alpha,
+            n_states=self.n_states,
+            init=self.init,
+            min_history=min_history,
+        )
+
+
+class HotC(RuntimeProvider):
+    """The middleware; one instance per backend host."""
+
+    def __init__(self, engine: ContainerEngine, config: Optional[HotCConfig] = None) -> None:
+        self.engine = engine
+        self.sim = engine.sim
+        self.config = config or HotCConfig()
+        self.pool = ContainerRuntimePool(
+            limits=self.config.limits, eviction=self.config.eviction
+        )
+        self.cleanup = CleanupWorker(self.sim, engine, self.pool)
+        self.controller = AdaptivePoolController(
+            predictor_factory=self.config.make_predictor,
+            max_target=self.config.limits.max_containers,
+        )
+        #: First-seen config per key, used for prewarm boots.
+        self._config_for_key: Dict[RuntimeKey, ContainerConfig] = {}
+        #: Demand tracking: currently busy and interval peak per key.
+        self._busy: Dict[RuntimeKey, int] = {}
+        self._peak: Dict[RuntimeKey, int] = {}
+        #: Boots requested by the control loop but not finished yet.
+        self._pending_boots: Dict[RuntimeKey, int] = {}
+        self._control_running = False
+        #: Partial-key matching: relaxed key -> full keys seen under it.
+        self._relaxed_index: Dict[RuntimeKey, set] = {}
+        #: Reuses served through the relaxed fallback (stats).
+        self.partial_hits = 0
+        #: Optional replicated metadata store (future work); when set,
+        #: acquire journals the pool transition before returning.
+        self.metadata_store = None
+
+    # -- the provider protocol ------------------------------------------------
+    def key_of(self, config: ContainerConfig) -> RuntimeKey:
+        """Parameter analysis: config → runtime key."""
+        return runtime_key(config, self.config.key_policy)
+
+    def attach_metadata_store(self, store) -> None:
+        """Journal pool transitions to a replicated KV store.
+
+        Puts one quorum write on the acquire path (durability at the
+        price of the store's round trip) — the reliability extension of
+        Section VII.
+        """
+        self.metadata_store = store
+
+    def acquire(self, config: ContainerConfig) -> Generator:
+        """Process: Algorithm 1 — reuse when available, else cold boot.
+
+        With ``fallback_key_policy`` set, a full-key miss first tries an
+        idle container of a *similar* configuration (same relaxed key)
+        and applies the config delta — cheaper than any cold boot.
+        """
+        key = self.key_of(config)
+        self._config_for_key.setdefault(key, config)
+        self._index_relaxed(key)
+        self._bump_busy(key, +1)
+
+        container = self._pool_acquire_healthy(key)
+        if container is None and self.config.fallback_key_policy is not None:
+            container = yield from self._acquire_similar(key, config)
+        if container is not None:
+            yield from self._journal(key, container, "busy")
+            return container, False
+
+        yield from self._make_room()
+        container = yield from self.engine.boot_container(config)
+        self.pool.register(container, key, now=self.sim.now, available=False)
+        yield from self._journal(key, container, "busy")
+        return container, True
+
+    def _pool_acquire_healthy(self, key: RuntimeKey) -> Optional[Container]:
+        """Pool lookup that discards entries whose container has died.
+
+        Containers can be killed out from under the pool (host OOM,
+        crash injection in tests); a dead entry must not be handed to a
+        request.
+        """
+        while True:
+            container = self.pool.acquire(key, now=self.sim.now)
+            if container is None or container.is_reusable:
+                return container
+            self.pool.remove(container)
+
+    def _index_relaxed(self, key: RuntimeKey) -> None:
+        if self.config.fallback_key_policy is None:
+            return
+        relaxed = runtime_key(
+            self._config_for_key[key], self.config.fallback_key_policy
+        )
+        self._relaxed_index.setdefault(relaxed, set()).add(key)
+
+    def _acquire_similar(self, key: RuntimeKey, config: ContainerConfig) -> Generator:
+        """Process: the partial-key fallback — reuse and reconfigure."""
+        relaxed = runtime_key(config, self.config.fallback_key_policy)
+        candidates = self._relaxed_index.get(relaxed, ())
+        for candidate in sorted(candidates, key=str):
+            if candidate == key:
+                continue
+            container = self._pool_acquire_healthy(candidate)
+            if container is None:
+                continue
+            # Apply the configuration delta; the runtime stays hot.
+            yield self.sim.timeout(self.engine.latency.container_reconfigure())
+            self.pool.remove(container)
+            container.config = config
+            self.pool.register(container, key, now=self.sim.now, available=False)
+            self.partial_hits += 1
+            return container
+        return None
+
+    def _journal(self, key: RuntimeKey, container: Container, state: str) -> Generator:
+        if self.metadata_store is None:
+            return
+        yield from self.metadata_store.put(
+            (str(key), container.container_id), state
+        )
+
+    def release(self, container: Container) -> Generator:
+        """Process: clean and recycle (runs off the critical path)."""
+        key = self.key_of(container.config)
+        self._bump_busy(key, -1)
+        if not self.pool.contains(container):
+            # Retired while busy should not happen (busy entries are
+            # never eviction candidates); guard anyway.
+            yield from self.cleanup.retire(container)
+            return
+        yield from self.cleanup.clean_and_recycle(container)
+        yield from self._journal(key, container, "available")
+        # Post-release pressure check: the paper terminates the oldest
+        # live container when memory crosses the threshold.
+        yield from self._relieve_pressure()
+
+    def shutdown(self) -> Generator:
+        """Process: stop the control loop and drain every pooled container."""
+        self._control_running = False
+        for key in tuple(self.pool.keys()):
+            for entry in self.pool.available_entries(key):
+                yield from self.cleanup.retire(entry.container)
+
+    # -- demand accounting ------------------------------------------------------
+    def _bump_busy(self, key: RuntimeKey, delta: int) -> None:
+        busy = self._busy.get(key, 0) + delta
+        self._busy[key] = max(0, busy)
+        if busy > self._peak.get(key, 0):
+            self._peak[key] = busy
+
+    def demand_peak(self, key: RuntimeKey) -> int:
+        """Peak concurrent demand for ``key`` in the current interval."""
+        return self._peak.get(key, 0)
+
+    # -- capacity guards ---------------------------------------------------------
+    def _make_room(self) -> Generator:
+        """Evict idle containers until below caps (before a boot)."""
+        while (
+            self.pool.total_live + 1 > self.config.limits.max_containers
+            or self.engine.resources.memory_pressure(
+                self.config.limits.memory_threshold
+            )
+        ):
+            victim = self.pool.eviction_candidate()
+            if victim is None:
+                break
+            self.pool.stats.evictions_capacity += 1
+            yield from self.cleanup.retire(victim.container)
+
+    def _relieve_pressure(self) -> Generator:
+        """Post-exec memory-pressure eviction (oldest first)."""
+        while self.engine.resources.memory_pressure(
+            self.config.limits.memory_threshold
+        ):
+            victim = self.pool.eviction_candidate()
+            if victim is None:
+                break
+            self.pool.stats.evictions_pressure += 1
+            yield from self.cleanup.retire(victim.container)
+
+    # -- adaptive control loop ------------------------------------------------
+    def start_control_loop(self) -> None:
+        """Begin the periodic predict-and-resize loop; idempotent."""
+        if self._control_running or self.config.control_interval_ms <= 0:
+            return
+        self._control_running = True
+        self.sim.process(self._control_loop(), name="hotc-control")
+
+    def stop_control_loop(self) -> None:
+        """Stop after the in-flight tick."""
+        self._control_running = False
+
+    def _control_loop(self) -> Generator:
+        while self._control_running:
+            yield self.sim.timeout(self.config.control_interval_ms)
+            if not self._control_running:
+                break
+            self.control_tick()
+
+    def control_tick(self) -> None:
+        """One prediction + resize step (public for tests/experiments)."""
+        for key in tuple(self._config_for_key):
+            demand = self._peak.get(key, 0)
+            self._peak[key] = self._busy.get(key, 0)
+            self.controller.observe(key, demand)
+            if self.config.prewarm:
+                target = self.controller.target_upper(
+                    key,
+                    quantile=self.config.target_quantile,
+                    horizon=self.config.target_horizon,
+                )
+                self._resize_key(key, max(target, self.controller.target(key)))
+
+    def _resize_key(self, key: RuntimeKey, target: int) -> None:
+        """Move the pool toward ``target`` containers of type ``key``."""
+        total = (
+            self.pool.num_total(key) + self._pending_boots.get(key, 0)
+        )
+        if total < target:
+            for _ in range(target - total):
+                self._spawn_prewarm(key)
+        elif total > target:
+            # Scale down gradually (at most half the pool per tick): a
+            # single post-burst forecast dip must not destroy capacity
+            # that the next tick would rebuild.
+            surplus = min(total - target, max(1, total // 2))
+            for entry in self.pool.available_entries(key)[:surplus]:
+                self.sim.process(
+                    self.cleanup.retire(entry.container),
+                    name=f"retire:{entry.container.container_id}",
+                )
+
+    def _spawn_prewarm(self, key: RuntimeKey) -> None:
+        config = self._config_for_key[key]
+        self._pending_boots[key] = self._pending_boots.get(key, 0) + 1
+
+        def _boot() -> Generator:
+            try:
+                yield from self._make_room()
+                # Prewarm boots also warm the language runtime: the pool
+                # holds *hot* runtimes, not just created containers.
+                container = yield from self.engine.boot_container(
+                    config, warm_runtime=True
+                )
+                self.pool.register(
+                    container, key, now=self.sim.now, available=True
+                )
+            finally:
+                self._pending_boots[key] -= 1
+
+        self.sim.process(_boot(), name=f"prewarm:{key}")
+
+    # -- ScalablePool protocol (drives the autoscaler ablation) ---------------
+    def warm_count(self, key: RuntimeKey) -> int:
+        """Idle pooled containers of ``key``."""
+        return self.pool.num_available(key)
+
+    def scale_to(self, key: RuntimeKey, target: int) -> Generator:
+        """Process: resize ``key`` toward ``target`` synchronously."""
+        self._resize_key(key, target)
+        return
+        yield  # pragma: no cover - generator marker

@@ -1,0 +1,185 @@
+"""Parameter analysis: container configuration → canonical runtime key.
+
+Section IV-B: "The first step of HotC is to analyze the user command or
+configuration file to figure out the parameter setting of the container
+runtime.  The parameter includes container images, network
+configuration, UTS settings, IPC settings, execution options, etc.
+HotC treats containers with identical parameter configurations as the
+same type of runtime environment."
+
+Keys are value objects usable as dict keys.  :class:`KeyPolicy` selects
+how much of the configuration participates — the paper's default uses
+every parameter; the ``IMAGE_ONLY`` and ``RELAXED`` policies implement
+the future-work idea of matching on a parameter subset so that "small
+differences in the configuration file" no longer cause lookup misses.
+"""
+
+from __future__ import annotations
+
+import enum
+import shlex
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.containers.container import ContainerConfig
+from repro.containers.network import NetworkConfig
+
+__all__ = ["KeyPolicy", "RuntimeKey", "parse_run_command", "runtime_key"]
+
+
+class KeyPolicy(enum.Enum):
+    """How much of the configuration participates in the key."""
+
+    #: Every runtime parameter (the paper's design).
+    FULL = "full"
+    #: Image + network mode + resource class; ignores env and options.
+    RELAXED = "relaxed"
+    #: Image reference only (most aggressive reuse, least safe).
+    IMAGE_ONLY = "image-only"
+
+
+@dataclass(frozen=True)
+class RuntimeKey:
+    """Canonical identity of a container runtime environment."""
+
+    policy: KeyPolicy
+    fields: Tuple
+
+    def __str__(self) -> str:
+        parts = "|".join(str(field) for field in self.fields)
+        return f"{self.policy.value}:{parts}"
+
+
+def runtime_key(
+    config: ContainerConfig, policy: KeyPolicy = KeyPolicy.FULL
+) -> RuntimeKey:
+    """Derive the runtime key of ``config`` under ``policy``."""
+    if policy is KeyPolicy.FULL:
+        fields = (
+            config.image,
+            config.network.canonical(),
+            config.uts_mode,
+            config.ipc_mode,
+            tuple(sorted(config.env)),
+            tuple(config.exec_options),
+            config.cpu_millicores,
+            config.mem_mb,
+        )
+    elif policy is KeyPolicy.RELAXED:
+        fields = (
+            config.image,
+            config.network.mode,
+            config.cpu_millicores,
+            config.mem_mb,
+        )
+    elif policy is KeyPolicy.IMAGE_ONLY:
+        fields = (config.image,)
+    else:  # pragma: no cover - exhaustive over enum
+        raise ValueError(f"unhandled policy {policy!r}")
+    return RuntimeKey(policy=policy, fields=fields)
+
+
+_MEMORY_SUFFIXES = {"b": 1 / (1024 * 1024), "k": 1 / 1024, "m": 1.0, "g": 1024.0}
+
+
+def _parse_memory(text: str) -> float:
+    """``256m`` / ``1g`` / ``512`` (bytes-less defaults to MB) → MB."""
+    text = text.strip().lower()
+    if not text:
+        raise ValueError("empty memory value")
+    suffix = text[-1]
+    if suffix in _MEMORY_SUFFIXES:
+        return float(text[:-1]) * _MEMORY_SUFFIXES[suffix]
+    return float(text)
+
+
+def parse_run_command(command: str) -> ContainerConfig:
+    """Parse a ``docker run``-style command into a ContainerConfig.
+
+    Supports the flags HotC's parameter analysis cares about:
+    ``--net/--network``, ``-e/--env``, ``--uts``, ``--ipc``,
+    ``-p/--publish``, ``-m/--memory``, ``--cpus``; the first
+    non-flag token is the image, everything after it becomes
+    ``exec_options``.
+
+    >>> config = parse_run_command(
+    ...     "docker run --net=host -e A=1 -m 256m python:3.6 handler.py")
+    >>> config.image, config.network.mode, config.mem_mb
+    ('python:3.6', 'host', 256.0)
+    """
+    tokens = shlex.split(command)
+    if tokens[:2] == ["docker", "run"]:
+        tokens = tokens[2:]
+    elif tokens[:1] == ["run"]:
+        tokens = tokens[1:]
+    if not tokens:
+        raise ValueError("no image in run command")
+
+    network_mode = "bridge"
+    ports: list[int] = []
+    env: list[Tuple[str, str]] = []
+    uts_mode = "private"
+    ipc_mode = "private"
+    cpu_millicores = 250.0
+    mem_mb = 128.0
+    image: str | None = None
+    exec_options: list[str] = []
+
+    def split_flag(token: str, remaining: list[str], name: str) -> str:
+        """Value of ``--flag=v`` or ``--flag v`` forms."""
+        if "=" in token:
+            return token.split("=", 1)[1]
+        if not remaining:
+            raise ValueError(f"flag {name} needs a value")
+        return remaining.pop(0)
+
+    remaining = list(tokens)
+    while remaining:
+        token = remaining.pop(0)
+        if image is not None:
+            exec_options.append(token)
+            continue
+        if token.startswith(("--net", "--network")):
+            network_mode = split_flag(token, remaining, "--net")
+        elif token == "-e" or token.startswith("--env"):
+            pair = split_flag(token, remaining, "--env")
+            if "=" not in pair:
+                raise ValueError(f"env must be KEY=VALUE, got {pair!r}")
+            key, _, value = pair.partition("=")
+            env.append((key, value))
+        elif token.startswith("--uts"):
+            uts_mode = split_flag(token, remaining, "--uts")
+        elif token.startswith("--ipc"):
+            ipc_mode = split_flag(token, remaining, "--ipc")
+        elif token == "-p" or token.startswith("--publish"):
+            mapping = split_flag(token, remaining, "--publish")
+            host_port = mapping.split(":", 1)[0]
+            ports.append(int(host_port))
+        elif token == "-m" or token.startswith("--memory"):
+            mem_mb = _parse_memory(split_flag(token, remaining, "--memory"))
+        elif token.startswith("--cpus"):
+            cpu_millicores = float(split_flag(token, remaining, "--cpus")) * 1000.0
+        elif token.startswith("-"):
+            raise ValueError(f"unsupported flag {token!r}")
+        else:
+            image = token
+    if image is None:
+        raise ValueError(f"no image in run command {command!r}")
+
+    # container-join network syntax: --net=container:<peer>
+    peer = None
+    if network_mode.startswith("container:"):
+        network_mode, _, peer = network_mode.partition(":")
+
+    return ContainerConfig(
+        image=image,
+        network=NetworkConfig(
+            mode=network_mode, ports=tuple(sorted(ports)), peer=peer
+        ),
+        uts_mode=uts_mode,
+        ipc_mode=ipc_mode,
+        env=tuple(env),
+        exec_options=tuple(exec_options),
+        cpu_millicores=cpu_millicores,
+        mem_mb=mem_mb,
+    )

@@ -1,0 +1,180 @@
+"""A replicated key-value store for pool metadata.
+
+Implements the paper's last future-work direction (Section VII): "we
+also plan to extend HotC into a more reliable architecture, e.g.,
+adopting a distributed key-value store, to handle complex workloads."
+
+The store simulates a primary/replica design:
+
+* **writes** go to the primary and replicate synchronously to a write
+  quorum (majority); each hop costs a sampled network RTT;
+* **reads** are served by the nearest healthy replica;
+* replicas can be **failed** and **recovered**; losing the primary
+  promotes the lowest-indexed healthy replica; writes are rejected when
+  no quorum of healthy replicas exists.
+
+:class:`~repro.core.hotc.HotC` can journal pool transitions here (see
+``HotC.attach_metadata_store``), which puts the metadata round trip on
+the acquire path — the durability-versus-latency trade-off the paper
+hints at, measurable in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ReplicatedKeyValueStore", "StoreUnavailable"]
+
+
+class StoreUnavailable(RuntimeError):
+    """Raised when no write quorum (or no replica at all) is healthy."""
+
+
+@dataclass
+class _Replica:
+    """One replica's state."""
+
+    index: int
+    data: Dict[Any, Any] = field(default_factory=dict)
+    healthy: bool = True
+    applied_writes: int = 0
+
+
+class ReplicatedKeyValueStore:
+    """Primary/replica KV store with quorum writes (simulated).
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (latencies are real simulated time).
+    n_replicas:
+        Total replicas including the primary; must be >= 1.
+    rtt_ms:
+        Mean network round trip between nodes.
+    rng:
+        Jitter stream; ``None`` disables latency jitter.
+    """
+
+    def __init__(
+        self,
+        sim,
+        n_replicas: int = 3,
+        rtt_ms: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if rtt_ms < 0:
+            raise ValueError("rtt_ms must be >= 0")
+        self.sim = sim
+        self.rtt_ms = rtt_ms
+        self.rng = rng
+        self._replicas = [_Replica(index=i) for i in range(n_replicas)]
+        self._primary = 0
+        self.writes = 0
+        self.reads = 0
+        self.failovers = 0
+
+    # -- topology ---------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        """Total replicas (healthy or not)."""
+        return len(self._replicas)
+
+    @property
+    def primary_index(self) -> int:
+        """Index of the current primary."""
+        return self._primary
+
+    def healthy_replicas(self) -> Tuple[int, ...]:
+        """Indices of healthy replicas."""
+        return tuple(r.index for r in self._replicas if r.healthy)
+
+    def quorum_size(self) -> int:
+        """Writes must reach a majority of all replicas."""
+        return len(self._replicas) // 2 + 1
+
+    @property
+    def available(self) -> bool:
+        """Whether a write quorum of healthy replicas exists."""
+        return len(self.healthy_replicas()) >= self.quorum_size()
+
+    def fail_replica(self, index: int) -> None:
+        """Mark a replica failed; promotes a new primary if needed."""
+        replica = self._replicas[index]
+        if not replica.healthy:
+            return
+        replica.healthy = False
+        if index == self._primary:
+            healthy = self.healthy_replicas()
+            if healthy:
+                self._primary = healthy[0]
+                self.failovers += 1
+
+    def recover_replica(self, index: int) -> None:
+        """Bring a replica back; it catches up from the primary."""
+        replica = self._replicas[index]
+        if replica.healthy:
+            return
+        replica.healthy = True
+        primary = self._replicas[self._primary]
+        replica.data = dict(primary.data)
+        replica.applied_writes = primary.applied_writes
+
+    # -- latency ------------------------------------------------------------
+    def _hop(self) -> float:
+        jitter = 1.0 if self.rng is None else float(self.rng.lognormal(0.0, 0.1))
+        return self.rtt_ms * jitter
+
+    # -- operations ---------------------------------------------------------
+    def put(self, key: Any, value: Any) -> Generator:
+        """Process: quorum write; returns the number of replicas written."""
+        healthy = [r for r in self._replicas if r.healthy]
+        if len(healthy) < self.quorum_size():
+            raise StoreUnavailable(
+                f"no write quorum: {len(healthy)}/{self.n_replicas} healthy"
+            )
+        # Client -> primary.
+        yield self.sim.timeout(self._hop())
+        # Primary replicates in parallel; quorum latency is the slowest
+        # of the fastest (quorum-1) follower acks.
+        followers = [r for r in healthy if r.index != self._primary]
+        needed = self.quorum_size() - 1
+        if needed > 0 and followers:
+            hops = sorted(self._hop() for _ in followers)
+            yield self.sim.timeout(hops[min(needed, len(hops)) - 1])
+        for replica in healthy:
+            replica.data[key] = value
+            replica.applied_writes += 1
+        self.writes += 1
+        return len(healthy)
+
+    def get(self, key: Any, default: Any = None) -> Generator:
+        """Process: read from the nearest healthy replica."""
+        healthy = self.healthy_replicas()
+        if not healthy:
+            raise StoreUnavailable("no healthy replica")
+        yield self.sim.timeout(self._hop())
+        self.reads += 1
+        replica = self._replicas[healthy[0]]
+        return replica.data.get(key, default)
+
+    def delete(self, key: Any) -> Generator:
+        """Process: quorum delete (write of a tombstone)."""
+        result = yield from self.put(key, None)
+        for replica in self._replicas:
+            if replica.healthy:
+                replica.data.pop(key, None)
+        return result
+
+    # -- consistency check --------------------------------------------------
+    def replicas_consistent(self) -> bool:
+        """Whether all healthy replicas hold identical data."""
+        healthy = [r for r in self._replicas if r.healthy]
+        if not healthy:
+            return True
+        reference = healthy[0].data
+        return all(r.data == reference for r in healthy[1:])

@@ -1,0 +1,258 @@
+"""The live container runtime pool (Section IV-B, Fig 7).
+
+"HotC maintains a key value store to track the available containers.
+The key is the formatted parameter configurations for each container
+and the value is a list with container ID and state of the container."
+
+States (Fig 7): Not-Existing (−1), Existing-Not-Available (0),
+Existing-Available (1).  The pool exposes the paper's tri-state view
+per key via :meth:`state_of` while internally tracking per-container
+entries.  Limits: at most ``max_containers`` live containers and a host
+memory threshold (80% in the paper); under pressure the oldest live
+container is evicted (``oldest`` strategy; ``lru`` and ``largest`` are
+provided for the eviction ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.containers.container import Container
+from repro.core.keys import RuntimeKey
+
+__all__ = [
+    "ContainerRuntimePool",
+    "PoolEntry",
+    "PoolLimits",
+    "PoolStats",
+    "NOT_EXISTING",
+    "NOT_AVAILABLE",
+    "AVAILABLE",
+]
+
+#: The paper's tri-state values (Fig 7).
+NOT_EXISTING = -1
+NOT_AVAILABLE = 0
+AVAILABLE = 1
+
+_EVICTION_STRATEGIES = ("oldest", "lru", "largest")
+
+
+@dataclass
+class PoolEntry:
+    """One pooled container and its bookkeeping."""
+
+    container: Container
+    key: RuntimeKey
+    available: bool
+    added_at: float
+    last_used_at: float
+
+
+@dataclass(frozen=True)
+class PoolLimits:
+    """Pool-wide resource guards (paper defaults)."""
+
+    max_containers: int = 500
+    memory_threshold: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.max_containers < 0:
+            raise ValueError("max_containers must be >= 0")
+        if not 0.0 < self.memory_threshold <= 1.0:
+            raise ValueError("memory_threshold must be in (0, 1]")
+
+
+@dataclass
+class PoolStats:
+    """Reuse and eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    registered: int = 0
+    retired: int = 0
+    evictions_capacity: int = 0
+    evictions_pressure: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total acquire attempts."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the pool."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ContainerRuntimePool:
+    """Key-value store of live container runtimes."""
+
+    def __init__(
+        self,
+        limits: PoolLimits = PoolLimits(),
+        eviction: str = "oldest",
+    ) -> None:
+        if eviction not in _EVICTION_STRATEGIES:
+            raise ValueError(
+                f"eviction must be one of {_EVICTION_STRATEGIES}, got {eviction!r}"
+            )
+        self.limits = limits
+        self.eviction = eviction
+        self.stats = PoolStats()
+        self._entries: Dict[RuntimeKey, List[PoolEntry]] = {}
+        self._by_container: Dict[str, PoolEntry] = {}
+
+    # -- the paper's views --------------------------------------------------
+    def state_of(self, key: RuntimeKey) -> int:
+        """Fig 7 tri-state for ``key``: −1 / 0 / 1."""
+        entries = self._entries.get(key)
+        if not entries:
+            return NOT_EXISTING
+        if any(entry.available for entry in entries):
+            return AVAILABLE
+        return NOT_AVAILABLE
+
+    def num_available(self, key: RuntimeKey) -> int:
+        """``num_avail[key]`` of Algorithms 1 and 2."""
+        return sum(1 for e in self._entries.get(key, ()) if e.available)
+
+    def num_total(self, key: RuntimeKey) -> int:
+        """All pooled containers of this type (busy + available)."""
+        return len(self._entries.get(key, ()))
+
+    # -- membership ---------------------------------------------------------
+    def acquire(self, key: RuntimeKey, now: float) -> Optional[Container]:
+        """Take the first available container of type ``key`` (Algorithm 1).
+
+        Returns ``None`` on miss — the caller then cold-boots.
+        """
+        for entry in self._entries.get(key, ()):
+            if entry.available:
+                entry.available = False
+                entry.last_used_at = now
+                self.stats.hits += 1
+                return entry.container
+        self.stats.misses += 1
+        return None
+
+    def register(
+        self,
+        container: Container,
+        key: RuntimeKey,
+        now: float,
+        available: bool = False,
+    ) -> PoolEntry:
+        """Add a (typically just-booted) container under ``key``."""
+        if container.container_id in self._by_container:
+            raise ValueError(
+                f"container {container.container_id} already pooled"
+            )
+        entry = PoolEntry(
+            container=container,
+            key=key,
+            available=available,
+            added_at=now,
+            last_used_at=now,
+        )
+        self._entries.setdefault(key, []).append(entry)
+        self._by_container[container.container_id] = entry
+        self.stats.registered += 1
+        return entry
+
+    def release(self, container: Container, now: float) -> None:
+        """Mark a busy container available again (Algorithm 2's ++)."""
+        entry = self._entry_of(container)
+        if entry.available:
+            raise ValueError(
+                f"container {container.container_id} is already available"
+            )
+        entry.available = True
+        entry.last_used_at = now
+
+    def remove(self, container: Container) -> PoolEntry:
+        """Forget a container (being stopped/evicted)."""
+        entry = self._entry_of(container)
+        del self._by_container[container.container_id]
+        siblings = self._entries[entry.key]
+        siblings.remove(entry)
+        if not siblings:
+            del self._entries[entry.key]
+        self.stats.retired += 1
+        return entry
+
+    def contains(self, container: Container) -> bool:
+        """Whether the container is pooled."""
+        return container.container_id in self._by_container
+
+    def _entry_of(self, container: Container) -> PoolEntry:
+        try:
+            return self._by_container[container.container_id]
+        except KeyError:
+            raise KeyError(
+                f"container {container.container_id} is not in the pool"
+            ) from None
+
+    # -- aggregates -----------------------------------------------------------
+    @property
+    def total_live(self) -> int:
+        """All pooled containers."""
+        return len(self._by_container)
+
+    @property
+    def total_available(self) -> int:
+        """All idle pooled containers."""
+        return sum(1 for e in self._by_container.values() if e.available)
+
+    def keys(self) -> Tuple[RuntimeKey, ...]:
+        """Keys with at least one pooled container."""
+        return tuple(self._entries)
+
+    def snapshot(self) -> Dict[RuntimeKey, Tuple[int, int]]:
+        """Per-key ``(available, total)`` counts — predictor input."""
+        return {
+            key: (
+                sum(1 for e in entries if e.available),
+                len(entries),
+            )
+            for key, entries in self._entries.items()
+        }
+
+    # -- eviction ----------------------------------------------------------
+    def over_capacity(self) -> bool:
+        """Whether the container-count cap is exceeded."""
+        return self.total_live > self.limits.max_containers
+
+    def eviction_candidate(self) -> Optional[PoolEntry]:
+        """Pick the next victim among *available* entries.
+
+        ``oldest``: smallest ``added_at`` (the paper's rule: "the oldest
+        live container is forcibly terminated").
+        ``lru``: smallest ``last_used_at``.
+        ``largest``: biggest configured memory limit.
+        Busy containers are never evicted.  Ties break on container id
+        so eviction is deterministic.
+        """
+        candidates = [e for e in self._by_container.values() if e.available]
+        if not candidates:
+            return None
+        if self.eviction == "oldest":
+            sort_key = lambda e: (e.added_at, e.container.container_id)
+        elif self.eviction == "lru":
+            sort_key = lambda e: (e.last_used_at, e.container.container_id)
+        else:  # largest
+            sort_key = lambda e: (
+                -e.container.config.mem_mb,
+                e.container.container_id,
+            )
+        return min(candidates, key=sort_key)
+
+    def available_entries(self, key: RuntimeKey) -> Tuple[PoolEntry, ...]:
+        """Idle entries of one key, oldest first (for scale-down)."""
+        return tuple(
+            sorted(
+                (e for e in self._entries.get(key, ()) if e.available),
+                key=lambda e: (e.added_at, e.container.container_id),
+            )
+        )

@@ -1,0 +1,21 @@
+"""Adaptive live container management (Section IV-C).
+
+The prediction pipeline combines two models, exactly as the paper
+argues: exponential smoothing fits the *trend* of the per-key container
+demand series (Eq. 1), and a Markov chain over forecast residuals
+corrects the *volatility* the smoother cannot follow (Eq. 2).  The
+:class:`AdaptivePoolController` feeds per-key demand observations into
+a combined predictor and turns forecasts into pool-size targets.
+"""
+
+from repro.core.predictor.exponential import ExponentialSmoothing
+from repro.core.predictor.markov import MarkovChain
+from repro.core.predictor.combined import CombinedPredictor
+from repro.core.predictor.controller import AdaptivePoolController
+
+__all__ = [
+    "AdaptivePoolController",
+    "CombinedPredictor",
+    "ExponentialSmoothing",
+    "MarkovChain",
+]

@@ -1,0 +1,113 @@
+"""Exponential smoothing (paper Eq. 1).
+
+    e_{k,t} = alpha * history[k][t] + (1 - alpha) * e_{k,t-1}
+
+The paper chooses ``alpha = 0.8`` (high sensitivity, suited to the
+volatile serverless series) and initialises with the *average of the
+first five observations* when the series is short (< 20 points), else
+the first observation — Section IV-C(2).  ``init="auto"`` implements
+that rule; ``"first"`` and ``"mean5"`` force either behaviour for the
+Fig 10b sensitivity study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["ExponentialSmoothing"]
+
+_INIT_POLICIES = ("auto", "first", "mean5")
+
+#: Series length below which the paper says the initial value matters.
+_SHORT_SERIES = 20
+
+#: How many leading observations the mean-based init averages.
+_INIT_WINDOW = 5
+
+
+class ExponentialSmoothing:
+    """Streaming single exponential smoother.
+
+    >>> es = ExponentialSmoothing(alpha=0.8, init="first")
+    >>> es.update(10.0)
+    10.0
+    >>> es.update(20.0)  # 0.8*20 + 0.2*10
+    18.0
+    """
+
+    def __init__(self, alpha: float = 0.8, init: str = "auto") -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if init not in _INIT_POLICIES:
+            raise ValueError(f"init must be one of {_INIT_POLICIES}, got {init!r}")
+        self.alpha = alpha
+        self.init = init
+        self._level: Optional[float] = None
+        self._observations: List[float] = []
+
+    @property
+    def n_observations(self) -> int:
+        """How many points have been fed in."""
+        return len(self._observations)
+
+    @property
+    def forecast(self) -> Optional[float]:
+        """Current one-step-ahead forecast (None before any data)."""
+        return self._level
+
+    def _initial_level(self) -> float:
+        """Initial smoothed value per the configured policy."""
+        observations = self._observations
+        use_mean = self.init == "mean5" or (
+            self.init == "auto" and len(observations) < _SHORT_SERIES
+        )
+        if use_mean:
+            window = observations[:_INIT_WINDOW]
+            return float(np.mean(window))
+        return observations[0]
+
+    def update(self, observation: float) -> float:
+        """Feed one observation; returns the new one-step forecast.
+
+        With a mean-based init, the level is re-derived from scratch
+        while the first :data:`_INIT_WINDOW` observations accumulate so
+        the initial value really is their average (the paper's rule),
+        after which the cheap streaming recursion takes over.
+        """
+        if not np.isfinite(observation):
+            raise ValueError(f"observation must be finite, got {observation}")
+        self._observations.append(float(observation))
+        if self._level is None and len(self._observations) == 1:
+            self._level = self._initial_level()
+            if self.init == "first" or (
+                self.init == "auto" and len(self._observations) >= _SHORT_SERIES
+            ):
+                # With a first-observation init the recursion starts now.
+                return self._level
+            return self._level
+        if len(self._observations) <= _INIT_WINDOW and self.init in ("mean5", "auto"):
+            # Re-derive: init = mean(first window), then replay recursion
+            # over the points after the window start.
+            level = self._initial_level()
+            for value in self._observations[1:]:
+                level = self.alpha * value + (1 - self.alpha) * level
+            self._level = level
+            return self._level
+        self._level = self.alpha * observation + (1 - self.alpha) * self._level
+        return self._level
+
+    def fit_series(self, values) -> np.ndarray:
+        """Feed a whole series; returns the forecast after each point.
+
+        ``result[i]`` is the forecast for point ``i + 1`` given values
+        ``[0..i]`` — the series the Fig 10 experiment plots.
+        """
+        return np.array([self.update(v) for v in np.asarray(values, dtype=float)])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExponentialSmoothing(alpha={self.alpha}, init={self.init!r}, "
+            f"n={self.n_observations})"
+        )

@@ -1,0 +1,163 @@
+"""Markov chain over region states (paper Eq. 2).
+
+The paper divides the data range into ``n`` region states
+``R_i = [R_i1, R_i2]``, estimates the k-step transition probability
+``P_ij(k) = T_ij(k) / T_i`` from historical samples, and predicts the
+next value as the midpoint of the most probable next state.
+
+Implementation notes
+--------------------
+* States are equal-width bins spanning the observed data range; bounds
+  update as new data arrives (``refit``).
+* Rows of the transition matrix with no observed departures fall back
+  to "stay in place" (identity row), the conservative choice for a
+  sparse history.
+* Transition counting is vectorised with NumPy (guide: prefer array
+  ops over Python loops).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["MarkovChain"]
+
+
+class MarkovChain:
+    """Region-state Markov predictor over a scalar series."""
+
+    def __init__(self, n_states: int = 4) -> None:
+        if n_states < 2:
+            raise ValueError(f"n_states must be >= 2, got {n_states}")
+        self.n_states = n_states
+        self._values: List[float] = []
+        self._edges: Optional[np.ndarray] = None
+
+    # -- data -------------------------------------------------------------
+    def update(self, value: float) -> None:
+        """Append one observation and refit the state bounds."""
+        if not np.isfinite(value):
+            raise ValueError(f"value must be finite, got {value}")
+        self._values.append(float(value))
+        self._refit()
+
+    def fit(self, values) -> "MarkovChain":
+        """Replace the history with ``values`` and refit."""
+        array = np.asarray(values, dtype=float)
+        if not np.all(np.isfinite(array)):
+            raise ValueError("values must be finite")
+        self._values = [float(v) for v in array]
+        self._refit()
+        return self
+
+    @property
+    def n_observations(self) -> int:
+        """Number of stored observations."""
+        return len(self._values)
+
+    def _refit(self) -> None:
+        if len(self._values) < 2:
+            self._edges = None
+            return
+        low = min(self._values)
+        high = max(self._values)
+        if high == low:
+            # Degenerate constant series: one tiny bin around the value.
+            high = low + 1.0
+        self._edges = np.linspace(low, high, self.n_states + 1)
+
+    # -- states -------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Whether bounds exist (>= 2 distinct observations)."""
+        return self._edges is not None
+
+    def state_of(self, value: float) -> int:
+        """Region-state index of ``value`` (clipped to the known range)."""
+        if self._edges is None:
+            raise RuntimeError("MarkovChain needs at least 2 observations")
+        index = int(np.searchsorted(self._edges, value, side="right")) - 1
+        return int(np.clip(index, 0, self.n_states - 1))
+
+    def state_bounds(self, state: int) -> Tuple[float, float]:
+        """``[R_i1, R_i2]`` interval of a state."""
+        if self._edges is None:
+            raise RuntimeError("MarkovChain needs at least 2 observations")
+        if not 0 <= state < self.n_states:
+            raise IndexError(f"state {state} out of range")
+        return float(self._edges[state]), float(self._edges[state + 1])
+
+    def state_midpoint(self, state: int) -> float:
+        """``(R_i1 + R_i2) / 2`` — the paper's predicted value."""
+        low, high = self.state_bounds(state)
+        return 0.5 * (low + high)
+
+    # -- transitions ---------------------------------------------------------
+    def state_marginal(self) -> np.ndarray:
+        """Empirical state-occupancy distribution of the stored series."""
+        if self._edges is None:
+            raise RuntimeError("MarkovChain needs at least 2 observations")
+        values = np.asarray(self._values)
+        states = np.clip(
+            np.searchsorted(self._edges, values, side="right") - 1,
+            0,
+            self.n_states - 1,
+        )
+        counts = np.bincount(states, minlength=self.n_states).astype(float)
+        return counts / counts.sum()
+
+    def transition_matrix(self, k: int = 1, empty_rows: str = "identity") -> np.ndarray:
+        """The k-step transition probability matrix (Eq. 2).
+
+        ``P[i, j]`` estimates the probability of moving from state ``i``
+        to state ``j`` in ``k`` steps, counted directly from the stored
+        series at lag ``k``.  Rows without observed departures have no
+        data; ``empty_rows`` picks the fallback:
+
+        * ``"identity"`` — stay in place (conservative point forecasts);
+        * ``"marginal"`` — the empirical state-occupancy distribution
+          (used for risk-aware pool sizing, where "no idea where this
+          state leads" should mean "anything the series has done", not
+          "stuck here forever").
+        """
+        if k < 1:
+            raise ValueError(f"step k must be >= 1, got {k}")
+        if empty_rows not in ("identity", "marginal"):
+            raise ValueError(f"unknown empty_rows policy {empty_rows!r}")
+        if self._edges is None:
+            raise RuntimeError("MarkovChain needs at least 2 observations")
+        values = np.asarray(self._values)
+        states = np.clip(
+            np.searchsorted(self._edges, values, side="right") - 1,
+            0,
+            self.n_states - 1,
+        )
+        matrix = np.zeros((self.n_states, self.n_states), dtype=float)
+        if len(states) > k:
+            sources = states[:-k]
+            targets = states[k:]
+            np.add.at(matrix, (sources, targets), 1.0)
+        row_sums = matrix.sum(axis=1)
+        empty = row_sums == 0
+        if empty.any():
+            if empty_rows == "identity":
+                matrix[empty, :] = np.eye(self.n_states)[empty]
+            else:
+                matrix[empty, :] = self.state_marginal()
+        row_sums = matrix.sum(axis=1, keepdims=True)
+        return matrix / row_sums
+
+    def predict_next_state(self, current_value: float, k: int = 1) -> int:
+        """Most probable state ``k`` steps after ``current_value``.
+
+        Ties resolve to the lowest state index (deterministic).
+        """
+        matrix = self.transition_matrix(k)
+        row = matrix[self.state_of(current_value)]
+        return int(np.argmax(row))
+
+    def predict(self, current_value: float, k: int = 1) -> float:
+        """Predicted value: midpoint of the most probable next state."""
+        return self.state_midpoint(self.predict_next_state(current_value, k))

@@ -1,0 +1,21 @@
+"""CLI entry point: print the reproduction of every paper figure."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import run_all
+
+
+def main(argv=None) -> int:
+    """Run ``python -m repro.experiments [figXX ...]``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    only = argv or None
+    for figure_id, figure in run_all(only=only).items():
+        print(figure.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

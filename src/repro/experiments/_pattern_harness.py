@@ -1,0 +1,77 @@
+"""Shared harness for the request-pattern experiments (Figs 12-14).
+
+All three figures drive the QR web service (the Fig 9 setup — "the
+experiment setting and configuration are the same as above") through a
+pattern, once with the default cold-boot provider and once with HotC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.hotc import HotC, HotCConfig
+from repro.faas.platform import FaasPlatform
+from repro.workloads.apps import default_catalog, qr_encoder_app
+from repro.workloads.generator import WorkloadGenerator, WorkloadResult
+from repro.workloads.patterns import RequestPattern
+
+__all__ = ["run_pattern_arm"]
+
+
+def run_pattern_arm(
+    pattern: RequestPattern,
+    use_hotc: bool,
+    seed: int = 0,
+    n_functions: int = 1,
+    adaptive: bool = False,
+    control_interval_ms: float = 5_000.0,
+    gateway_concurrency: int = 1024,
+) -> Tuple[WorkloadResult, FaasPlatform]:
+    """Run ``pattern`` against the QR service; returns (result, platform).
+
+    ``n_functions`` deploys that many identically-shaped functions with
+    distinct runtime configurations (distinct env), modelling the
+    parallel experiment's "each thread has its own runtime
+    configuration".  ``adaptive`` additionally starts HotC's prediction
+    control loop (used by the burst experiment).
+    """
+    if n_functions < 1:
+        raise ValueError("n_functions must be >= 1")
+    catalog = default_catalog()
+
+    def provider_factory(engine):
+        config = HotCConfig(
+            control_interval_ms=control_interval_ms if adaptive else 0.0
+        )
+        return HotC(engine, config)
+
+    platform = FaasPlatform(
+        catalog.make_registry(),
+        seed=seed,
+        provider_factory=provider_factory if use_hotc else None,
+        jitter_sigma=0.05,
+        gateway_concurrency=gateway_concurrency,
+    )
+    names = []
+    for index in range(n_functions):
+        spec = qr_encoder_app(name=f"qr-{index}", language="python").with_overrides(
+            env=(("THREAD", str(index)),)
+        )
+        platform.deploy(spec)
+        names.append(spec.name)
+    platform.sim.process(platform.engine.ensure_image("python:3.6"))
+    platform.run()
+
+    if use_hotc and adaptive:
+        platform.provider.start_control_loop()
+        # The control loop re-arms its own timer forever, so an
+        # unbounded run would never drain: bound it generously past the
+        # last round (any request finishes well within two rounds).
+        last_round = max(time for time, _ in pattern.rounds())
+        run_until = platform.sim.now + last_round + 4 * control_interval_ms + 120_000.0
+        result = WorkloadGenerator(platform).run(pattern, names, run_until=run_until)
+        platform.provider.stop_control_loop()
+        platform.run()
+    else:
+        result = WorkloadGenerator(platform).run(pattern, names)
+    return result, platform

@@ -1,0 +1,71 @@
+"""Fig 4 — cold vs hot execution per language, and network setup costs.
+
+* Fig 4a/b: the 3.3 MB S3-download benchmark in Go / Python / Node /
+  Java, cold (fresh container) vs hot (reused container).  Targets: Go
+  cold/hot == 3.06x; Java cold doubles an already ~1.1 s hot run.
+* Fig 4c: container boot time under each network mode.  Targets:
+  bridge/host == none, container mode == half, overlay/routing up to
+  23x the multi-host host mode.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.coldstart import (
+    language_cold_hot_comparison,
+    network_mode_startup,
+)
+from repro.hardware.profiles import HostProfile, T430_SERVER
+from repro.metrics.report import Figure, Table
+
+__all__ = ["run_fig04"]
+
+
+def run_fig04(
+    seed: int = 0,
+    runs: int = 5,
+    profile: HostProfile = T430_SERVER,
+) -> Figure:
+    """Reproduce Fig 4's language and network panels."""
+    languages = language_cold_hot_comparison(runs=runs, seed=seed, profile=profile)
+    networks = network_mode_startup(runs=runs, seed=seed, profile=profile)
+
+    figure = Figure(figure_id="fig04", title="Container startup cost structure")
+    figure.add_table(
+        Table(
+            name="fig4ab-language-cold-hot",
+            columns=("language", "cold (ms)", "hot (ms)", "cold/hot"),
+            rows=tuple(
+                (
+                    language,
+                    round(stats["cold_ms"], 1),
+                    round(stats["hot_ms"], 1),
+                    round(stats["ratio"], 2),
+                )
+                for language, stats in sorted(languages.items())
+            ),
+        )
+    )
+    host_reference = networks["multihost-host"]
+    figure.add_table(
+        Table(
+            name="fig4c-network-startup",
+            columns=("mode", "network setup (ms)", "vs multihost-host"),
+            rows=tuple(
+                (mode, round(ms, 1), round(ms / host_reference, 2))
+                for mode, ms in networks.items()
+            ),
+        )
+    )
+    figure.note(
+        f"paper: Go cold/hot = 3.06x; measured {languages['go']['ratio']:.2f}x"
+    )
+    figure.note(
+        "paper: cold start doubles Java's already long run; measured "
+        f"{languages['java']['ratio']:.2f}x over a "
+        f"{languages['java']['hot_ms'] / 1000:.2f}s hot run"
+    )
+    figure.note(
+        "paper: overlay up to 23x host-mode startup; measured "
+        f"{networks['overlay'] / host_reference:.1f}x"
+    )
+    return figure

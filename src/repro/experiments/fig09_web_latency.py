@@ -1,0 +1,101 @@
+"""Fig 9 — QR-code web application latency without and with HotC.
+
+The paper deploys a URL→QR-code service in several languages behind
+NAT-connected backends; "clients sent requests using random
+configurations to the backends".  Without HotC every request pays the
+runtime setup (the QR transformation itself is only ~60 ms); with HotC
+the latency collapses once each configuration's runtime exists in the
+pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hotc import HotC
+from repro.faas.platform import FaasPlatform
+from repro.metrics.report import Figure, Series, Table
+from repro.workloads.apps import default_catalog, qr_encoder_app
+
+__all__ = ["run_fig09"]
+
+#: The language variants the clients pick between at random.
+_VARIANTS = ("python", "go", "node")
+
+
+def _run_arm(use_hotc: bool, seed: int, requests: int, interval_ms: float):
+    catalog = default_catalog()
+    platform = FaasPlatform(
+        catalog.make_registry(),
+        seed=seed,
+        provider_factory=HotC if use_hotc else None,
+        jitter_sigma=0.05,
+    )
+    specs = [
+        qr_encoder_app(name=f"qr-{language}", language=language)
+        for language in _VARIANTS
+    ]
+    for spec in specs:
+        platform.deploy(spec)
+        platform.sim.process(platform.engine.ensure_image(spec.image))
+    platform.run()
+
+    # "Random configurations": pick a variant per request, reproducibly.
+    chooser = np.random.default_rng(seed + 17)
+    for index in range(requests):
+        name = specs[chooser.integers(0, len(specs))].name
+        platform.submit(name, delay=index * interval_ms)
+    platform.run()
+    if use_hotc:
+        platform.shutdown()
+    return platform.traces
+
+
+def run_fig09(seed: int = 0, requests: int = 40, interval_ms: float = 2_000.0) -> Figure:
+    """Reproduce Fig 9a (default) and 9b (HotC)."""
+    if requests < len(_VARIANTS) + 1:
+        raise ValueError("need more requests than language variants")
+    default_traces = _run_arm(False, seed, requests, interval_ms)
+    hotc_traces = _run_arm(True, seed, requests, interval_ms)
+
+    figure = Figure(figure_id="fig09", title="QR web application latency")
+    for label, traces in (("default", default_traces), ("hotc", hotc_traces)):
+        figure.add_series(
+            Series.from_arrays(
+                f"{label}-latency",
+                np.arange(1, len(traces) + 1),
+                traces.latencies(),
+                x_label="request #",
+                y_label="latency (ms)",
+            )
+        )
+    default_mean = default_traces.mean_latency()
+    hotc_mean = hotc_traces.mean_latency()
+    # Steady state: latency after every variant has a pooled runtime.
+    steady = hotc_traces.latencies()[len(_VARIANTS) * 2 :]
+    figure.add_table(
+        Table(
+            name="fig9-summary",
+            columns=("metric", "default", "hotc"),
+            rows=(
+                ("mean latency (ms)", round(default_mean, 1), round(hotc_mean, 1)),
+                (
+                    "cold starts",
+                    int(default_traces.cold_count()),
+                    int(hotc_traces.cold_count()),
+                ),
+                (
+                    "steady-state latency (ms)",
+                    round(float(np.mean(default_traces.latencies()[6:])), 1),
+                    round(float(np.mean(steady)), 1),
+                ),
+            ),
+        )
+    )
+    figure.note(
+        "paper: the URL transition takes ~60 ms while setup dominates the "
+        "default latency; with HotC later requests drop dramatically. "
+        f"Measured steady-state HotC latency {float(np.mean(steady)):.0f} ms "
+        f"vs default {default_mean:.0f} ms."
+    )
+    return figure

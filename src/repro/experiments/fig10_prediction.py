@@ -1,0 +1,152 @@
+"""Fig 10 — prediction strategies and parameter sensitivity.
+
+* Fig 10a: real demand vs exponential smoothing vs ES+Markov.  The
+  paper observes ES tracks the trend but lags jumps; adding the Markov
+  correction brings the relative error down (29% → 10% around the jump
+  from 8 to 19 containers at time index 7–10).
+* Fig 10b: sensitivity to the smoothing coefficient α (0.1 vs 0.8 vs
+  0.95) and the initial-value policy (first observation vs mean of the
+  first five).
+
+An extra Markov-only arm is included as the ablation DESIGN.md lists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.predictor.combined import CombinedPredictor
+from repro.core.predictor.exponential import ExponentialSmoothing
+from repro.core.predictor.markov import MarkovChain
+from repro.metrics.errors import mean_absolute_percentage_error
+from repro.metrics.report import Figure, Series, Table
+
+__all__ = ["demand_series", "run_fig10"]
+
+
+def demand_series(seed: int = 0, length: int = 40) -> np.ndarray:
+    """The per-interval demand for one container type (Fig 10's x-axis).
+
+    Shaped after the paper's description: a low-level start, a jump from
+    8 to 19 containers around index 7–10, volatile oscillation after it,
+    and a partial decay — with recurring structure the Markov chain can
+    learn.
+    """
+    if length < 12:
+        raise ValueError("length must be >= 12")
+    rng = np.random.default_rng(seed)
+    values = np.empty(length, dtype=float)
+    values[:7] = 8.0 + rng.integers(-1, 2, size=7)          # level start
+    values[7:10] = np.linspace(8.0, 19.0, 3)                # the 8 -> 19 jump
+    oscillation = 14.0 + 5.0 * np.where(np.arange(length - 10) % 2 == 0, 1, -1)
+    values[10:] = oscillation + rng.normal(0.0, 0.7, size=length - 10)
+    return np.maximum(0.0, np.round(values))
+
+
+def _markov_only_forecasts(series: np.ndarray, n_states: int = 4) -> np.ndarray:
+    """Ablation arm: raw Markov chain over the demand values."""
+    chain = MarkovChain(n_states=n_states)
+    forecasts = np.empty_like(series)
+    for index, value in enumerate(series):
+        chain.update(float(value))
+        forecasts[index] = chain.predict(float(value)) if chain.ready else value
+    return forecasts
+
+
+def _one_step_errors(series: np.ndarray, forecasts: np.ndarray) -> float:
+    """MAPE of forecasts[i] predicting series[i+1]."""
+    return mean_absolute_percentage_error(series[1:], forecasts[:-1])
+
+
+def run_fig10(seed: int = 0, length: int = 40) -> Figure:
+    """Reproduce Fig 10a (strategies) and Fig 10b (sensitivity)."""
+    series = demand_series(seed=seed, length=length)
+    index = np.arange(1, length + 1)
+
+    figure = Figure(figure_id="fig10", title="Adaptive live container prediction")
+    figure.add_series(
+        Series.from_arrays("real", index, series, "time index", "containers")
+    )
+
+    # -- Fig 10a: strategies ------------------------------------------------
+    es_forecasts = ExponentialSmoothing(alpha=0.8, init="auto").fit_series(series)
+    combined_forecasts = CombinedPredictor(alpha=0.8, init="auto").fit_series(series)
+    markov_forecasts = _markov_only_forecasts(series)
+
+    figure.add_series(
+        Series.from_arrays("exp-smoothing", index, es_forecasts, "time index", "containers")
+    )
+    figure.add_series(
+        Series.from_arrays("es+markov", index, combined_forecasts, "time index", "containers")
+    )
+    figure.add_series(
+        Series.from_arrays("markov-only", index, markov_forecasts, "time index", "containers")
+    )
+
+    errors = {
+        "exp-smoothing": _one_step_errors(series, es_forecasts),
+        "es+markov": _one_step_errors(series, combined_forecasts),
+        "markov-only": _one_step_errors(series, markov_forecasts),
+    }
+    # Relative error localized at the jump window (paper: 29% -> 10%).
+    jump = slice(7, 11)
+    jump_errors = {
+        name: mean_absolute_percentage_error(
+            series[jump], forecasts[6:10]
+        )
+        for name, forecasts in (
+            ("exp-smoothing", es_forecasts),
+            ("es+markov", combined_forecasts),
+        )
+    }
+    figure.add_table(
+        Table(
+            name="fig10a-errors",
+            columns=("strategy", "overall MAPE %", "jump-window MAPE %"),
+            rows=tuple(
+                (
+                    name,
+                    round(100 * errors[name], 1),
+                    round(100 * jump_errors.get(name, float("nan")), 1)
+                    if name in jump_errors
+                    else "-",
+                )
+                for name in ("exp-smoothing", "es+markov", "markov-only")
+            ),
+        )
+    )
+    figure.note(
+        "paper: combining ES and Markov improves accuracy; around the 8->19 "
+        f"jump the ES error {100 * jump_errors['exp-smoothing']:.0f}% falls to "
+        f"{100 * jump_errors['es+markov']:.0f}% with the correction"
+    )
+
+    # -- Fig 10b: sensitivity -------------------------------------------------
+    rows = []
+    for alpha in (0.1, 0.3, 0.8, 0.95):
+        forecasts = CombinedPredictor(alpha=alpha, init="auto").fit_series(series)
+        rows.append((f"alpha={alpha}", round(100 * _one_step_errors(series, forecasts), 1)))
+        figure.add_series(
+            Series.from_arrays(
+                f"alpha-{alpha}", index, forecasts, "time index", "containers"
+            )
+        )
+    for init in ("first", "mean5"):
+        forecasts = CombinedPredictor(alpha=0.8, init=init).fit_series(series)
+        early_error = mean_absolute_percentage_error(series[1:6], forecasts[:5])
+        rows.append((f"init={init} (early)", round(100 * early_error, 1)))
+    figure.add_table(
+        Table(
+            name="fig10b-sensitivity",
+            columns=("configuration", "MAPE %"),
+            rows=tuple(rows),
+        )
+    )
+    figure.note(
+        "paper: larger alpha tracks recent data harder but too large "
+        "offsets the prediction; historical-mean initial values make the "
+        "first few predictions more accurate"
+    )
+    return figure

@@ -1,0 +1,70 @@
+"""Fig 11 — the UMass campus YouTube request trace.
+
+The paper plots a day of campus-gateway YouTube requests and extracts
+three representative patterns (burst, steady decline, night rise) that
+motivate the request flows of Figs 12–14.  We reproduce the trace
+synthetically (see :mod:`repro.workloads.traces`) and report the three
+features quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.report import Figure, Series, Table
+from repro.workloads.traces import (
+    BURST_AT,
+    DECLINE_END,
+    DECLINE_START,
+    RISE_END,
+    youtube_campus_trace,
+)
+
+__all__ = ["run_fig11"]
+
+
+def run_fig11(seed: int = 0, stride: int = 10) -> Figure:
+    """Reproduce Fig 11 (trace + the three extracted features)."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    trace = youtube_campus_trace(seed=seed)
+    minutes = np.arange(len(trace))
+
+    figure = Figure(figure_id="fig11", title="Campus YouTube request trace")
+    figure.add_series(
+        Series.from_arrays(
+            "requests-per-minute",
+            minutes[::stride],
+            trace.counts[::stride],
+            x_label="minute of day",
+            y_label="requests",
+        )
+    )
+    before_burst = float(np.mean(trace.segment(BURST_AT - 30, BURST_AT - 5)))
+    burst_peak = float(np.max(trace.segment(BURST_AT, BURST_AT + 10)))
+    figure.add_table(
+        Table(
+            name="fig11-features",
+            columns=("feature", "value"),
+            rows=(
+                ("pre-burst level (req/min)", round(before_burst, 1)),
+                (f"burst peak @T{BURST_AT}", round(burst_peak, 1)),
+                ("burst magnitude (x)", round(trace.burst_magnitude(), 1)),
+                (
+                    f"decline slope T{DECLINE_START}-T{DECLINE_END} (req/min^2)",
+                    round(trace.afternoon_slope(), 3),
+                ),
+                (
+                    f"rise slope T{DECLINE_END}-T{RISE_END} (req/min^2)",
+                    round(trace.night_slope(), 3),
+                ),
+            ),
+        )
+    )
+    figure.note(
+        "paper: burst from 20 to 300 requests at T710, decline T800-T1200, "
+        f"rise T1200-T1400; measured burst {before_burst:.0f} -> "
+        f"{burst_peak:.0f} with slopes {trace.afternoon_slope():+.2f} and "
+        f"{trace.night_slope():+.2f}"
+    )
+    return figure

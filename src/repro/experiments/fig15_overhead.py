@@ -1,0 +1,162 @@
+"""Fig 15 — HotC's resource overhead.
+
+* Fig 15a: CPU and memory usage as a function of the number of live
+  (idle) containers — "<1% CPU for ten live containers, ~0.7 MB per
+  container", measured on both the server and the Raspberry Pi.
+* Fig 15b: resource timeline across a containerized Cassandra
+  lifecycle: start the database at ~6 s, stop it at ~13 s, keep the
+  container live — application execution, not the live container,
+  dominates resource consumption.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.containers.container import ContainerConfig
+from repro.containers.engine import ContainerEngine
+from repro.hardware.profiles import HostProfile, RASPBERRY_PI3, T430_SERVER
+from repro.metrics.monitor import ResourceMonitor
+from repro.metrics.report import Figure, Series, Table
+from repro.sim.engine import Simulator
+from repro.workloads.apps import cassandra_app, default_catalog
+
+__all__ = ["run_fig15"]
+
+
+def _run(sim, generator):
+    process = sim.process(generator)
+    sim.run()
+    if not process.ok:
+        raise process.value
+    return process.value
+
+
+def _idle_pool_usage(profile: HostProfile, counts: Sequence[int], seed: int):
+    """CPU% / memory (MB) with n idle alpine containers live."""
+    rows = []
+    for count in counts:
+        sim = Simulator()
+        registry = default_catalog().make_registry()
+        engine = ContainerEngine(
+            sim, registry, profile=profile,
+            rng=np.random.default_rng(seed), jitter_sigma=0.0,
+        )
+        _run(sim, engine.ensure_image("alpine:3.8"))
+        baseline_cpu = engine.resources.cpu_fraction
+        baseline_mem = engine.resources.used_mem_mb
+        for _ in range(count):
+            _run(
+                sim,
+                engine.boot_container(
+                    ContainerConfig(image="alpine:3.8", cpu_millicores=50, mem_mb=8)
+                ),
+            )
+        rows.append(
+            (
+                count,
+                round(100 * (engine.resources.cpu_fraction - baseline_cpu), 3),
+                round(engine.resources.used_mem_mb - baseline_mem, 2),
+            )
+        )
+    return rows
+
+
+def run_fig15(
+    seed: int = 0,
+    counts: Sequence[int] = (0, 1, 10, 50, 100, 500),
+    sample_ms: float = 500.0,
+) -> Figure:
+    """Reproduce Fig 15a (idle pool sweep) and Fig 15b (lifecycle)."""
+    figure = Figure(figure_id="fig15", title="HotC resource overhead")
+
+    # -- Fig 15a -------------------------------------------------------------
+    for profile in (T430_SERVER, RASPBERRY_PI3):
+        # The Pi cannot hold 500 live containers in 1 GB of memory; sweep
+        # what fits (the paper also shows smaller counts on the Pi).
+        usable = [
+            count
+            for count in counts
+            if count * 0.7 < profile.mem_mb * 0.9
+        ]
+        rows = _idle_pool_usage(profile, usable, seed)
+        figure.add_table(
+            Table(
+                name=f"fig15a-{profile.name}",
+                columns=("live containers", "cpu delta %", "mem delta (MB)"),
+                rows=tuple(rows),
+            )
+        )
+        ten = next((row for row in rows if row[0] == 10), None)
+        if ten:
+            figure.note(
+                f"{profile.name}: 10 live containers cost {ten[1]}% CPU and "
+                f"{ten[2]} MB (paper: <1% CPU, ~0.7 MB per container)"
+            )
+
+    # -- Fig 15b -------------------------------------------------------------
+    sim = Simulator()
+    registry = default_catalog().make_registry()
+    engine = ContainerEngine(
+        sim, registry, rng=np.random.default_rng(seed), jitter_sigma=0.02
+    )
+    monitor = ResourceMonitor(engine, period_ms=sample_ms)
+    spec = cassandra_app()
+    _run(sim, engine.ensure_image(spec.image))
+    monitor.start()
+
+    def lifecycle():
+        # Boot the container immediately; the paper starts the Cassandra
+        # *application* at the 6th second and stops it at the 13th while
+        # keeping the container live afterwards.
+        container = yield from engine.boot_container(spec.container_config())
+        yield sim.timeout(max(0.0, 6_000.0 - sim.now))
+        yield from engine.execute(container, spec.exec_spec())
+        return container
+
+    # The monitor loop re-arms its own timer, so run bounded, not to
+    # queue exhaustion.
+    lifecycle_proc = sim.process(lifecycle())
+    sim.run(until=20_000.0)
+    monitor.stop()
+    sim.run(until=20_000.0 + 2 * sample_ms)
+    if not lifecycle_proc.ok:
+        raise lifecycle_proc.value
+
+    figure.add_series(
+        Series.from_arrays(
+            "cassandra-cpu", monitor.times_s, monitor.cpu_percent,
+            x_label="time (s)", y_label="cpu %",
+        )
+    )
+    figure.add_series(
+        Series.from_arrays(
+            "cassandra-mem", monitor.times_s, monitor.mem_mb,
+            x_label="time (s)", y_label="memory (MB)",
+        )
+    )
+    exec_window = (monitor.times_s >= 6.0) & (monitor.times_s <= 13.0)
+    idle_window = monitor.times_s > 14.0
+    peak_mem = float(monitor.mem_mb[exec_window].max())
+    idle_mem = float(monitor.mem_mb[idle_window].mean())
+    figure.add_table(
+        Table(
+            name="fig15b-summary",
+            columns=("phase", "mem (MB)", "cpu %"),
+            rows=(
+                ("app executing (6-13s)", round(peak_mem, 1),
+                 round(float(monitor.cpu_percent[exec_window].max()), 2)),
+                ("container live, app stopped", round(idle_mem, 2),
+                 round(float(monitor.cpu_percent[idle_window].mean()), 3)),
+            ),
+        )
+    )
+    figure.note(
+        "paper: application execution dominates resource consumption; the OS "
+        "reclaims unused memory quickly once the app stops. Measured idle "
+        f"live-container footprint {idle_mem:.1f} MB vs {peak_mem:.0f} MB "
+        "during execution"
+    )
+    return figure

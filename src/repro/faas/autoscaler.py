@@ -1,0 +1,120 @@
+"""A reactive replica autoscaler (Tencent-style baseline, Section III-B).
+
+"They designed a real-time autoscale system that can expand or contract
+in second-level based on the system metrics and monitoring data."
+
+The autoscaler is deliberately decoupled: it drives any *scalable pool*
+object exposing ``warm_count(key)`` and ``scale_to(key, n)`` (the HotC
+pool and the baseline warm pools both qualify).  Each tick it estimates
+per-key concurrency demand with an EWMA of observed arrivals and scales
+the pool to that estimate — reactive, with no forecasting, which is
+exactly what the paper's predictor improves upon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Protocol
+
+__all__ = ["ReactiveAutoscaler", "ScalablePool"]
+
+
+class ScalablePool(Protocol):
+    """Anything whose per-key warm capacity can be adjusted."""
+
+    def warm_count(self, key) -> int:
+        """Currently warm (idle, reusable) containers for ``key``."""
+        ...
+
+    def scale_to(self, key, target: int) -> Generator:
+        """Process: boot or stop containers until ``key`` has ``target``."""
+        ...
+
+
+class ReactiveAutoscaler:
+    """EWMA-of-arrivals reactive scaler.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel (for time and ticking).
+    pool:
+        The scalable pool to drive.
+    tick_ms:
+        Control period.
+    alpha:
+        EWMA smoothing factor on the per-tick arrival count.
+    headroom:
+        Multiplier applied to the demand estimate (>= 1 keeps spares).
+    max_per_key:
+        Hard cap per runtime key.
+    """
+
+    def __init__(
+        self,
+        sim,
+        pool: ScalablePool,
+        tick_ms: float = 1_000.0,
+        alpha: float = 0.5,
+        headroom: float = 1.2,
+        max_per_key: int = 100,
+    ) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if tick_ms <= 0:
+            raise ValueError("tick_ms must be positive")
+        if headroom < 1.0:
+            raise ValueError("headroom must be >= 1")
+        if max_per_key < 0:
+            raise ValueError("max_per_key must be >= 0")
+        self.sim = sim
+        self.pool = pool
+        self.tick_ms = tick_ms
+        self.alpha = alpha
+        self.headroom = headroom
+        self.max_per_key = max_per_key
+        self._arrivals_this_tick: Dict[object, int] = {}
+        self._demand_ewma: Dict[object, float] = {}
+        self._running = False
+
+    # -- observation --------------------------------------------------------
+    def observe_arrival(self, key) -> None:
+        """Call once per incoming request for ``key``."""
+        self._arrivals_this_tick[key] = self._arrivals_this_tick.get(key, 0) + 1
+
+    def demand_estimate(self, key) -> float:
+        """Current smoothed demand for ``key`` (containers)."""
+        return self._demand_ewma.get(key, 0.0)
+
+    def target_for(self, key) -> int:
+        """Replica target derived from the smoothed demand."""
+        import math
+
+        estimate = self._demand_ewma.get(key, 0.0) * self.headroom
+        return min(self.max_per_key, int(math.ceil(estimate - 1e-9)))
+
+    # -- control loop --------------------------------------------------------
+    def start(self) -> None:
+        """Begin ticking; idempotent."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._loop(), name="autoscaler")
+
+    def stop(self) -> None:
+        """Stop after the current tick."""
+        self._running = False
+
+    def _loop(self) -> Generator:
+        while self._running:
+            yield self.sim.timeout(self.tick_ms)
+            if not self._running:
+                break
+            arrivals, self._arrivals_this_tick = self._arrivals_this_tick, {}
+            keys = set(arrivals) | set(self._demand_ewma)
+            for key in keys:
+                observed = float(arrivals.get(key, 0))
+                previous = self._demand_ewma.get(key, observed)
+                self._demand_ewma[key] = (
+                    self.alpha * observed + (1 - self.alpha) * previous
+                )
+                yield from self.pool.scale_to(key, self.target_for(key))

@@ -1,0 +1,69 @@
+"""The gateway: entry point and proxy of the platform (Fig 5).
+
+"The clients send requests to the gateway, which acts as an entry to
+the backends.  Gateway works as a proxy forwarding requests to the
+corresponding functions and can be scaled to multiple instances."
+
+The gateway stamps moments (1) and (6), applies its proxy forwarding
+cost, and bounds in-flight requests with a concurrency limit.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.containers.engine import ContainerEngine
+from repro.faas.function import FunctionSpec
+from repro.faas.tracing import RequestTrace
+from repro.faas.watchdog import Watchdog
+
+__all__ = ["Gateway"]
+
+
+class Gateway:
+    """Proxies client requests to per-function watchdogs."""
+
+    def __init__(
+        self,
+        sim,
+        engine: ContainerEngine,
+        provider,
+        concurrency: int = 1024,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("gateway concurrency must be >= 1")
+        self.sim = sim
+        self.engine = engine
+        self.watchdog = Watchdog(sim, engine, provider)
+        self._slots = sim.resource(concurrency, name="gateway")
+        self.inflight_peak = 0
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently inside the gateway."""
+        return self._slots.in_use
+
+    def handle(self, spec: FunctionSpec, trace: RequestTrace) -> Generator:
+        """Process: the full request pipeline, moments (1)..(6)."""
+        latency = self.engine.latency
+
+        # Client -> gateway network hop.
+        yield self.sim.timeout(latency.faas_stage("client_to_gateway"))
+        trace.t1_gateway_in = self.sim.now
+
+        yield self._slots.request()
+        self.inflight_peak = max(self.inflight_peak, self._slots.in_use)
+        try:
+            # MakeQueuedProxy: route lookup + forwarding.
+            yield self.sim.timeout(latency.faas_stage("gateway_proxy"))
+            yield self.sim.timeout(latency.faas_stage("gateway_to_watchdog"))
+
+            trace = yield from self.watchdog.handle(spec, trace)
+
+            yield self.sim.timeout(latency.faas_stage("watchdog_to_gateway"))
+        finally:
+            self._slots.release()
+
+        yield self.sim.timeout(latency.faas_stage("gateway_to_client"))
+        trace.t6_client_recv = self.sim.now
+        return trace

@@ -1,0 +1,154 @@
+"""Per-request timestamps: the six moments of Section III.
+
+The paper instruments OpenFaaS at six points along the request path::
+
+    (1) request packet arrives at the gateway
+    (2) request packet reaches the watchdog
+    (3) the function process starts (business logic begins)
+    (4) the function process stops
+    (5) the response packet leaves the watchdog
+    (6) the client receives the response
+
+We additionally record ``t0`` (client send) so end-to-end latency is
+observable, plus the cold-start decomposition coming out of the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RequestTrace", "TraceCollector"]
+
+
+@dataclass
+class RequestTrace:
+    """Timestamps and metadata of one request."""
+
+    request_id: int
+    function: str
+    t0_client_send: float
+    t1_gateway_in: float = float("nan")
+    t2_watchdog_in: float = float("nan")
+    t3_function_start: float = float("nan")
+    t4_function_stop: float = float("nan")
+    t5_watchdog_out: float = float("nan")
+    t6_client_recv: float = float("nan")
+    cold_start: bool = False
+    container_id: str = ""
+    #: Engine-level decomposition (ms) of the function-side work.
+    runtime_init_ms: float = 0.0
+    app_init_ms: float = 0.0
+    exec_ms: float = 0.0
+
+    # -- derived segments (all ms) ----------------------------------------
+    @property
+    def total_latency(self) -> float:
+        """End-to-end client latency (t6 - t0)."""
+        return self.t6_client_recv - self.t0_client_send
+
+    @property
+    def gateway_forward_ms(self) -> float:
+        """(1) -> (2): gateway proxying."""
+        return self.t2_watchdog_in - self.t1_gateway_in
+
+    @property
+    def function_init_ms(self) -> float:
+        """(2) -> (3): the segment the paper finds dominant when cold."""
+        return self.t3_function_start - self.t2_watchdog_in
+
+    @property
+    def function_exec_ms(self) -> float:
+        """(3) -> (4): business logic execution."""
+        return self.t4_function_stop - self.t3_function_start
+
+    @property
+    def response_ms(self) -> float:
+        """(4) -> (6): response propagation back to the client."""
+        return self.t6_client_recv - self.t4_function_stop
+
+    def segments(self) -> Dict[str, float]:
+        """Named breakdown used by the Fig 5 experiment."""
+        return {
+            "client_to_gateway": self.t1_gateway_in - self.t0_client_send,
+            "gateway_forward": self.gateway_forward_ms,
+            "function_init": self.function_init_ms,
+            "function_exec": self.function_exec_ms,
+            "watchdog_out": self.t5_watchdog_out - self.t4_function_stop,
+            "gateway_return": self.t6_client_recv - self.t5_watchdog_out,
+        }
+
+    @property
+    def complete(self) -> bool:
+        """Whether all six moments were recorded."""
+        return not any(
+            np.isnan(t)
+            for t in (
+                self.t1_gateway_in,
+                self.t2_watchdog_in,
+                self.t3_function_start,
+                self.t4_function_stop,
+                self.t5_watchdog_out,
+                self.t6_client_recv,
+            )
+        )
+
+
+class TraceCollector:
+    """Accumulates request traces and derives figure-ready series."""
+
+    def __init__(self) -> None:
+        self._traces: List[RequestTrace] = []
+
+    def add(self, trace: RequestTrace) -> None:
+        """Record a finished trace."""
+        self._traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self):
+        return iter(self._traces)
+
+    @property
+    def traces(self) -> Tuple[RequestTrace, ...]:
+        """All traces in completion order."""
+        return tuple(self._traces)
+
+    def latencies(self) -> np.ndarray:
+        """End-to-end latencies (ms) in completion order."""
+        return np.array([t.total_latency for t in self._traces], dtype=float)
+
+    def cold_flags(self) -> np.ndarray:
+        """Boolean array: which requests were cold."""
+        return np.array([t.cold_start for t in self._traces], dtype=bool)
+
+    def cold_count(self) -> int:
+        """Number of cold-started requests."""
+        return int(self.cold_flags().sum())
+
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency (ms); NaN when empty."""
+        latencies = self.latencies()
+        return float(latencies.mean()) if latencies.size else float("nan")
+
+    def mean_segments(self) -> Dict[str, float]:
+        """Average of each pipeline segment across complete traces."""
+        complete = [t for t in self._traces if t.complete]
+        if not complete:
+            return {}
+        keys = complete[0].segments().keys()
+        return {
+            key: float(np.mean([t.segments()[key] for t in complete]))
+            for key in keys
+        }
+
+    def filter(self, function: Optional[str] = None) -> "TraceCollector":
+        """A new collector restricted to one function."""
+        child = TraceCollector()
+        for trace in self._traces:
+            if function is None or trace.function == function:
+                child.add(trace)
+        return child

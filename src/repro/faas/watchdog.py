@@ -1,0 +1,70 @@
+"""The watchdog: OpenFaaS's per-function HTTP shell.
+
+Section III: "The watchdog is a tiny Golang HTTP server ... puts a layer
+of HTTP shell on the function, writes to the stdin of the function
+process, and receives the response data from the function process
+stdout."
+
+In the simulation the watchdog owns moments (2)–(5) of a request: it
+receives the forwarded request, obtains a runtime container from the
+provider (this is where cold start lands, making segment 2→3 dominate),
+runs the handler, and emits the response.  Cleanup is handed back to the
+provider asynchronously so it never blocks the response.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.containers.engine import ContainerEngine
+from repro.faas.function import FunctionSpec
+from repro.faas.tracing import RequestTrace
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Executes requests for functions against a container engine."""
+
+    def __init__(self, sim, engine: ContainerEngine, provider) -> None:
+        self.sim = sim
+        self.engine = engine
+        self.provider = provider
+
+    def handle(self, spec: FunctionSpec, trace: RequestTrace) -> Generator:
+        """Process: moments (2)..(5) of the request pipeline."""
+        latency = self.engine.latency
+        trace.t2_watchdog_in = self.sim.now
+
+        # fork/exec of the handler process + stdin pipe setup.
+        yield self.sim.timeout(latency.faas_stage("watchdog_fork"))
+
+        container, cold_boot = yield from self.provider.acquire(
+            spec.container_config()
+        )
+        # Multi-host providers place containers on their own engines; run
+        # the handler on the engine that owns the container.
+        resolve = getattr(self.provider, "engine_for", None)
+        engine = resolve(container) if resolve is not None else self.engine
+        result = yield from engine.execute(container, spec.exec_spec())
+
+        trace.t4_function_stop = self.sim.now
+        # Moment (3) is when business logic begins: everything before the
+        # pure exec segment is initiation (queueing, runtime init, app init).
+        trace.t3_function_start = trace.t4_function_stop - result.exec_ms
+        trace.cold_start = cold_boot or result.cold_start
+        trace.container_id = container.container_id
+        trace.runtime_init_ms = result.runtime_init_ms
+        trace.app_init_ms = result.app_init_ms
+        trace.exec_ms = result.exec_ms
+
+        # Read stdout + wrap the HTTP response.
+        yield self.sim.timeout(latency.faas_stage("watchdog_pipe"))
+        trace.t5_watchdog_out = self.sim.now
+
+        # Hand the container back off the critical path.
+        self.sim.process(
+            self.provider.release(container),
+            name=f"release:{container.container_id}",
+        )
+        return trace

@@ -1,0 +1,41 @@
+"""Hardware profiles and latency calibration.
+
+The paper evaluates on a Dell PowerEdge T430 server, a Raspberry Pi 3,
+and (spot checks) an Nvidia Jetson TX2.  This package encodes those
+hosts as :class:`~repro.hardware.profiles.HostProfile` objects and the
+paper's measured latency structure as calibration tables
+(:mod:`repro.hardware.calibration`) that every simulated container /
+FaaS operation draws from.
+"""
+
+from repro.hardware.profiles import (
+    HostProfile,
+    JETSON_TX2,
+    RASPBERRY_PI3,
+    T430_SERVER,
+    get_profile,
+    list_profiles,
+)
+from repro.hardware.calibration import (
+    ContainerOpCosts,
+    LanguageRuntime,
+    LatencyModel,
+    NETWORK_SETUP_MS,
+    LANGUAGE_RUNTIMES,
+    network_setup_ms,
+)
+
+__all__ = [
+    "ContainerOpCosts",
+    "HostProfile",
+    "JETSON_TX2",
+    "LANGUAGE_RUNTIMES",
+    "LanguageRuntime",
+    "LatencyModel",
+    "NETWORK_SETUP_MS",
+    "RASPBERRY_PI3",
+    "T430_SERVER",
+    "get_profile",
+    "list_profiles",
+    "network_setup_ms",
+]

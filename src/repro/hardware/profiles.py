@@ -1,0 +1,120 @@
+"""Host hardware profiles matching the paper's testbeds (Section V-A).
+
+Each profile carries raw capacities plus two scale factors:
+
+``compute_scale``
+    Multiplier on application execution time relative to the T430
+    server.  The paper reports that the image-recognition apps run
+    "more than 10 times" slower on the Raspberry Pi (Section V-B).
+
+``container_op_scale``
+    Multiplier on container management operations (create, network
+    setup, image handling).  Edge devices are slower here too, but less
+    dramatically than raw compute, because the operations are mostly
+    I/O and syscall bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.sim.resources import HostResources
+
+__all__ = [
+    "HostProfile",
+    "T430_SERVER",
+    "RASPBERRY_PI3",
+    "JETSON_TX2",
+    "get_profile",
+    "list_profiles",
+]
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """Static description of a host machine."""
+
+    name: str
+    description: str
+    cores: int
+    clock_ghz: float
+    mem_mb: float
+    swap_mb: float
+    network_gbps: float
+    compute_scale: float
+    container_op_scale: float
+
+    @property
+    def cpu_millicores(self) -> float:
+        """Total CPU capacity: 1000 millicores per core."""
+        return self.cores * 1000.0
+
+    def make_resources(self) -> HostResources:
+        """Fresh :class:`HostResources` ledger for this profile."""
+        return HostResources(
+            cpu_millicores=self.cpu_millicores,
+            mem_mb=self.mem_mb,
+            swap_mb=self.swap_mb,
+        )
+
+
+#: Dell PowerEdge T430 — dual 10-core Xeon E5-2640 2.6 GHz, 64 GB RAM,
+#: gigabit network (Section V-A).  Reference machine: scale factors 1.0.
+T430_SERVER = HostProfile(
+    name="t430-server",
+    description="Dell PowerEdge T430, dual 10-core Xeon E5-2640 2.6GHz, 64GB",
+    cores=20,
+    clock_ghz=2.6,
+    mem_mb=64 * 1024,
+    swap_mb=8 * 1024,
+    network_gbps=1.0,
+    compute_scale=1.0,
+    container_op_scale=1.0,
+)
+
+#: Raspberry Pi 3 — quad-core 1.2 GHz BCM2837, 1 GB RAM, 32 GB SD card.
+#: App execution "prolongs more than 10 times" vs the server (Sec V-B).
+RASPBERRY_PI3 = HostProfile(
+    name="raspberry-pi3",
+    description="Raspberry Pi 3, quad-core 1.2GHz BCM2837, 1GB RAM",
+    cores=4,
+    clock_ghz=1.2,
+    mem_mb=1024,
+    swap_mb=1024,
+    network_gbps=0.1,
+    compute_scale=12.0,
+    container_op_scale=4.0,
+)
+
+#: Nvidia Jetson TX2 — used for the edge spot checks in Section III.
+JETSON_TX2 = HostProfile(
+    name="jetson-tx2",
+    description="Nvidia Jetson TX2, 6-core ARM, 8GB RAM",
+    cores=6,
+    clock_ghz=2.0,
+    mem_mb=8 * 1024,
+    swap_mb=2 * 1024,
+    network_gbps=1.0,
+    compute_scale=3.0,
+    container_op_scale=2.0,
+)
+
+_PROFILES: Dict[str, HostProfile] = {
+    profile.name: profile
+    for profile in (T430_SERVER, RASPBERRY_PI3, JETSON_TX2)
+}
+
+
+def get_profile(name: str) -> HostProfile:
+    """Look up a profile by name; raises ``KeyError`` with suggestions."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise KeyError(f"unknown host profile {name!r}; known: {known}") from None
+
+
+def list_profiles() -> Tuple[str, ...]:
+    """Names of all registered profiles."""
+    return tuple(sorted(_PROFILES))

@@ -1,0 +1,38 @@
+"""Metrics: latency statistics, prediction errors, resource monitoring,
+and figure-ready report formatting."""
+
+from repro.metrics.latency import (
+    LatencySummary,
+    empirical_cdf,
+    percentile,
+    summarize_latencies,
+    tail_ratio,
+)
+from repro.metrics.errors import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    relative_errors,
+    root_mean_square_error,
+)
+from repro.metrics.monitor import ResourceMonitor
+from repro.metrics.billing import BillingModel, CostReport
+from repro.metrics.report import Figure, Series, Table, format_table
+
+__all__ = [
+    "BillingModel",
+    "CostReport",
+    "Figure",
+    "LatencySummary",
+    "ResourceMonitor",
+    "Series",
+    "Table",
+    "empirical_cdf",
+    "format_table",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "percentile",
+    "relative_errors",
+    "root_mean_square_error",
+    "summarize_latencies",
+    "tail_ratio",
+]

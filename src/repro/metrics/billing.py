@@ -1,0 +1,119 @@
+"""FaaS billing model: what cold starts cost in money, not just time.
+
+Section I: "As the FaaS platforms usually charge based on the length of
+the request, the cold start might incur unnecessary costs for the
+users."  Section III-B adds that keep-warm pinging "might also
+introduce unnecessary fees".
+
+The model follows the Lambda-style scheme: each request is billed for
+its *function-side duration* (initialisation included — that is the
+point) rounded up to a billing quantum, multiplied by the memory size;
+warm-up pings are billed like ordinary invocations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.faas.tracing import RequestTrace
+
+__all__ = ["BillingModel", "CostReport"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Billed cost decomposition for one experiment arm."""
+
+    requests: int
+    billed_ms: float
+    exec_ms: float
+    overhead_ms: float
+    cost_usd: float
+    ping_cost_usd: float = 0.0
+
+    @property
+    def total_usd(self) -> float:
+        """Request cost plus keep-warm ping fees."""
+        return self.cost_usd + self.ping_cost_usd
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of the billed time that was not business logic."""
+        return self.overhead_ms / self.billed_ms if self.billed_ms else 0.0
+
+
+@dataclass(frozen=True)
+class BillingModel:
+    """Lambda-style duration x memory pricing.
+
+    Parameters
+    ----------
+    usd_per_gb_second:
+        Price per GB-second of billed duration (AWS-like default).
+    billing_quantum_ms:
+        Durations round up to this quantum (1 ms on modern Lambda,
+        100 ms historically — the paper's era).
+    """
+
+    usd_per_gb_second: float = 0.0000166667
+    billing_quantum_ms: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.usd_per_gb_second <= 0:
+            raise ValueError("usd_per_gb_second must be positive")
+        if self.billing_quantum_ms <= 0:
+            raise ValueError("billing_quantum_ms must be positive")
+
+    def billed_duration_ms(self, trace: RequestTrace) -> float:
+        """The function-side duration the provider bills: (2) -> (5).
+
+        Includes initiation — cold starts are paid for.
+        """
+        duration = trace.t5_watchdog_out - trace.t2_watchdog_in
+        quanta = math.ceil(duration / self.billing_quantum_ms - 1e-12)
+        return max(1, quanta) * self.billing_quantum_ms
+
+    def request_cost_usd(self, trace: RequestTrace, mem_mb: float) -> float:
+        """Billed cost of one request at a given memory size."""
+        if mem_mb <= 0:
+            raise ValueError("mem_mb must be positive")
+        gb_seconds = (mem_mb / 1024.0) * (self.billed_duration_ms(trace) / 1000.0)
+        return gb_seconds * self.usd_per_gb_second
+
+    def report(
+        self,
+        traces: Iterable[RequestTrace],
+        mem_mb: float,
+        ping_count: int = 0,
+        ping_ms: float = 100.0,
+    ) -> CostReport:
+        """Aggregate cost over an experiment arm.
+
+        ``ping_count``/``ping_ms`` bill the keep-warm pings of a
+        periodic-warm-up policy at the same rate.
+        """
+        traces = list(traces)
+        if not traces:
+            raise ValueError("no traces to bill")
+        billed = sum(self.billed_duration_ms(t) for t in traces)
+        executed = sum(t.function_exec_ms for t in traces)
+        cost = sum(self.request_cost_usd(t, mem_mb) for t in traces)
+        ping_quanta = math.ceil(ping_ms / self.billing_quantum_ms)
+        ping_cost = (
+            ping_count
+            * ping_quanta
+            * self.billing_quantum_ms
+            / 1000.0
+            * (mem_mb / 1024.0)
+            * self.usd_per_gb_second
+        )
+        return CostReport(
+            requests=len(traces),
+            billed_ms=float(billed),
+            exec_ms=float(executed),
+            overhead_ms=float(billed - executed),
+            cost_usd=float(cost),
+            ping_cost_usd=float(ping_cost),
+        )

@@ -1,0 +1,54 @@
+"""Prediction error metrics (Fig 10's relative-error analysis)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "relative_errors",
+    "root_mean_square_error",
+]
+
+
+def _paired(actual, predicted):
+    a = np.asarray(actual, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise ValueError(f"shape mismatch: actual {a.shape} vs predicted {p.shape}")
+    if a.size == 0:
+        raise ValueError("need at least one point")
+    if np.any(~np.isfinite(a)) or np.any(~np.isfinite(p)):
+        raise ValueError("inputs must be finite")
+    return a, p
+
+
+def relative_errors(actual, predicted, floor: float = 1.0) -> np.ndarray:
+    """|predicted - actual| / max(|actual|, floor), element-wise.
+
+    The ``floor`` guards near-zero actuals (a container count of zero
+    would otherwise make any prediction an infinite error) — the same
+    convention the paper's percentages imply.
+    """
+    if floor <= 0:
+        raise ValueError("floor must be positive")
+    a, p = _paired(actual, predicted)
+    return np.abs(p - a) / np.maximum(np.abs(a), floor)
+
+
+def mean_absolute_percentage_error(actual, predicted, floor: float = 1.0) -> float:
+    """Mean of :func:`relative_errors`, as a fraction (0.29 = 29%)."""
+    return float(np.mean(relative_errors(actual, predicted, floor)))
+
+
+def mean_absolute_error(actual, predicted) -> float:
+    """Mean absolute error."""
+    a, p = _paired(actual, predicted)
+    return float(np.mean(np.abs(p - a)))
+
+
+def root_mean_square_error(actual, predicted) -> float:
+    """Root mean squared error."""
+    a, p = _paired(actual, predicted)
+    return float(np.sqrt(np.mean((p - a) ** 2)))

@@ -1,0 +1,95 @@
+"""Latency statistics: percentiles, CDFs, tail ratios (Fig 1b and friends)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "LatencySummary",
+    "empirical_cdf",
+    "percentile",
+    "summarize_latencies",
+    "tail_ratio",
+]
+
+
+def _as_array(values) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise ValueError("latencies must be a 1-D sequence")
+    if array.size == 0:
+        raise ValueError("latencies must be non-empty")
+    if np.any(~np.isfinite(array)):
+        raise ValueError("latencies must be finite")
+    if np.any(array < 0):
+        raise ValueError("latencies must be >= 0")
+    return array
+
+
+def percentile(values, q: float) -> float:
+    """The q-th percentile (0..100), linear interpolation."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    return float(np.percentile(_as_array(values), q))
+
+
+def empirical_cdf(values) -> Tuple[np.ndarray, np.ndarray]:
+    """``(x, p)`` of the empirical CDF: P[X <= x[i]] = p[i].
+
+    The Fig 1b long-tail comparison plots exactly this.
+    """
+    array = np.sort(_as_array(values))
+    probabilities = np.arange(1, array.size + 1, dtype=float) / array.size
+    return array, probabilities
+
+
+def tail_ratio(values, tail_q: float = 99.0, reference_q: float = 50.0) -> float:
+    """p``tail_q`` / p``reference_q`` — the long-tail severity measure.
+
+    For the paper's local-function baseline this is ~1 ("99% of latency
+    is almost the same"); cold starts inflate it.
+    """
+    reference = percentile(values, reference_q)
+    if reference == 0:
+        raise ValueError("reference percentile is zero")
+    return percentile(values, tail_q) / reference
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Standard latency digest of one experiment arm."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    @property
+    def max_over_min(self) -> float:
+        """Fig 1a's "highest vs lowest" comparison."""
+        return self.maximum / self.minimum if self.minimum > 0 else float("inf")
+
+    @property
+    def max_over_mean(self) -> float:
+        """Fig 1a's "highest vs average" comparison."""
+        return self.maximum / self.mean if self.mean > 0 else float("inf")
+
+
+def summarize_latencies(values) -> LatencySummary:
+    """Compute the digest for a latency sample."""
+    array = _as_array(values)
+    return LatencySummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        p50=float(np.percentile(array, 50)),
+        p90=float(np.percentile(array, 90)),
+        p99=float(np.percentile(array, 99)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )

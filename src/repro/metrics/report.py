@@ -1,0 +1,166 @@
+"""Figure-ready result containers and plain-text table rendering.
+
+Every experiment module returns a :class:`Figure` holding named
+:class:`Series` (for line plots) and/or :class:`Table` objects (for bar
+charts); the benchmark harness prints them so the paper's rows/series
+can be compared by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Figure", "Series", "Table", "format_table"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plottable series: aligned x and y arrays."""
+
+    name: str
+    x: Tuple[float, ...]
+    y: Tuple[float, ...]
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(
+                f"series {self.name!r}: x has {len(self.x)} points, "
+                f"y has {len(self.y)}"
+            )
+
+    @staticmethod
+    def from_arrays(name: str, x, y, x_label: str = "x", y_label: str = "y") -> "Series":
+        """Build from any array-likes."""
+        return Series(
+            name=name,
+            x=tuple(float(v) for v in np.asarray(x).ravel()),
+            y=tuple(float(v) for v in np.asarray(y).ravel()),
+            x_label=x_label,
+            y_label=y_label,
+        )
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(x, y)`` as numpy arrays."""
+        return np.array(self.x), np.array(self.y)
+
+
+@dataclass(frozen=True)
+class Table:
+    """A small result table: column headers plus value rows."""
+
+    name: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Union[str, Number], ...], ...]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"table {self.name!r}: row {row!r} does not match "
+                    f"columns {self.columns!r}"
+                )
+
+    def column(self, name: str) -> Tuple:
+        """All values of one column."""
+        try:
+            index = self.columns.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no column {name!r}; columns: {self.columns}"
+            ) from None
+        return tuple(row[index] for row in self.rows)
+
+
+@dataclass
+class Figure:
+    """Everything one paper figure's reproduction produced."""
+
+    figure_id: str
+    title: str
+    series: List[Series] = field(default_factory=list)
+    tables: List[Table] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, series: Series) -> "Figure":
+        """Attach a series."""
+        self.series.append(series)
+        return self
+
+    def add_table(self, table: Table) -> "Figure":
+        """Attach a table."""
+        self.tables.append(table)
+        return self
+
+    def note(self, text: str) -> "Figure":
+        """Attach a free-text observation (paper-vs-measured remarks)."""
+        self.notes.append(text)
+        return self
+
+    def get_series(self, name: str) -> Series:
+        """Find a series by name."""
+        for series in self.series:
+            if series.name == name:
+                return series
+        known = ", ".join(s.name for s in self.series)
+        raise KeyError(f"no series {name!r} in {self.figure_id}; have: {known}")
+
+    def get_table(self, name: str) -> Table:
+        """Find a table by name."""
+        for table in self.tables:
+            if table.name == name:
+                return table
+        known = ", ".join(t.name for t in self.tables)
+        raise KeyError(f"no table {name!r} in {self.figure_id}; have: {known}")
+
+    def render(self) -> str:
+        """Human-readable text rendering of the whole figure."""
+        lines = [f"=== {self.figure_id}: {self.title} ==="]
+        for table in self.tables:
+            lines.append(f"-- {table.name} --")
+            lines.append(format_table(table.columns, table.rows))
+        for series in self.series:
+            lines.append(
+                f"-- series {series.name} ({series.x_label} -> {series.y_label}) --"
+            )
+            pairs = ", ".join(
+                f"({x:g}, {y:.4g})" for x, y in zip(series.x, series.y)
+            )
+            lines.append(pairs if pairs else "(empty)")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _format_cell(value: Union[str, Number]) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str], rows: Sequence[Sequence[Union[str, Number]]]
+) -> str:
+    """Render an aligned plain-text table."""
+    header = [str(c) for c in columns]
+    body = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [render_row(header), render_row(["-" * w for w in widths])]
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)

@@ -1,0 +1,392 @@
+"""Generator-based process engine on top of the event queue.
+
+The engine is a deliberately small subset of the SimPy model: processes
+are Python generators that ``yield`` waitable :class:`~repro.sim.events.Event`
+objects (timeouts, other processes, composite events, resource requests).
+A process is itself an event that fires when its generator returns, so
+processes compose.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def worker(sim):
+...     yield sim.timeout(5.0)
+...     return "done"
+>>> proc = sim.process(worker(sim))
+>>> sim.run()
+>>> proc.value
+'done'
+>>> sim.now
+5.0
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.sim.events import Event, EventQueue, ScheduledEvent
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "Timeout",
+]
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` milliseconds after creation."""
+
+    __slots__ = ("delay", "_entry",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(name=f"timeout({delay})")
+        self.delay = delay
+        self._entry: ScheduledEvent = sim._queue.push(
+            sim.now + delay, self.succeed, (value,)
+        )
+
+    def cancel(self) -> None:
+        """Cancel the pending timeout (no-op once fired)."""
+        if not self.triggered:
+            self._entry.cancel()
+
+
+class Process(Event):
+    """A running generator; fires with the generator's return value.
+
+    Yield semantics inside the generator:
+
+    * ``yield event`` — suspend until ``event`` fires; the ``yield``
+      expression evaluates to the event's value.  If the event failed,
+      the exception is re-raised inside the generator.
+    * ``return value`` — finishes the process; waiters receive ``value``.
+    """
+
+    __slots__ = ("_sim", "_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                "process() expects a generator; did you forget to call "
+                "the generator function?"
+            )
+        super().__init__(name=name or getattr(generator, "__name__", "process"))
+        self._sim = sim
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Start the process at the current simulation instant.
+        sim._queue.push(sim.now, self._resume, (None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting detaches it from the awaited event.
+        """
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self!r}")
+        self._sim._queue.push(
+            self._sim.now, self._resume, (None, Interrupt(cause)), priority=-1
+        )
+
+    # -- engine internals ------------------------------------------------
+    def _wait_for(self, event: Event) -> None:
+        self._waiting_on = event
+        event.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            # Stale callback after an interrupt re-armed the process.
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        abandoned = self._waiting_on
+        if isinstance(abandoned, Timeout) and not abandoned.triggered:
+            # An interrupt is pre-empting a pending sleep: drop the orphan
+            # timer so it cannot keep the simulation alive artificially.
+            abandoned.cancel()
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate to waiters
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; processes "
+                    "must yield Event instances"
+                )
+            )
+            return
+        self._wait_for(target)
+
+
+class AllOf(Event):
+    """Fires when all child events have fired; value is the list of values.
+
+    Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        super().__init__(name="all_of")
+        self._children: List[Event] = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child.add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self.triggered:
+            return
+        if not child.ok:
+            self.fail(child.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as any child fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        super().__init__(name="any_of")
+        self._children: List[Event] = list(events)
+        if not self._children:
+            raise ValueError("AnyOf requires at least one event")
+        for index, child in enumerate(self._children):
+            child.add_callback(lambda c, i=index: self._on_child(i, c))
+
+    def _on_child(self, index: int, child: Event) -> None:
+        if self.triggered:
+            return
+        if child.ok:
+            self.succeed((index, child.value))
+        else:
+            self.fail(child.value)
+
+
+class Resource:
+    """A counting semaphore with a FIFO wait queue.
+
+    ``request()`` returns an event that fires when a slot is granted; the
+    holder must call ``release()`` exactly once per granted request.
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", capacity: int, name: str = "") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently granted slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event fires on grant."""
+        event = Event(name=f"request({self.name})")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot; wakes the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release() on idle resource {self.name!r}")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            # Slot transfers directly to the waiter: _in_use stays put but
+            # the grant must happen at the current instant via the queue so
+            # the releasing process finishes its step first.
+            self.sim._queue.push(self.sim.now, waiter.succeed, (self,))
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO item store with blocking ``get``.
+
+    ``put`` never blocks.  ``get`` returns an event that fires with the
+    oldest item once one is available.
+    """
+
+    __slots__ = ("sim", "_items", "_getters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item``; hands it straight to the oldest waiter."""
+        if self._getters:
+            getter = self._getters.popleft()
+            self.sim._queue.push(self.sim.now, getter.succeed, (item,))
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if present)."""
+        event = Event(name=f"get({self.name})")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Simulator:
+    """The simulation kernel: clock + event queue + process spawner."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._step_count = 0
+
+    # -- time -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        """Number of queue entries executed so far (diagnostics)."""
+        return self._step_count
+
+    # -- primitives ---------------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Event firing ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def event(self, name: str = "") -> Event:
+        """A bare event for manual triggering."""
+        return Event(name=name)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Spawn a process from ``generator`` starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def resource(self, capacity: int, name: str = "") -> Resource:
+        """Create a counting-semaphore resource."""
+        return Resource(self, capacity, name=name)
+
+    def store(self, name: str = "") -> Store:
+        """Create a FIFO store."""
+        return Store(self, name=name)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Run ``callback(*args)`` after ``delay`` ms (plain callback API)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self._queue.push(self._now + delay, callback, args, priority)
+
+    # -- main loop --------------------------------------------------------
+    def step(self) -> None:
+        """Execute the next queue entry, advancing the clock."""
+        entry = self._queue.pop()
+        if entry.time < self._now:
+            raise RuntimeError(
+                f"event queue went backwards: {entry.time} < {self._now}"
+            )
+        self._now = entry.time
+        self._step_count += 1
+        entry.callback(*entry.args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``.
+
+        Returns the final simulated time.  With ``until`` set, the clock
+        is advanced to exactly ``until`` even if the last event fired
+        earlier, mirroring SimPy semantics.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,192 @@
+"""One-shot events and the deterministic event queue.
+
+The queue orders scheduled callbacks by ``(time, priority, sequence)``.
+The monotonically increasing sequence number guarantees that two events
+scheduled for the same instant fire in insertion order, which makes every
+simulation in this repository bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+__all__ = ["Event", "EventQueue", "ScheduledEvent", "PENDING"]
+
+
+class _Pending:
+    """Sentinel for "event has no value yet"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PENDING>"
+
+
+#: Sentinel stored in :attr:`Event.value` until the event fires.
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event starts *pending*, then is either *succeeded* with a value or
+    *failed* with an exception.  Callbacks registered before the trigger
+    run when the event fires; callbacks registered afterwards run
+    immediately (so late waiters do not deadlock).
+    """
+
+    __slots__ = ("callbacks", "_value", "_ok", "_fired", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.callbacks: List[Callable[[Event], None]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._fired: bool = False
+        self.name = name
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has fired (successfully or not)."""
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the event succeeded; only meaningful once fired."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception), :data:`PENDING` before firing."""
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event successfully, delivering ``value`` to waiters."""
+        if self._fired:
+            raise RuntimeError(f"event {self!r} has already fired")
+        self._fired = True
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Fire the event with an exception; waiters will re-raise it."""
+        if self._fired:
+            raise RuntimeError(f"event {self!r} has already fired")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._fired = True
+        self._ok = False
+        self._value = exception
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback``; runs now if the event already fired."""
+        if self._fired:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self._fired else "pending"
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class ScheduledEvent:
+    """A queue entry: ``callback(*args)`` to run at ``time``.
+
+    Entries are totally ordered by ``(time, priority, seq)``; ``seq`` is
+    assigned by the queue.  Cancelled entries stay in the heap but are
+    skipped on pop (lazy deletion).
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when the entry is popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<ScheduledEvent t={self.time:.3f} seq={self.seq}{flag}>"
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`ScheduledEvent` entries."""
+
+    def __init__(self) -> None:
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not entry.cancelled for entry in self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> ScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        entry = ScheduledEvent(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live entry, or ``None`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> ScheduledEvent:
+        """Remove and return the next live entry."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def drain_times(self) -> Iterable[float]:
+        """Yield times of remaining live entries (for debugging/tests)."""
+        return sorted(e.time for e in self._heap if not e.cancelled)

@@ -1,0 +1,213 @@
+"""Per-host CPU / memory / swap accounting.
+
+The paper's pool controller uses a heuristic over ``used_mem`` and
+``used_swap`` (Section IV-B: evict when memory usage crosses 80% of the
+host) — this module provides exactly those observables, plus a sampled
+timeline used by the overhead experiment (Fig 15).
+
+Memory model: allocations fill physical memory first; overflow spills to
+swap.  ``used_mem``/``used_swap`` are derived from the total outstanding
+allocation, which keeps release order-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Allocation", "HostResources", "ResourceSample", "ResourceTimeline"]
+
+
+class ResourceError(RuntimeError):
+    """Raised when an allocation cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One point of a resource usage timeline."""
+
+    time: float
+    cpu_used_millicores: float
+    mem_used_mb: float
+    swap_used_mb: float
+
+
+class ResourceTimeline:
+    """Append-only series of :class:`ResourceSample` points."""
+
+    def __init__(self) -> None:
+        self._samples: List[ResourceSample] = []
+
+    def record(self, sample: ResourceSample) -> None:
+        """Append one sample; time must be non-decreasing."""
+        if self._samples and sample.time < self._samples[-1].time:
+            raise ValueError("timeline samples must be time-ordered")
+        self._samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample times as a float array."""
+        return np.array([s.time for s in self._samples], dtype=float)
+
+    @property
+    def cpu(self) -> np.ndarray:
+        """CPU usage (millicores) as a float array."""
+        return np.array([s.cpu_used_millicores for s in self._samples], dtype=float)
+
+    @property
+    def mem(self) -> np.ndarray:
+        """Memory usage (MB) as a float array."""
+        return np.array([s.mem_used_mb for s in self._samples], dtype=float)
+
+    @property
+    def swap(self) -> np.ndarray:
+        """Swap usage (MB) as a float array."""
+        return np.array([s.swap_used_mb for s in self._samples], dtype=float)
+
+
+@dataclass
+class Allocation:
+    """A granted slice of host resources; release through the host."""
+
+    owner: str
+    cpu_millicores: float
+    mem_mb: float
+    released: bool = field(default=False, repr=False)
+
+
+class HostResources:
+    """Tracks CPU and memory commitments on a single simulated host.
+
+    Parameters
+    ----------
+    cpu_millicores:
+        Total CPU capacity (1 core = 1000 millicores).
+    mem_mb:
+        Physical memory in MB.
+    swap_mb:
+        Swap space in MB; allocations overflow here when memory is full.
+    """
+
+    def __init__(self, cpu_millicores: float, mem_mb: float, swap_mb: float = 0.0) -> None:
+        if cpu_millicores <= 0 or mem_mb <= 0 or swap_mb < 0:
+            raise ValueError("resource capacities must be positive")
+        self.cpu_millicores_total = float(cpu_millicores)
+        self.mem_mb_total = float(mem_mb)
+        self.swap_mb_total = float(swap_mb)
+        self._cpu_used = 0.0
+        self._mem_allocated = 0.0
+        self._allocations: Dict[int, Allocation] = {}
+        self.timeline = ResourceTimeline()
+
+    # -- observables -----------------------------------------------------
+    @property
+    def cpu_used_millicores(self) -> float:
+        """Currently committed CPU."""
+        return self._cpu_used
+
+    @property
+    def used_mem_mb(self) -> float:
+        """Physical memory in use (allocation clipped to physical size)."""
+        return min(self._mem_allocated, self.mem_mb_total)
+
+    @property
+    def used_swap_mb(self) -> float:
+        """Swap in use (allocation overflowing physical memory)."""
+        return max(0.0, self._mem_allocated - self.mem_mb_total)
+
+    @property
+    def mem_fraction(self) -> float:
+        """Fraction of physical memory in use, in [0, 1]."""
+        return self.used_mem_mb / self.mem_mb_total
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Fraction of CPU capacity in use, in [0, 1]."""
+        return self._cpu_used / self.cpu_millicores_total
+
+    def memory_pressure(self, threshold: float = 0.8) -> bool:
+        """The paper's heuristic: high memory use or any swap activity."""
+        return self.mem_fraction >= threshold or self.used_swap_mb > 0.0
+
+    # -- allocation ------------------------------------------------------
+    def allocate(self, owner: str, cpu_millicores: float, mem_mb: float) -> Allocation:
+        """Commit resources; raises :class:`ResourceError` when impossible.
+
+        CPU is a hard cap; memory may spill into swap but not beyond it.
+        """
+        if cpu_millicores < 0 or mem_mb < 0:
+            raise ValueError("allocation amounts must be >= 0")
+        if self._cpu_used + cpu_millicores > self.cpu_millicores_total + 1e-9:
+            raise ResourceError(
+                f"CPU exhausted on allocation for {owner!r}: "
+                f"{self._cpu_used + cpu_millicores:.0f} > "
+                f"{self.cpu_millicores_total:.0f} millicores"
+            )
+        if (
+            self._mem_allocated + mem_mb
+            > self.mem_mb_total + self.swap_mb_total + 1e-9
+        ):
+            raise ResourceError(
+                f"memory+swap exhausted on allocation for {owner!r}"
+            )
+        self._cpu_used += cpu_millicores
+        self._mem_allocated += mem_mb
+        allocation = Allocation(owner, cpu_millicores, mem_mb)
+        self._allocations[id(allocation)] = allocation
+        return allocation
+
+    def release(self, allocation: Allocation) -> None:
+        """Return a previously granted allocation; idempotence is an error."""
+        if allocation.released:
+            raise ResourceError(f"double release by {allocation.owner!r}")
+        if id(allocation) not in self._allocations:
+            raise ResourceError("allocation does not belong to this host")
+        del self._allocations[id(allocation)]
+        allocation.released = True
+        self._cpu_used -= allocation.cpu_millicores
+        self._mem_allocated -= allocation.mem_mb
+        # Clamp tiny negative float residue.
+        if -1e-6 < self._cpu_used < 0:
+            self._cpu_used = 0.0
+        if -1e-6 < self._mem_allocated < 0:
+            self._mem_allocated = 0.0
+
+    def can_allocate(self, cpu_millicores: float, mem_mb: float) -> bool:
+        """Whether :meth:`allocate` would succeed for these amounts."""
+        return (
+            self._cpu_used + cpu_millicores <= self.cpu_millicores_total + 1e-9
+            and self._mem_allocated + mem_mb
+            <= self.mem_mb_total + self.swap_mb_total + 1e-9
+        )
+
+    @property
+    def live_allocations(self) -> int:
+        """Number of outstanding allocations."""
+        return len(self._allocations)
+
+    # -- sampling ---------------------------------------------------------
+    def sample(self, now: float) -> ResourceSample:
+        """Record and return a snapshot of current usage at time ``now``."""
+        point = ResourceSample(
+            time=now,
+            cpu_used_millicores=self._cpu_used,
+            mem_used_mb=self.used_mem_mb,
+            swap_used_mb=self.used_swap_mb,
+        )
+        self.timeline.record(point)
+        return point
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HostResources(cpu={self._cpu_used:.0f}/{self.cpu_millicores_total:.0f}m, "
+            f"mem={self.used_mem_mb:.1f}/{self.mem_mb_total:.0f}MB, "
+            f"swap={self.used_swap_mb:.1f}MB)"
+        )

@@ -1,0 +1,76 @@
+"""Named, reproducible random streams.
+
+Every source of randomness in the reproduction draws from a stream
+obtained via :class:`RngRegistry`.  Streams are derived from a single
+experiment seed and a stable string name using ``numpy``'s ``SeedSequence``
+spawning, so:
+
+* two experiments with the same seed are bit-identical, and
+* adding a new stream never perturbs existing ones (unlike sharing one
+  generator, where call order matters).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a child seed from ``root_seed`` and a stream ``name``.
+
+    Uses CRC32 of the name (stable across Python processes, unlike
+    ``hash``) mixed into the root seed.
+    """
+    if not isinstance(root_seed, int):
+        raise TypeError(f"root_seed must be int, got {type(root_seed).__name__}")
+    return (root_seed * 0x9E3779B1 + zlib.crc32(name.encode("utf-8"))) % (2**63)
+
+
+class RngRegistry:
+    """Factory and cache for named :class:`numpy.random.Generator` streams.
+
+    Example
+    -------
+    >>> rngs = RngRegistry(seed=42)
+    >>> a = rngs.stream("arrivals")
+    >>> a is rngs.stream("arrivals")
+    True
+    >>> b = RngRegistry(seed=42).stream("arrivals")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for ``name``."""
+        generator = self._streams.get(name)
+        if generator is None:
+            generator = np.random.default_rng(derive_seed(self.seed, name))
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of this one's.
+
+        Useful for giving a sub-component (e.g. one host) its own
+        namespace of streams.
+        """
+        return RngRegistry(derive_seed(self.seed, f"fork:{name}"))
+
+    def known_streams(self) -> Tuple[str, ...]:
+        """Names of streams created so far (diagnostics)."""
+        return tuple(sorted(self._streams))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._streams))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(seed={self.seed}, streams={len(self._streams)})"

@@ -1,0 +1,64 @@
+"""Workloads: application catalog, request patterns and traces.
+
+- :mod:`repro.workloads.apps` — the applications of the evaluation
+  (image recognition, QR web service, random-number Lambda, Cassandra,
+  S3 download) as :class:`~repro.faas.FunctionSpec` factories with
+  calibrated cost profiles and small *real* computations.
+- :mod:`repro.workloads.patterns` — the request flows of Section V-D:
+  serial, parallel, linear/exponential increase and decrease, bursts,
+  and Poisson background traffic.
+- :mod:`repro.workloads.traces` — a synthetic UMass-campus-style
+  diurnal trace with the three features the paper extracts (Fig 11).
+- :mod:`repro.workloads.generator` — turns a pattern into scheduled
+  platform invocations.
+"""
+
+from repro.workloads.apps import (
+    AppCatalog,
+    cassandra_app,
+    default_catalog,
+    qr_encoder_app,
+    random_number_app,
+    s3_download_app,
+    tf_api_app,
+    v3_app,
+)
+from repro.workloads.patterns import (
+    BurstPattern,
+    MarkovModulatedPattern,
+    SinusoidalPattern,
+    ExponentialPattern,
+    LinearPattern,
+    ParallelPattern,
+    PoissonPattern,
+    RequestPattern,
+    SerialPattern,
+    TracePattern,
+)
+from repro.workloads.traces import UMassStyleTrace, youtube_campus_trace
+from repro.workloads.generator import WorkloadGenerator, WorkloadResult
+
+__all__ = [
+    "AppCatalog",
+    "BurstPattern",
+    "ExponentialPattern",
+    "LinearPattern",
+    "MarkovModulatedPattern",
+    "ParallelPattern",
+    "PoissonPattern",
+    "RequestPattern",
+    "SerialPattern",
+    "SinusoidalPattern",
+    "TracePattern",
+    "UMassStyleTrace",
+    "WorkloadGenerator",
+    "WorkloadResult",
+    "cassandra_app",
+    "default_catalog",
+    "qr_encoder_app",
+    "random_number_app",
+    "s3_download_app",
+    "tf_api_app",
+    "v3_app",
+    "youtube_campus_trace",
+]

@@ -1,0 +1,325 @@
+"""The applications of the paper's evaluation, as function specs.
+
+Each factory returns a :class:`~repro.faas.FunctionSpec` whose cost
+profile is calibrated against the numbers the paper reports:
+
+* ``v3_app`` / ``tf_api_app`` (Fig 8): image recognition; exec/app-init
+  chosen so HotC's measured reduction lands at the paper's −33.2% /
+  −23.9% on the server (and near −26.6% / −20.6% on the Pi).
+* ``qr_encoder_app`` (Fig 9): URL → QR transformation ≈ 60 ms; the rest
+  of a cold request is runtime setup.
+* ``random_number_app`` (Figs 1, 5): a trivial handler, so cold start
+  dominates completely.
+* ``s3_download_app`` (Fig 4a/b): downloads a 3.3 MB PDF and processes
+  it; per-language exec times reproduce the cold/hot ratios (Go 3.06x,
+  Java cold ≈ 2x an already ~1.1 s hot run).
+* ``cassandra_app`` (Fig 15b): a heavyweight JVM database.
+
+Every app carries a small *real* payload so the execution path does
+actual work, not just simulated time.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.containers.image import Image, WELL_KNOWN_BASES, make_base_image
+from repro.containers.network import NetworkConfig
+from repro.containers.registry import Registry
+from repro.faas.function import FunctionSpec
+
+__all__ = [
+    "AppCatalog",
+    "cassandra_app",
+    "default_catalog",
+    "qr_encoder_app",
+    "random_number_app",
+    "s3_download_app",
+    "tf_api_app",
+    "v3_app",
+]
+
+
+# --------------------------------------------------------------------------
+# Real payloads (small, deterministic computations).
+# --------------------------------------------------------------------------
+
+def _lcg_payload(seed: int) -> Callable[[], int]:
+    """A random-number generator handler (Fig 1's Lambda backend)."""
+    state = {"x": seed & 0x7FFFFFFF}
+
+    def handler() -> int:
+        state["x"] = (1103515245 * state["x"] + 12345) % (2**31)
+        return state["x"]
+
+    return handler
+
+
+def encode_qr_matrix(url: str, size: int = 21) -> np.ndarray:
+    """Deterministically encode ``url`` into a QR-like boolean matrix.
+
+    Not a spec-compliant QR code, but a real data→matrix transformation:
+    CRC-seeded bit spreading with the three canonical finder squares.
+    """
+    if size < 9:
+        raise ValueError("QR matrix size must be >= 9")
+    rng = np.random.default_rng(zlib.crc32(url.encode("utf-8")))
+    matrix = rng.integers(0, 2, size=(size, size), dtype=np.uint8).astype(bool)
+    for row, col in ((0, 0), (0, size - 7), (size - 7, 0)):
+        block = matrix[row : row + 7, col : col + 7]
+        block[:] = True
+        block[1:6, 1:6] = False
+        block[2:5, 2:5] = True
+    return matrix
+
+
+def _qr_payload(url: str) -> Callable[[], np.ndarray]:
+    def handler() -> np.ndarray:
+        return encode_qr_matrix(url)
+
+    return handler
+
+
+def _inference_payload(seed: int, classes: int = 1000) -> Callable[[], int]:
+    """A toy "image classification": project a feature vector through a
+    fixed random weight matrix and take the argmax class."""
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal((64, classes)).astype(np.float32)
+
+    def handler() -> int:
+        features = rng.standard_normal(64).astype(np.float32)
+        logits = features @ weights
+        return int(np.argmax(logits))
+
+    return handler
+
+
+def _checksum_payload(size_bytes: int, seed: int = 7) -> Callable[[], int]:
+    """Checksum a synthetic downloaded file (the Fig 4 S3 benchmark)."""
+    blob = np.random.default_rng(seed).integers(
+        0, 256, size=min(size_bytes, 65536), dtype=np.uint8
+    ).tobytes()
+
+    def handler() -> int:
+        return zlib.crc32(blob)
+
+    return handler
+
+
+def _kv_store_payload() -> Callable[[], int]:
+    """A tiny key-value workload standing in for Cassandra queries."""
+    store: Dict[int, int] = {}
+    counter = {"n": 0}
+
+    def handler() -> int:
+        base = counter["n"]
+        for index in range(100):
+            store[(base + index) % 1000] = index
+        counter["n"] += 100
+        return len(store)
+
+    return handler
+
+
+# --------------------------------------------------------------------------
+# App factories (costs in reference-server milliseconds).
+# --------------------------------------------------------------------------
+
+def random_number_app(name: str = "random-number") -> FunctionSpec:
+    """Fig 1 / Fig 5: a Python backend generating a random number."""
+    return FunctionSpec(
+        name=name,
+        image="python:3.6",
+        language="python",
+        exec_ms=1.2,
+        cpu_millicores=128,
+        mem_mb=128,
+        payload=_lcg_payload(seed=zlib.crc32(name.encode())),
+    )
+
+
+def qr_encoder_app(
+    name: str = "qr-encoder",
+    language: str = "python",
+    url: str = "https://example.org/paper",
+    network: Optional[NetworkConfig] = None,
+) -> FunctionSpec:
+    """Fig 9: URL → QR code web service (~60 ms of real transformation).
+
+    The paper deploys variants in several languages behind NAT.
+    """
+    images = {
+        "python": "python:3.6",
+        "go": "golang:1.11",
+        "node": "node:10",
+        "java": "openjdk:8",
+    }
+    if language not in images:
+        raise ValueError(f"no QR app variant for language {language!r}")
+    return FunctionSpec(
+        name=name,
+        image=images[language],
+        language=language,
+        exec_ms=60.0,
+        network=network or NetworkConfig(mode="nat"),
+        cpu_millicores=200,
+        mem_mb=160,
+        payload=_qr_payload(url),
+    )
+
+
+def v3_app(name: str = "v3-app", network: Optional[NetworkConfig] = None) -> FunctionSpec:
+    """Fig 8: inception-v3 image recognition in Python (1000 classes).
+
+    ``app_init_ms`` is the model load; calibrated so HotC reduces the
+    total server-side time by ~33.2% (Fig 8a).
+    """
+    return FunctionSpec(
+        name=name,
+        image="tensorflow/tensorflow:1.13",
+        language="python",
+        exec_ms=2585.0,
+        app_init_ms=760.0,
+        network=network or NetworkConfig(mode="bridge"),
+        cpu_millicores=1000,
+        mem_mb=900,
+        payload=_inference_payload(seed=3, classes=1000),
+    )
+
+
+def tf_api_app(name: str = "tf-api-app", network: Optional[NetworkConfig] = None) -> FunctionSpec:
+    """Fig 8: Go image recognition through the Tensorflow C APIs.
+
+    Calibrated for the −23.9% server-side reduction (Fig 8a).
+    """
+    return FunctionSpec(
+        name=name,
+        image="golang:1.11",
+        language="go",
+        exec_ms=2730.0,
+        app_init_ms=540.0,
+        network=network or NetworkConfig(mode="bridge"),
+        cpu_millicores=1000,
+        mem_mb=700,
+        payload=_inference_payload(seed=4, classes=1000),
+    )
+
+
+#: Per-language exec times (ms) of the 3.3 MB S3 download benchmark,
+#: chosen so the Fig 4a/b cold/hot ratios come out: Go 3.06x, Java ~2x
+#: with a ~1.1 s hot run, Python/Node in between.
+_S3_EXEC_MS: Dict[str, float] = {
+    "go": 117.5,
+    "python": 310.0,
+    "java": 1005.0,
+    "node": 280.0,
+}
+
+_S3_IMAGES: Dict[str, str] = {
+    "go": "golang:1.11",
+    "python": "python:3.6",
+    "java": "openjdk:8",
+    "node": "node:10",
+}
+
+
+def s3_download_app(language: str = "go", name: Optional[str] = None) -> FunctionSpec:
+    """Fig 4a/b: download a 3.3 MB PDF from S3 and process it."""
+    if language not in _S3_EXEC_MS:
+        known = ", ".join(sorted(_S3_EXEC_MS))
+        raise ValueError(f"no S3 benchmark for {language!r}; known: {known}")
+    return FunctionSpec(
+        name=name or f"s3-download-{language}",
+        image=_S3_IMAGES[language],
+        language=language,
+        exec_ms=_S3_EXEC_MS[language],
+        write_mb=3.3,
+        cpu_millicores=250,
+        mem_mb=192,
+        payload=_checksum_payload(size_bytes=3_300_000),
+    )
+
+
+def cassandra_app(name: str = "cassandra") -> FunctionSpec:
+    """Fig 15b: a Cassandra database — "a heavy workload that executes
+    the database on the Java virtual machine".
+
+    Costs sum to ~7 s of in-container time (JVM boot ~0.95 s + schema /
+    cache warm-up 3.5 s + ~2.4 s of request serving) so the Fig 15b
+    timeline matches the paper's start-at-6 s / stop-at-13 s window.
+    """
+    return FunctionSpec(
+        name=name,
+        image="cassandra:3.11",
+        language="java",
+        exec_ms=2_400.0,
+        app_init_ms=3_500.0,
+        cpu_millicores=2000,
+        mem_mb=2048,
+        payload=_kv_store_payload(),
+    )
+
+
+# --------------------------------------------------------------------------
+# Catalog
+# --------------------------------------------------------------------------
+
+@dataclass
+class AppCatalog:
+    """Named collection of function specs plus the images they need."""
+
+    specs: Dict[str, FunctionSpec] = field(default_factory=dict)
+
+    def add(self, spec: FunctionSpec) -> "AppCatalog":
+        """Register a spec under its function name."""
+        if spec.name in self.specs:
+            raise ValueError(f"app {spec.name!r} already in catalog")
+        self.specs[spec.name] = spec
+        return self
+
+    def get(self, name: str) -> FunctionSpec:
+        """Look up a spec."""
+        try:
+            return self.specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self.specs))
+            raise KeyError(f"unknown app {name!r}; known: {known}") from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered app names, sorted."""
+        return tuple(sorted(self.specs))
+
+    def required_images(self) -> Tuple[str, ...]:
+        """Image references the catalog's apps run on."""
+        return tuple(sorted({spec.image for spec in self.specs.values()}))
+
+    def make_registry(self) -> Registry:
+        """A registry pre-loaded with the well-known base images."""
+        registry = Registry(WELL_KNOWN_BASES)
+        for reference in self.required_images():
+            if reference not in registry:
+                name, _, tag = reference.partition(":")
+                registry.push(make_base_image(name, tag or "latest"))
+        return registry
+
+    def deploy_all(self, platform) -> None:
+        """Deploy every app onto a platform."""
+        for name in self.names():
+            platform.deploy(self.specs[name])
+
+
+def default_catalog() -> AppCatalog:
+    """The full evaluation catalog used by the experiments."""
+    catalog = AppCatalog()
+    catalog.add(random_number_app())
+    catalog.add(qr_encoder_app())
+    catalog.add(v3_app())
+    catalog.add(tf_api_app())
+    catalog.add(cassandra_app())
+    for language in sorted(_S3_EXEC_MS):
+        catalog.add(s3_download_app(language))
+    return catalog

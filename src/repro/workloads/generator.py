@@ -1,0 +1,143 @@
+"""Driving a platform with a request pattern.
+
+:class:`WorkloadGenerator` schedules a pattern's requests as platform
+invocations and collects the results grouped by round — the unit the
+paper's latency-over-time figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.faas.tracing import RequestTrace
+from repro.workloads.patterns import RequestPattern
+
+__all__ = ["RoundResult", "WorkloadGenerator", "WorkloadResult"]
+
+FunctionSelector = Union[str, Sequence[str], Callable[[int, int], str]]
+
+
+@dataclass
+class RoundResult:
+    """Traces of every request issued in one round."""
+
+    index: int
+    time_ms: float
+    traces: Tuple[RequestTrace, ...]
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """End-to-end latencies of the round's requests."""
+        return np.array([t.total_latency for t in self.traces], dtype=float)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean latency (NaN for an empty round)."""
+        values = self.latencies
+        return float(values.mean()) if values.size else float("nan")
+
+    @property
+    def cold_count(self) -> int:
+        """Cold starts in this round."""
+        return sum(1 for t in self.traces if t.cold_start)
+
+
+@dataclass
+class WorkloadResult:
+    """All rounds of one generated workload."""
+
+    rounds: Tuple[RoundResult, ...]
+
+    @property
+    def all_traces(self) -> Tuple[RequestTrace, ...]:
+        """Every trace in round order."""
+        return tuple(t for r in self.rounds for t in r.traces)
+
+    @property
+    def total_requests(self) -> int:
+        """Number of completed requests."""
+        return len(self.all_traces)
+
+    def latencies(self) -> np.ndarray:
+        """Flat latency array across all rounds."""
+        return np.array([t.total_latency for t in self.all_traces], dtype=float)
+
+    def mean_latency(self) -> float:
+        """Mean end-to-end latency over the whole workload."""
+        values = self.latencies()
+        return float(values.mean()) if values.size else float("nan")
+
+    def mean_latency_per_round(self) -> np.ndarray:
+        """The series the Figs 12-14 plots show."""
+        return np.array([r.mean_latency for r in self.rounds], dtype=float)
+
+    def round_times(self) -> np.ndarray:
+        """Round start times (ms)."""
+        return np.array([r.time_ms for r in self.rounds], dtype=float)
+
+    def cold_counts_per_round(self) -> np.ndarray:
+        """Cold starts per round."""
+        return np.array([r.cold_count for r in self.rounds], dtype=int)
+
+    def total_cold(self) -> int:
+        """Cold starts across the workload."""
+        return int(self.cold_counts_per_round().sum())
+
+
+class WorkloadGenerator:
+    """Schedules a pattern against a platform and gathers results."""
+
+    def __init__(self, platform) -> None:
+        self.platform = platform
+
+    def run(
+        self,
+        pattern: RequestPattern,
+        function: FunctionSelector,
+        run_until: Optional[float] = None,
+    ) -> WorkloadResult:
+        """Submit every round of ``pattern`` and run to completion.
+
+        ``function`` selects the target per request:
+
+        * a string — every request invokes that function;
+        * a sequence — request ``j`` of each round uses
+          ``function[j % len(function)]`` (the per-thread configs of the
+          parallel experiment);
+        * a callable ``(round_index, request_index) -> name``.
+        """
+        selector = self._make_selector(function)
+        offset = self.platform.sim.now
+        scheduled: List[Tuple[int, float, List]] = []
+        for round_index, (time_ms, count) in enumerate(pattern.rounds()):
+            procs = []
+            for request_index in range(count):
+                name = selector(round_index, request_index)
+                procs.append(self.platform.submit(name, delay=time_ms))
+            scheduled.append((round_index, offset + time_ms, procs))
+
+        self.platform.run(until=run_until)
+
+        rounds = []
+        for round_index, time_ms, procs in scheduled:
+            traces = tuple(
+                p.value for p in procs if p.triggered and p.ok and p.value is not None
+            )
+            rounds.append(
+                RoundResult(index=round_index, time_ms=time_ms, traces=traces)
+            )
+        return WorkloadResult(rounds=tuple(rounds))
+
+    @staticmethod
+    def _make_selector(function: FunctionSelector) -> Callable[[int, int], str]:
+        if isinstance(function, str):
+            return lambda _round, _request: function
+        if callable(function):
+            return function
+        names = list(function)
+        if not names:
+            raise ValueError("function list must be non-empty")
+        return lambda _round, request: names[request % len(names)]

@@ -1,0 +1,351 @@
+"""Request flow patterns of the evaluation (Section V-D, Figs 12-14).
+
+Each pattern yields ``(time_ms, request_count)`` rounds:
+
+* :class:`SerialPattern` — a single-thread client, one request every 30 s
+  (Fig 12a).
+* :class:`ParallelPattern` — ten client threads issuing together, each
+  with its own runtime configuration (Fig 12b).
+* :class:`LinearPattern` — +2 or −2 requests per 30 s round (Fig 13).
+* :class:`ExponentialPattern` — 2^i requests at round i, rising or
+  falling (Fig 14a).
+* :class:`BurstPattern` — a base rate with 10x bursts at chosen rounds
+  (Fig 14b).
+* :class:`PoissonPattern` — memoryless background traffic (ablations).
+* :class:`TracePattern` — replay of a recorded/synthetic trace (Fig 11).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BurstPattern",
+    "ExponentialPattern",
+    "LinearPattern",
+    "MarkovModulatedPattern",
+    "ParallelPattern",
+    "PoissonPattern",
+    "RequestPattern",
+    "SerialPattern",
+    "SinusoidalPattern",
+    "TracePattern",
+]
+
+#: The paper's inter-round spacing: clients act "every 30 seconds".
+DEFAULT_ROUND_MS = 30_000.0
+
+
+class RequestPattern(abc.ABC):
+    """A deterministic schedule of request rounds."""
+
+    @abc.abstractmethod
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        """Yield ``(time_ms, request_count)`` in increasing time order."""
+
+    def request_times(self) -> np.ndarray:
+        """Flattened per-request times (simultaneous within a round)."""
+        times: List[float] = []
+        for time, count in self.rounds():
+            times.extend([time] * count)
+        return np.array(times, dtype=float)
+
+    @property
+    def total_requests(self) -> int:
+        """Total number of requests the pattern produces."""
+        return sum(count for _, count in self.rounds())
+
+    def _validate_round(self, value: float, name: str) -> None:
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+class SerialPattern(RequestPattern):
+    """One request per round (Fig 12a)."""
+
+    def __init__(self, n_rounds: int = 20, round_ms: float = DEFAULT_ROUND_MS) -> None:
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        self._validate_round(round_ms, "round_ms")
+        self.n_rounds = n_rounds
+        self.round_ms = round_ms
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        for index in range(self.n_rounds):
+            yield index * self.round_ms, 1
+
+
+class ParallelPattern(RequestPattern):
+    """``n_threads`` simultaneous requests per round (Fig 12b)."""
+
+    def __init__(
+        self,
+        n_threads: int = 10,
+        n_rounds: int = 20,
+        round_ms: float = DEFAULT_ROUND_MS,
+    ) -> None:
+        if n_threads < 1 or n_rounds < 1:
+            raise ValueError("n_threads and n_rounds must be >= 1")
+        self._validate_round(round_ms, "round_ms")
+        self.n_threads = n_threads
+        self.n_rounds = n_rounds
+        self.round_ms = round_ms
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        for index in range(self.n_rounds):
+            yield index * self.round_ms, self.n_threads
+
+
+class LinearPattern(RequestPattern):
+    """Linearly increasing or decreasing request counts (Fig 13).
+
+    Increasing: starts at ``start`` and adds ``step`` each round.
+    Decreasing: pass a negative ``step``; the pattern stops before the
+    count would drop below 1 (the paper reduces by two per round).
+    """
+
+    def __init__(
+        self,
+        start: int = 2,
+        step: int = 2,
+        n_rounds: int = 10,
+        round_ms: float = DEFAULT_ROUND_MS,
+    ) -> None:
+        if start < 1:
+            raise ValueError("start must be >= 1")
+        if step == 0:
+            raise ValueError("step must be non-zero (use SerialPattern)")
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        self._validate_round(round_ms, "round_ms")
+        self.start = start
+        self.step = step
+        self.n_rounds = n_rounds
+        self.round_ms = round_ms
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        count = self.start
+        for index in range(self.n_rounds):
+            if count < 1:
+                return
+            yield index * self.round_ms, count
+            count += self.step
+
+
+class ExponentialPattern(RequestPattern):
+    """2^i requests at round i, rising or falling (Fig 14a)."""
+
+    def __init__(
+        self,
+        n_rounds: int = 6,
+        round_ms: float = DEFAULT_ROUND_MS,
+        decreasing: bool = False,
+        base: int = 2,
+    ) -> None:
+        if n_rounds < 1:
+            raise ValueError("n_rounds must be >= 1")
+        if base < 2:
+            raise ValueError("base must be >= 2")
+        self._validate_round(round_ms, "round_ms")
+        self.n_rounds = n_rounds
+        self.round_ms = round_ms
+        self.decreasing = decreasing
+        self.base = base
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        for index in range(self.n_rounds):
+            exponent = (self.n_rounds - 1 - index) if self.decreasing else index
+            yield index * self.round_ms, self.base**exponent
+
+
+class BurstPattern(RequestPattern):
+    """A steady base rate with multiplicative bursts (Fig 14b).
+
+    The paper: eight requests per round, increased 10x at the 4th, 8th,
+    12th and 16th rounds.
+    """
+
+    def __init__(
+        self,
+        base_requests: int = 8,
+        n_rounds: int = 20,
+        burst_rounds: Sequence[int] = (4, 8, 12, 16),
+        burst_factor: int = 10,
+        round_ms: float = DEFAULT_ROUND_MS,
+    ) -> None:
+        if base_requests < 1 or n_rounds < 1 or burst_factor < 1:
+            raise ValueError("counts and factors must be >= 1")
+        self._validate_round(round_ms, "round_ms")
+        if any(not 0 <= r < n_rounds for r in burst_rounds):
+            raise ValueError("burst_rounds must lie within [0, n_rounds)")
+        self.base_requests = base_requests
+        self.n_rounds = n_rounds
+        self.burst_rounds = frozenset(burst_rounds)
+        self.burst_factor = burst_factor
+        self.round_ms = round_ms
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        for index in range(self.n_rounds):
+            count = self.base_requests
+            if index in self.burst_rounds:
+                count *= self.burst_factor
+            yield index * self.round_ms, count
+
+
+class PoissonPattern(RequestPattern):
+    """Poisson arrivals at ``rate_per_s`` over ``duration_ms``.
+
+    Unlike the round-based patterns, every request gets its own arrival
+    instant.  A seeded generator keeps the schedule reproducible.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        duration_ms: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        self._validate_round(duration_ms, "duration_ms")
+        self.rate_per_s = rate_per_s
+        self.duration_ms = duration_ms
+        rng = rng or np.random.default_rng(0)
+        # Draw all arrivals up front so the schedule is fixed at build
+        # time (repeated iteration must not re-randomise).
+        expected = rate_per_s * duration_ms / 1_000.0
+        n_draws = max(16, int(expected * 3))
+        gaps = rng.exponential(1_000.0 / rate_per_s, size=n_draws)
+        arrivals = np.cumsum(gaps)
+        while arrivals[-1] < duration_ms:  # pragma: no cover - rare tail
+            more = rng.exponential(1_000.0 / rate_per_s, size=n_draws)
+            arrivals = np.concatenate([arrivals, arrivals[-1] + np.cumsum(more)])
+        self._times = arrivals[arrivals < duration_ms]
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        for time in self._times:
+            yield float(time), 1
+
+
+class SinusoidalPattern(RequestPattern):
+    """A diurnal-style sinusoidal load (Fig 11's smooth component).
+
+    Request count per slot follows
+    ``base + amplitude * sin(2*pi*t/period)``, floored at zero.
+    """
+
+    def __init__(
+        self,
+        base: float = 10.0,
+        amplitude: float = 8.0,
+        period_slots: int = 24,
+        n_slots: int = 48,
+        slot_ms: float = 1_000.0,
+    ) -> None:
+        if base < 0 or amplitude < 0:
+            raise ValueError("base and amplitude must be >= 0")
+        if period_slots < 2 or n_slots < 1:
+            raise ValueError("period_slots must be >= 2 and n_slots >= 1")
+        self._validate_round(slot_ms, "slot_ms")
+        self.base = base
+        self.amplitude = amplitude
+        self.period_slots = period_slots
+        self.n_slots = n_slots
+        self.slot_ms = slot_ms
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        for slot in range(self.n_slots):
+            level = self.base + self.amplitude * np.sin(
+                2.0 * np.pi * slot / self.period_slots
+            )
+            count = max(0, int(round(level)))
+            if count > 0:
+                yield slot * self.slot_ms, count
+
+
+class MarkovModulatedPattern(RequestPattern):
+    """A two-state Markov-modulated arrival process (bursty ON/OFF load).
+
+    Each slot the source is either ON (``high`` requests) or OFF
+    (``low`` requests); the state flips with the given transition
+    probabilities.  This is the volatile-but-structured load the
+    paper's Markov correction is designed for; the state sequence is
+    drawn once at construction so iteration is deterministic.
+    """
+
+    def __init__(
+        self,
+        low: int = 2,
+        high: int = 20,
+        p_on: float = 0.2,
+        p_off: float = 0.3,
+        n_slots: int = 40,
+        slot_ms: float = 1_000.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        if not (0 < p_on <= 1 and 0 < p_off <= 1):
+            raise ValueError("transition probabilities must be in (0, 1]")
+        if n_slots < 1:
+            raise ValueError("n_slots must be >= 1")
+        self._validate_round(slot_ms, "slot_ms")
+        self.low = low
+        self.high = high
+        self.slot_ms = slot_ms
+        rng = rng or np.random.default_rng(0)
+        state = 0  # start OFF
+        states = np.empty(n_slots, dtype=int)
+        for slot in range(n_slots):
+            flip = rng.random()
+            if state == 0 and flip < p_on:
+                state = 1
+            elif state == 1 and flip < p_off:
+                state = 0
+            states[slot] = state
+        self._counts = np.where(states == 1, high, low)
+
+    @property
+    def on_fraction(self) -> float:
+        """Share of slots spent in the ON state."""
+        return float((self._counts == self.high).mean())
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        for slot, count in enumerate(self._counts):
+            if count > 0:
+                yield slot * self.slot_ms, int(count)
+
+
+class TracePattern(RequestPattern):
+    """Replay per-slot request counts (e.g. the Fig 11 campus trace).
+
+    Parameters
+    ----------
+    counts:
+        Requests per slot.
+    slot_ms:
+        Slot duration.
+    scale:
+        Multiplier on every count (rounded, floor 0) — lets a
+        campus-scale trace be shrunk to simulator scale.
+    """
+
+    def __init__(self, counts, slot_ms: float = 1_000.0, scale: float = 1.0) -> None:
+        self._validate_round(slot_ms, "slot_ms")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        array = np.asarray(counts, dtype=float)
+        if array.ndim != 1 or array.size == 0:
+            raise ValueError("counts must be a non-empty 1-D sequence")
+        if np.any(array < 0):
+            raise ValueError("counts must be >= 0")
+        self.counts = np.maximum(0, np.round(array * scale)).astype(int)
+        self.slot_ms = slot_ms
+
+    def rounds(self) -> Iterator[Tuple[float, int]]:
+        for index, count in enumerate(self.counts):
+            if count > 0:
+                yield index * self.slot_ms, int(count)

@@ -1,0 +1,120 @@
+"""Synthetic UMass-campus-style YouTube request trace (Fig 11).
+
+The paper plots a day of YouTube requests measured at the UMass campus
+gateway [4], [39] and extracts three representative features:
+
+1. a **burst** from ~20 to ~300 requests at T710,
+2. a steady **decline** through the afternoon, T800 → T1200,
+3. a **night rise** from T1200 → T1400.
+
+The real trace is not redistributable offline, so
+:func:`youtube_campus_trace` synthesises a per-minute day (1440 slots)
+with exactly those features plus seeded noise.  The Figs 12–14 request
+patterns are the paper's abstractions of segments of this trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["UMassStyleTrace", "youtube_campus_trace"]
+
+#: Feature anchor points (minute indices) named in the paper.
+BURST_AT = 710
+DECLINE_START = 800
+DECLINE_END = 1200
+RISE_END = 1400
+
+
+@dataclass(frozen=True)
+class UMassStyleTrace:
+    """A day-long per-minute request-count series with named features."""
+
+    counts: np.ndarray
+    slot_ms: float = 60_000.0
+
+    def __post_init__(self) -> None:
+        if self.counts.ndim != 1:
+            raise ValueError("trace counts must be 1-D")
+        if np.any(self.counts < 0):
+            raise ValueError("trace counts must be >= 0")
+
+    def __len__(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def duration_ms(self) -> float:
+        """Total trace duration."""
+        return len(self) * self.slot_ms
+
+    def segment(self, start: int, end: int) -> np.ndarray:
+        """Counts over ``[start, end)`` minute indices (a view)."""
+        if not 0 <= start < end <= len(self):
+            raise ValueError(f"bad segment [{start}, {end}) for length {len(self)}")
+        return self.counts[start:end]
+
+    # -- the three features the paper calls out -----------------------------
+    def burst_magnitude(self) -> float:
+        """Ratio of the T710 burst peak to the level just before it."""
+        before = float(np.mean(self.segment(BURST_AT - 30, BURST_AT - 5)))
+        peak = float(np.max(self.segment(BURST_AT - 5, BURST_AT + 15)))
+        return peak / max(before, 1.0)
+
+    def afternoon_slope(self) -> float:
+        """Least-squares slope (requests/minute) over T800..T1200."""
+        segment = self.segment(DECLINE_START, DECLINE_END)
+        x = np.arange(segment.size, dtype=float)
+        return float(np.polyfit(x, segment, 1)[0])
+
+    def night_slope(self) -> float:
+        """Least-squares slope over T1200..T1400."""
+        segment = self.segment(DECLINE_END, RISE_END)
+        x = np.arange(segment.size, dtype=float)
+        return float(np.polyfit(x, segment, 1)[0])
+
+
+def youtube_campus_trace(
+    seed: int = 0,
+    noise_level: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+) -> UMassStyleTrace:
+    """Build the synthetic day trace with the paper's three features.
+
+    The deterministic skeleton (before noise):
+
+    * early morning: low traffic around 20 req/min,
+    * T710: sudden burst 20 → 300,
+    * plateau decaying into the afternoon,
+    * T800 → T1200: linear decline ~220 → 60,
+    * T1200 → T1400: night rise 60 → 280,
+    * tail: ease back down toward 150.
+    """
+    if noise_level < 0:
+        raise ValueError("noise_level must be >= 0")
+    rng = rng or np.random.default_rng(seed)
+    minutes = 1440
+    base = np.empty(minutes, dtype=float)
+
+    # Early morning crawl with a gentle ramp: 15 -> 25.
+    base[:BURST_AT] = np.linspace(15.0, 22.0, BURST_AT)
+    # The T710 burst: near-instant jump to ~300, brief plateau.
+    base[BURST_AT : BURST_AT + 10] = 300.0
+    # Decay from the burst into the afternoon level.
+    base[BURST_AT + 10 : DECLINE_START] = np.linspace(
+        300.0, 220.0, DECLINE_START - BURST_AT - 10
+    )
+    # Afternoon decline: 220 -> 60 over T800..T1200.
+    base[DECLINE_START:DECLINE_END] = np.linspace(
+        220.0, 60.0, DECLINE_END - DECLINE_START
+    )
+    # Night rise: 60 -> 280 over T1200..T1400.
+    base[DECLINE_END:RISE_END] = np.linspace(60.0, 280.0, RISE_END - DECLINE_END)
+    # Tail of the day: ease down.
+    base[RISE_END:] = np.linspace(280.0, 150.0, minutes - RISE_END)
+
+    noisy = base * (1.0 + noise_level * rng.standard_normal(minutes))
+    counts = np.maximum(0, np.round(noisy)).astype(int)
+    return UMassStyleTrace(counts=counts)

@@ -1,0 +1,94 @@
+"""Tests for the Fig 4/5 cold-start analyses."""
+
+import pytest
+
+from repro.analysis import (
+    language_cold_hot_comparison,
+    network_mode_startup,
+    pipeline_breakdown,
+)
+
+
+@pytest.fixture(scope="module")
+def languages():
+    return language_cold_hot_comparison(runs=3, seed=0)
+
+
+class TestLanguageComparison:
+    def test_go_ratio_matches_paper(self, languages):
+        """Fig 4: Go cold execution ~3.06x its hot execution."""
+        assert languages["go"]["ratio"] == pytest.approx(3.06, rel=0.12)
+
+    def test_java_cold_doubles_long_hot_run(self, languages):
+        """Fig 4: cold start 'doubles the already long execution in Java'."""
+        java = languages["java"]
+        assert java["ratio"] == pytest.approx(2.0, rel=0.15)
+        assert java["hot_ms"] == pytest.approx(1_070, rel=0.25)
+
+    def test_java_has_longest_absolute_times(self, languages):
+        assert languages["java"]["cold_ms"] == max(
+            stats["cold_ms"] for stats in languages.values()
+        )
+
+    def test_cold_exceeds_hot_everywhere(self, languages):
+        for stats in languages.values():
+            assert stats["cold_ms"] > stats["hot_ms"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            language_cold_hot_comparison(runs=0)
+
+
+class TestNetworkModeStartup:
+    @pytest.fixture(scope="class")
+    def startup(self):
+        return network_mode_startup(runs=3, seed=0)
+
+    def test_single_host_modes_similar(self, startup):
+        """Fig 4c: bridge and host close to no networking."""
+        assert startup["bridge"] == pytest.approx(startup["none"], rel=0.25)
+        assert startup["host"] == pytest.approx(startup["none"], rel=0.25)
+
+    def test_container_mode_cheapest(self, startup):
+        """Fig 4c: container-mode boot is about half the none mode."""
+        single_host = {m: startup[m] for m in ("none", "bridge", "host", "container")}
+        assert min(single_host, key=single_host.get) == "container"
+        assert startup["container"] < 0.75 * startup["none"]
+
+    def test_overlay_much_slower_than_host(self, startup):
+        """Fig 4c: overlay/routing up to 23x the host mode startup."""
+        assert startup["overlay"] > 4 * startup["multihost-host"]
+        assert startup["routing"] > 4 * startup["multihost-host"]
+        ratio = startup["overlay"] / startup["multihost-host"]
+        assert 5 <= ratio <= 25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            network_mode_startup(runs=0)
+
+
+class TestPipelineBreakdown:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return pipeline_breakdown(warm_requests=3, seed=0)
+
+    def test_cold_function_init_dominates(self, breakdown):
+        """Section III: function initiation (2->3) dominates cold latency."""
+        cold = breakdown["cold"]
+        total = sum(cold.values())
+        assert cold["function_init"] > 0.6 * total
+
+    def test_warm_init_collapses(self, breakdown):
+        cold_init = breakdown["cold"]["function_init"]
+        warm_init = breakdown["warm"]["function_init"]
+        assert warm_init < 0.1 * cold_init
+
+    def test_forwarding_segments_small(self, breakdown):
+        for arm in ("cold", "warm"):
+            segments = breakdown[arm]
+            assert segments["client_to_gateway"] < 5
+            assert segments["gateway_forward"] < 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pipeline_breakdown(warm_requests=0)

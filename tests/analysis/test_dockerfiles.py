@@ -1,0 +1,81 @@
+"""Tests for the Fig 2 Dockerfile survey."""
+
+import pytest
+
+from repro.analysis import generate_corpus, survey_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(n_projects=1_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def survey(corpus):
+    return survey_corpus(corpus)
+
+
+class TestCorpus:
+    def test_size(self, corpus):
+        assert len(corpus) == 1_000
+
+    def test_deterministic(self):
+        a = generate_corpus(n_projects=50, seed=1)
+        b = generate_corpus(n_projects=50, seed=1)
+        assert [p.dockerfile_text for p in a.projects] == [
+            p.dockerfile_text for p in b.projects
+        ]
+
+    def test_all_dockerfiles_parse(self, corpus):
+        parsed = corpus.parsed()
+        assert len(parsed) == len(corpus)
+        for _, dockerfile in parsed:
+            assert dockerfile.base_image
+
+    def test_top_by_stars(self, corpus):
+        top = corpus.top_by_stars(100)
+        assert len(top) == 100
+        floor = min(p.stars for p in top.projects)
+        others = [p for p in corpus.projects if p not in top.projects]
+        assert all(p.stars <= floor for p in others)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_corpus(n_projects=0)
+
+
+class TestSurvey:
+    def test_shares_sum_to_one(self, survey):
+        assert sum(share for _, share in survey.image_shares) == pytest.approx(1.0)
+        assert sum(survey.category_shares.values()) == pytest.approx(1.0)
+
+    def test_head_dominates(self, survey):
+        """Fig 2a: a few commonly used images dominate the corpus."""
+        assert survey.head_concentration(5) > 0.45
+        assert survey.head_concentration(10) > 0.65
+
+    def test_shares_descending(self, survey):
+        shares = [share for _, share in survey.image_shares]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_categories_cover_os_and_language(self, survey):
+        """Fig 2b: OS and language images dominate the base settings."""
+        categories = survey.category_shares
+        assert categories["os"] > 0.3
+        assert categories["language"] > 0.2
+        assert categories["os"] + categories["language"] > categories["other"]
+
+    def test_top_100_more_concentrated(self, corpus):
+        """The paper's top-100 panel is at least as head-heavy."""
+        all_result = survey_corpus(corpus)
+        top_result = survey_corpus(corpus.top_by_stars(100))
+        assert top_result.head_concentration(5) >= all_result.head_concentration(5) - 0.05
+
+    def test_empty_corpus_rejected(self):
+        from repro.analysis.dockerfiles import DockerfileCorpus
+
+        with pytest.raises(ValueError):
+            survey_corpus(DockerfileCorpus())
+
+    def test_top_images_slice(self, survey):
+        assert len(survey.top_images(3)) == 3

@@ -1,0 +1,44 @@
+"""Tests for the keep-alive window sensitivity analysis."""
+
+import pytest
+
+from repro.analysis import keep_alive_sensitivity
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # 4-minute inter-arrival stream against a range of windows.
+    return keep_alive_sensitivity(
+        windows_ms=(60_000.0, 5 * 60_000.0, 15 * 60_000.0),
+        inter_arrival_ms=4 * 60_000.0,
+        n_requests=10,
+        seed=0,
+    )
+
+
+class TestSweep:
+    def test_short_window_all_cold(self, sweep):
+        """A 1-minute window lapses before the next 4-minute request."""
+        assert sweep[60_000.0]["cold"] == 10
+
+    def test_long_windows_one_cold(self, sweep):
+        for window in (5 * 60_000.0, 15 * 60_000.0):
+            assert sweep[window]["cold"] == 1
+
+    def test_cold_starts_monotone_in_window(self, sweep):
+        windows = sorted(sweep)
+        colds = [sweep[w]["cold"] for w in windows]
+        assert colds == sorted(colds, reverse=True)
+
+    def test_held_capacity_grows_with_window(self, sweep):
+        short = sweep[60_000.0]["held_container_minutes"]
+        long = sweep[15 * 60_000.0]["held_container_minutes"]
+        assert long > short
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            keep_alive_sensitivity(n_requests=1)
+        with pytest.raises(ValueError):
+            keep_alive_sensitivity(inter_arrival_ms=0)
+        with pytest.raises(ValueError):
+            keep_alive_sensitivity(windows_ms=(0.0,))

@@ -1,0 +1,128 @@
+"""Unit tests for the container lifecycle state machine (paper Fig 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.containers import (
+    Container,
+    ContainerConfig,
+    ContainerError,
+    ContainerState,
+    ExecSpec,
+    NetworkConfig,
+)
+from repro.containers.container import _TRANSITIONS
+
+
+def make_container(**config_overrides) -> Container:
+    config = ContainerConfig(image="alpine:3.8", **config_overrides)
+    return Container("c-test", config, created_at=0.0)
+
+
+class TestContainerConfig:
+    def test_defaults_valid(self):
+        config = ContainerConfig(image="alpine:3.8")
+        assert config.network.mode == "bridge"
+        assert config.uts_mode == "private"
+
+    def test_empty_image_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerConfig(image="")
+
+    def test_invalid_uts_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerConfig(image="x", uts_mode="weird")
+
+    def test_invalid_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerConfig(image="x", ipc_mode="weird")
+
+    def test_nonpositive_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ContainerConfig(image="x", cpu_millicores=0)
+        with pytest.raises(ValueError):
+            ContainerConfig(image="x", mem_mb=-5)
+
+    def test_config_hashable_and_comparable(self):
+        a = ContainerConfig(image="x", network=NetworkConfig(mode="host"))
+        b = ContainerConfig(image="x", network=NetworkConfig(mode="host"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestExecSpec:
+    def test_defaults(self):
+        spec = ExecSpec(app_id="fn")
+        assert spec.language == "python"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecSpec(app_id="")
+        with pytest.raises(ValueError):
+            ExecSpec(app_id="fn", exec_ms=-1)
+        with pytest.raises(ValueError):
+            ExecSpec(app_id="fn", app_init_ms=-1)
+        with pytest.raises(ValueError):
+            ExecSpec(app_id="fn", write_mb=-1)
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        container = make_container()
+        for state in (
+            ContainerState.STARTING,
+            ContainerState.RUNNING,
+            ContainerState.EXECUTING,
+            ContainerState.RUNNING,
+            ContainerState.STOPPING,
+            ContainerState.STOPPED,
+            ContainerState.REMOVED,
+        ):
+            container.transition(state)
+        assert container.state is ContainerState.REMOVED
+
+    def test_illegal_transition_rejected(self):
+        container = make_container()
+        with pytest.raises(ContainerError, match="illegal transition"):
+            container.transition(ContainerState.RUNNING)  # skip STARTING
+
+    def test_removed_is_terminal(self):
+        container = make_container()
+        container.transition(ContainerState.REMOVED)
+        for state in ContainerState:
+            with pytest.raises(ContainerError):
+                container.transition(state)
+
+    def test_stopped_can_restart(self):
+        """Docker allows restarting a stopped container."""
+        container = make_container()
+        container.transition(ContainerState.STARTING)
+        container.transition(ContainerState.RUNNING)
+        container.transition(ContainerState.STOPPING)
+        container.transition(ContainerState.STOPPED)
+        container.transition(ContainerState.STARTING)
+        assert container.state is ContainerState.STARTING
+
+    def test_liveness_flags(self):
+        container = make_container()
+        assert not container.is_live
+        container.transition(ContainerState.STARTING)
+        container.transition(ContainerState.RUNNING)
+        assert container.is_live and container.is_reusable
+        container.transition(ContainerState.EXECUTING)
+        assert container.is_live and not container.is_reusable
+
+    @given(st.lists(st.sampled_from(list(ContainerState)), max_size=25))
+    def test_fsm_never_reaches_undeclared_state(self, moves):
+        """Property: any transition sequence either raises or follows
+        the declared transition table."""
+        container = make_container()
+        for target in moves:
+            previous = container.state
+            try:
+                container.transition(target)
+            except ContainerError:
+                assert target not in _TRANSITIONS[previous]
+                assert container.state is previous
+            else:
+                assert target in _TRANSITIONS[previous]

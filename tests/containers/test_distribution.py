@@ -1,0 +1,143 @@
+"""Tests for the image distribution strategies (Section III-B practices)."""
+
+import pytest
+
+from repro.containers import (
+    ContainerConfig,
+    ContainerEngine,
+    DistributionNetwork,
+    ExecSpec,
+    FullPullStrategy,
+    LazyPullStrategy,
+    P2PPullStrategy,
+    Registry,
+    make_base_image,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def registry():
+    return Registry(
+        [make_base_image("bigimage", "1", size_mb=400, language="python")]
+    )
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+def pull_time(registry, strategy, name="host-0"):
+    sim = Simulator()
+    engine = ContainerEngine(
+        sim, registry, rng=None, name=name, pull_strategy=strategy
+    )
+    run(sim, engine.ensure_image("bigimage:1"))
+    return sim.now, engine
+
+
+class TestValidation:
+    def test_lazy_fractions(self):
+        with pytest.raises(ValueError):
+            LazyPullStrategy(essential_fraction=0)
+        with pytest.raises(ValueError):
+            LazyPullStrategy(essential_fraction=1.5)
+        with pytest.raises(ValueError):
+            LazyPullStrategy(readahead_penalty_fraction=-0.1)
+
+    def test_p2p_params(self):
+        network = DistributionNetwork()
+        with pytest.raises(ValueError):
+            P2PPullStrategy(network, max_parallel_peers=0)
+        with pytest.raises(ValueError):
+            P2PPullStrategy(network, coordination_ms=-1)
+
+
+class TestLazyPull:
+    def test_boot_pull_much_faster(self, registry):
+        full_time, _ = pull_time(registry, FullPullStrategy())
+        lazy_time, _ = pull_time(registry, LazyPullStrategy(essential_fraction=0.25))
+        assert lazy_time < 0.35 * full_time
+
+    def test_first_exec_pays_readahead(self, registry):
+        sim = Simulator()
+        engine = ContainerEngine(
+            sim, registry, rng=None,
+            pull_strategy=LazyPullStrategy(essential_fraction=0.25),
+        )
+        run(sim, engine.ensure_image("bigimage:1"))
+        container = run(
+            sim, engine.boot_container(ContainerConfig(image="bigimage:1"))
+        )
+        start = sim.now
+        run(sim, engine.execute(container, ExecSpec(app_id="a", exec_ms=10)))
+        first = sim.now - start
+        start = sim.now
+        run(sim, engine.execute(container, ExecSpec(app_id="a", exec_ms=10)))
+        second = sim.now - start
+        # The readahead penalty hits only the first execution.
+        assert first > second + 100
+
+    def test_lazy_total_still_below_full(self, registry):
+        """Even counting the readahead stall, lazy beats full pull for
+        the boot-to-first-response path."""
+        def boot_and_exec(strategy):
+            sim = Simulator()
+            engine = ContainerEngine(sim, registry, rng=None, pull_strategy=strategy)
+            run(sim, engine.ensure_image("bigimage:1"))
+            container = run(
+                sim, engine.boot_container(ContainerConfig(image="bigimage:1"))
+            )
+            run(sim, engine.execute(container, ExecSpec(app_id="a", exec_ms=10)))
+            return sim.now
+
+        assert boot_and_exec(LazyPullStrategy()) < boot_and_exec(FullPullStrategy())
+
+
+class TestP2P:
+    def test_first_pull_no_seeds_slower_than_full(self, registry):
+        """With no peers the P2P pull is full speed + coordination."""
+        network = DistributionNetwork()
+        full_time, _ = pull_time(registry, FullPullStrategy())
+        p2p_time, _ = pull_time(registry, P2PPullStrategy(network))
+        assert p2p_time == pytest.approx(full_time + 25.0, rel=0.01)
+
+    def test_seeded_pull_faster(self, registry):
+        network = DistributionNetwork()
+        strategy = P2PPullStrategy(network, max_parallel_peers=4)
+        t0, _ = pull_time(registry, strategy, name="host-0")
+        t1, _ = pull_time(registry, strategy, name="host-1")
+        t2, _ = pull_time(registry, strategy, name="host-2")
+        assert t1 < t0          # one seed available
+        assert t2 < t1          # two seeds
+        assert network.seeds("bigimage:1", excluding="host-9") == 3
+
+    def test_speedup_capped(self, registry):
+        network = DistributionNetwork()
+        for index in range(6):
+            network.register(f"seed-{index}", "bigimage:1")
+        capped = P2PPullStrategy(network, max_parallel_peers=2)
+        t_capped, _ = pull_time(registry, capped, name="newhost")
+        # Decompress is not parallelised; pull at most halves.
+        uncapped = P2PPullStrategy(DistributionNetwork(), max_parallel_peers=2)
+        t_alone, _ = pull_time(registry, uncapped, name="lonely")
+        assert t_capped > 0.4 * t_alone
+
+    def test_holders_tracking(self):
+        network = DistributionNetwork()
+        network.register("a", "img:1")
+        network.register("b", "img:1")
+        network.register("a", "img:1")  # idempotent
+        assert network.holders("img:1") == {"a", "b"}
+        assert network.seeds("img:1", excluding="a") == 1
+
+
+class TestDefaultBehaviourUnchanged:
+    def test_default_engine_uses_full_pull(self, registry):
+        sim = Simulator()
+        engine = ContainerEngine(sim, registry, rng=None)
+        assert isinstance(engine.pull_strategy, FullPullStrategy)

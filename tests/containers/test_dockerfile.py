@@ -1,0 +1,151 @@
+"""Unit tests for the Dockerfile parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.containers import DockerfileError, parse_dockerfile
+from repro.containers.dockerfile import categorize_base_image
+
+SIMPLE = """\
+# A web function
+FROM python:3.6
+ENV APP_ENV production
+ENV A=1 B=two
+WORKDIR /app
+COPY handler.py /app/
+RUN pip install flask && \\
+    pip install qrcode
+EXPOSE 8080 8443/tcp
+CMD ["python", "handler.py"]
+"""
+
+
+class TestParsing:
+    def test_parse_simple(self):
+        dockerfile = parse_dockerfile(SIMPLE)
+        assert dockerfile.base_image == "python:3.6"
+        assert dockerfile.exposed_ports == (8080, 8443)
+        assert dockerfile.run_count == 1
+        assert dockerfile.has("CMD")
+
+    def test_env_accumulates_and_sorts(self):
+        dockerfile = parse_dockerfile(SIMPLE)
+        assert dockerfile.env == (
+            ("A", "1"),
+            ("APP_ENV", "production"),
+            ("B", "two"),
+        )
+
+    def test_env_later_wins(self):
+        text = "FROM alpine\nENV K old\nENV K new\n"
+        assert parse_dockerfile(text).env == (("K", "new"),)
+
+    def test_line_continuation_merges(self):
+        dockerfile = parse_dockerfile(SIMPLE)
+        run = next(i for i in dockerfile.instructions if i.keyword == "RUN")
+        assert "flask" in run.argument and "qrcode" in run.argument
+
+    def test_comments_and_blanks_ignored(self):
+        text = "\n# comment\n\nFROM alpine:3.8\n  # indented comment\n"
+        assert parse_dockerfile(text).base_image == "alpine:3.8"
+
+    def test_multi_stage_base_is_last(self):
+        text = "FROM golang:1.11 AS builder\nRUN go build\nFROM alpine:3.8\n"
+        dockerfile = parse_dockerfile(text)
+        assert dockerfile.stages == ("golang:1.11", "alpine:3.8")
+        assert dockerfile.base_image == "alpine:3.8"
+
+    def test_keyword_case_insensitive(self):
+        assert parse_dockerfile("from alpine\n").base_image == "alpine"
+
+
+class TestErrors:
+    def test_no_from(self):
+        with pytest.raises(DockerfileError, match="no FROM"):
+            parse_dockerfile("# comments only\n")
+
+    def test_run_before_from(self):
+        with pytest.raises(DockerfileError, match="before FROM"):
+            parse_dockerfile("RUN echo hi\n")
+
+    def test_instruction_before_from(self):
+        with pytest.raises(DockerfileError, match="before FROM"):
+            parse_dockerfile("ENV A 1\nFROM alpine\n")
+
+    def test_arg_allowed_before_from(self):
+        dockerfile = parse_dockerfile("ARG TAG=3.8\nFROM alpine\n")
+        assert dockerfile.base_image == "alpine"
+
+    def test_unknown_instruction(self):
+        with pytest.raises(DockerfileError, match="unknown instruction"):
+            parse_dockerfile("FROM alpine\nFETCH http://x\n")
+
+    def test_missing_argument(self):
+        with pytest.raises(DockerfileError, match="needs an argument"):
+            parse_dockerfile("FROM alpine\nRUN\n")
+
+    def test_bad_port(self):
+        with pytest.raises(DockerfileError, match="bad port"):
+            parse_dockerfile("FROM alpine\nEXPOSE eighty\n")
+
+    def test_bad_env_pair(self):
+        with pytest.raises(DockerfileError):
+            parse_dockerfile("FROM alpine\nENV JUSTKEY\n")
+
+    def test_empty_input(self):
+        with pytest.raises(DockerfileError):
+            parse_dockerfile("")
+
+
+class TestCategorize:
+    def test_os_images(self):
+        assert categorize_base_image("ubuntu:16.04") == "os"
+        assert categorize_base_image("alpine") == "os"
+
+    def test_language_images(self):
+        assert categorize_base_image("python:3.6") == "language"
+        assert categorize_base_image("golang:1.11") == "language"
+
+    def test_application_images(self):
+        assert categorize_base_image("nginx:1.15") == "application"
+        assert categorize_base_image("tensorflow/tensorflow:1.13") == "application"
+
+    def test_other(self):
+        assert categorize_base_image("mycorp/internal:7") == "other"
+
+    def test_case_insensitive(self):
+        assert categorize_base_image("Ubuntu:16.04") == "os"
+
+
+class TestRoundTripProperty:
+    @given(
+        base=st.sampled_from(["alpine:3.8", "python:3.6", "node:10"]),
+        ports=st.lists(
+            st.integers(min_value=1, max_value=65535), max_size=4, unique=True
+        ),
+        env_pairs=st.dictionaries(
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Lu",)),
+                min_size=1,
+                max_size=6,
+            ),
+            st.text(
+                alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+                min_size=1,
+                max_size=6,
+            ),
+            max_size=4,
+        ),
+    )
+    def test_generated_dockerfiles_round_trip(self, base, ports, env_pairs):
+        """Property: parsing a synthesised Dockerfile recovers its fields."""
+        lines = [f"FROM {base}"]
+        for key, value in env_pairs.items():
+            lines.append(f"ENV {key} {value}")
+        if ports:
+            lines.append("EXPOSE " + " ".join(str(p) for p in ports))
+        lines.append('CMD ["/bin/true"]')
+        dockerfile = parse_dockerfile("\n".join(lines) + "\n")
+        assert dockerfile.base_image == base
+        assert dockerfile.exposed_ports == tuple(sorted(set(ports)))
+        assert dict(dockerfile.env) == env_pairs

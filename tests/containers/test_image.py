@@ -1,0 +1,86 @@
+"""Unit tests for images and layers."""
+
+import pytest
+
+from repro.containers import Image, ImageLayer, make_base_image
+from repro.containers.image import WELL_KNOWN_BASES
+
+
+class TestImageLayer:
+    def test_valid_layer(self):
+        layer = ImageLayer("sha256:x", size_mb=10, compressed_mb=4)
+        assert layer.size_mb == 10
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ImageLayer("sha256:x", size_mb=-1, compressed_mb=0)
+
+    def test_compressed_larger_than_raw_rejected(self):
+        with pytest.raises(ValueError):
+            ImageLayer("sha256:x", size_mb=5, compressed_mb=6)
+
+
+class TestImage:
+    def test_reference(self):
+        image = make_base_image("alpine", "3.8", size_mb=5)
+        assert image.reference == "alpine:3.8"
+        assert str(image) == "alpine:3.8"
+
+    def test_sizes_sum_layers(self):
+        image = make_base_image("ubuntu", "16.04", size_mb=120, n_layers=4)
+        assert image.size_mb == pytest.approx(120)
+        assert image.compressed_mb == pytest.approx(120 * 0.42)
+        assert len(image.layers) == 4
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Image(name="", tag="latest", layers=())
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(ValueError):
+            Image(name="x", tag="", layers=())
+
+    def test_language_metadata(self):
+        image = make_base_image("python", "3.6", language="python")
+        assert image.language == "python"
+
+
+class TestMakeBaseImage:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_base_image("x", size_mb=0)
+
+    def test_invalid_compression(self):
+        with pytest.raises(ValueError):
+            make_base_image("x", compression_ratio=0)
+        with pytest.raises(ValueError):
+            make_base_image("x", compression_ratio=1.5)
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            make_base_image("x", n_layers=0)
+
+    def test_deterministic(self):
+        a = make_base_image("alpine", "3.8")
+        b = make_base_image("alpine", "3.8")
+        assert a == b
+
+    def test_layers_decreasing(self):
+        image = make_base_image("big", size_mb=100, n_layers=3)
+        sizes = [layer.size_mb for layer in image.layers]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestWellKnownBases:
+    def test_unique_references(self):
+        refs = [image.reference for image in WELL_KNOWN_BASES]
+        assert len(refs) == len(set(refs))
+
+    def test_alpine_is_tiny(self):
+        """Section IV-B: alpine live containers take hundreds of KB."""
+        alpine = next(i for i in WELL_KNOWN_BASES if i.name == "alpine")
+        assert alpine.size_mb < 10
+
+    def test_language_images_present(self):
+        languages = {i.language for i in WELL_KNOWN_BASES if i.language}
+        assert {"python", "go", "java", "node"} <= languages

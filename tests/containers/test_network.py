@@ -1,0 +1,58 @@
+"""Unit tests for network modes and configuration."""
+
+import pytest
+
+from repro.containers import NETWORK_MODES, NetworkConfig, validate_network_mode
+from repro.containers.network import MULTI_HOST_MODES
+
+
+class TestValidateMode:
+    def test_all_paper_modes_present(self):
+        """Fig 4c evaluates these modes."""
+        for mode in ("none", "bridge", "host", "container", "overlay", "routing"):
+            assert mode in NETWORK_MODES
+
+    def test_valid_mode_passes_through(self):
+        assert validate_network_mode("bridge") == "bridge"
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError, match="bridge"):
+            validate_network_mode("tokenring")
+
+
+class TestNetworkConfig:
+    def test_defaults(self):
+        config = NetworkConfig()
+        assert config.mode == "bridge"
+        assert not config.is_multi_host
+
+    def test_container_mode_requires_peer(self):
+        with pytest.raises(ValueError, match="peer"):
+            NetworkConfig(mode="container")
+        config = NetworkConfig(mode="container", peer="proxy-0")
+        assert config.peer == "proxy-0"
+
+    def test_peer_invalid_outside_container_mode(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(mode="bridge", peer="proxy-0")
+
+    def test_port_range_validated(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(ports=(0,))
+        with pytest.raises(ValueError):
+            NetworkConfig(ports=(70000,))
+        assert NetworkConfig(ports=(8080,)).ports == (8080,)
+
+    def test_multi_host_detection(self):
+        assert NetworkConfig(mode="overlay").is_multi_host
+        assert NetworkConfig(mode="routing").is_multi_host
+        assert not NetworkConfig(mode="host").is_multi_host
+        assert MULTI_HOST_MODES <= NETWORK_MODES
+
+    def test_canonical_is_order_insensitive(self):
+        a = NetworkConfig(ports=(80, 443), dns=("a", "b"))
+        b = NetworkConfig(ports=(443, 80), dns=("b", "a"))
+        assert a.canonical() == b.canonical()
+
+    def test_canonical_distinguishes_modes(self):
+        assert NetworkConfig(mode="host").canonical() != NetworkConfig(mode="bridge").canonical()

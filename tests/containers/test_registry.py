@@ -1,0 +1,61 @@
+"""Unit tests for the image registry."""
+
+import pytest
+
+from repro.containers import Registry, RegistryError, make_base_image
+
+
+@pytest.fixture
+def registry():
+    return Registry(
+        [
+            make_base_image("alpine", "3.8", size_mb=5),
+            make_base_image("python", "3.6", size_mb=330, language="python"),
+            make_base_image("solo", "latest", size_mb=10),
+        ]
+    )
+
+
+class TestResolve:
+    def test_resolve_full_reference(self, registry):
+        assert registry.resolve("alpine:3.8").name == "alpine"
+
+    def test_bare_name_defaults_to_latest(self, registry):
+        assert registry.resolve("solo").tag == "latest"
+
+    def test_missing_image_raises_with_catalog(self, registry):
+        with pytest.raises(RegistryError, match="alpine:3.8"):
+            registry.resolve("nonexistent:1.0")
+
+    def test_contains(self, registry):
+        assert "alpine:3.8" in registry
+        assert "solo" in registry
+        assert "ghost:1" not in registry
+
+    def test_len_and_references(self, registry):
+        assert len(registry) == 3
+        assert registry.references() == tuple(sorted(registry.references()))
+
+    def test_push_overwrites(self, registry):
+        bigger = make_base_image("alpine", "3.8", size_mb=50)
+        registry.push(bigger)
+        assert registry.resolve("alpine:3.8").size_mb == pytest.approx(50)
+
+
+class TestPullTracking:
+    def test_record_and_rank(self, registry):
+        for _ in range(3):
+            registry.record_pull("alpine:3.8")
+        registry.record_pull("python:3.6")
+        ranked = registry.most_pulled()
+        assert ranked[0] == ("alpine:3.8", 3)
+        assert ranked[1] == ("python:3.6", 1)
+
+    def test_top_limit(self, registry):
+        registry.record_pull("alpine:3.8")
+        registry.record_pull("python:3.6")
+        assert len(registry.most_pulled(top=1)) == 1
+
+    def test_record_unknown_raises(self, registry):
+        with pytest.raises(RegistryError):
+            registry.record_pull("ghost:1")

@@ -1,0 +1,99 @@
+"""Unit tests for volumes — the unit of HotC's cleanup (Algorithm 2)."""
+
+import pytest
+
+from repro.containers import VolumeError, VolumeStore
+
+
+@pytest.fixture
+def store():
+    return VolumeStore()
+
+
+class TestVolumeLifecycle:
+    def test_create_unique_ids(self, store):
+        a, b = store.create(), store.create()
+        assert a.volume_id != b.volume_id
+        assert len(store) == 2
+
+    def test_mount_unmount(self, store):
+        volume = store.create()
+        store.mount(volume, "c1")
+        assert volume.mounted_by == "c1"
+        store.unmount(volume)
+        assert volume.mounted_by is None
+
+    def test_double_mount_rejected(self, store):
+        volume = store.create()
+        store.mount(volume, "c1")
+        with pytest.raises(VolumeError, match="already mounted"):
+            store.mount(volume, "c2")
+
+    def test_unmount_unmounted_rejected(self, store):
+        volume = store.create()
+        with pytest.raises(VolumeError):
+            store.unmount(volume)
+
+    def test_delete_requires_unmounted(self, store):
+        volume = store.create()
+        store.mount(volume, "c1")
+        with pytest.raises(VolumeError, match="mounted"):
+            store.delete(volume)
+        store.unmount(volume)
+        store.delete(volume)
+        assert volume.deleted
+        assert len(store) == 0
+
+    def test_deleted_volume_unusable(self, store):
+        volume = store.create()
+        store.delete(volume)
+        with pytest.raises(VolumeError):
+            store.mount(volume, "c1")
+        with pytest.raises(VolumeError):
+            volume.wipe()
+        with pytest.raises(VolumeError):
+            store.get(volume.volume_id)
+
+    def test_get(self, store):
+        volume = store.create()
+        assert store.get(volume.volume_id) is volume
+        with pytest.raises(VolumeError):
+            store.get("vol-999999")
+
+
+class TestVolumeData:
+    def test_write_requires_mount(self, store):
+        volume = store.create()
+        with pytest.raises(VolumeError, match="not mounted"):
+            volume.write("a.txt", 1.0)
+
+    def test_write_and_wipe(self, store):
+        volume = store.create()
+        store.mount(volume, "c1")
+        volume.write("a.txt", 1.0)
+        volume.write("b/c.dat", 2.5)
+        assert volume.files == ("a.txt", "b/c.dat")
+        assert volume.bytes_mb == pytest.approx(3.5)
+        removed = volume.wipe()
+        assert removed == 2
+        assert volume.files == ()
+        assert volume.bytes_mb == 0
+
+    def test_overwrite_replaces(self, store):
+        volume = store.create()
+        store.mount(volume, "c1")
+        volume.write("a.txt", 1.0)
+        volume.write("a.txt", 4.0)
+        assert volume.bytes_mb == pytest.approx(4.0)
+
+    def test_negative_write_rejected(self, store):
+        volume = store.create()
+        store.mount(volume, "c1")
+        with pytest.raises(ValueError):
+            volume.write("a.txt", -1)
+
+    def test_live_volumes_excludes_deleted(self, store):
+        keep = store.create()
+        drop = store.create()
+        store.delete(drop)
+        assert store.live_volumes() == (keep,)

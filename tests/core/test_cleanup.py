@@ -1,0 +1,68 @@
+"""Tests for the cleanup worker (Algorithm 2)."""
+
+import pytest
+
+from repro.containers import ContainerConfig, ContainerEngine, ExecSpec
+from repro.core import ContainerRuntimePool, runtime_key
+from repro.core.cleanup import CleanupWorker
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def setup(registry):
+    sim = Simulator()
+    engine = ContainerEngine(sim, registry, rng=None)
+    pool = ContainerRuntimePool()
+    worker = CleanupWorker(sim, engine, pool)
+    return sim, engine, pool, worker
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    assert proc.ok, proc.value
+    return proc.value
+
+
+class TestCleanAndRecycle:
+    def test_returns_container_to_pool(self, setup):
+        sim, engine, pool, worker = setup
+        config = ContainerConfig(image="python:3.6")
+        key = runtime_key(config)
+        container = run(sim, engine.boot_container(config))
+        pool.register(container, key, now=sim.now, available=False)
+        run(sim, engine.execute(container, ExecSpec(app_id="x", exec_ms=1, write_mb=2)))
+        run(sim, worker.clean_and_recycle(container))
+        assert pool.num_available(key) == 1
+        assert container.volume.bytes_mb == 0
+        assert worker.cleaned == 1
+
+    def test_volume_is_fresh_not_wiped_in_place(self, setup):
+        """Algorithm 2: delete old volume contents AND mount a new volume."""
+        sim, engine, pool, worker = setup
+        config = ContainerConfig(image="python:3.6")
+        container = run(sim, engine.boot_container(config))
+        pool.register(container, runtime_key(config), now=sim.now, available=False)
+        old_volume = container.volume
+        run(sim, worker.clean_and_recycle(container))
+        assert container.volume is not old_volume
+        assert old_volume.deleted
+
+
+class TestRetire:
+    def test_retire_pooled_container(self, setup):
+        sim, engine, pool, worker = setup
+        config = ContainerConfig(image="python:3.6")
+        key = runtime_key(config)
+        container = run(sim, engine.boot_container(config))
+        pool.register(container, key, now=sim.now, available=True)
+        run(sim, worker.retire(container))
+        assert pool.total_live == 0
+        assert engine.live_count == 0
+        assert pool.stats.retired == 1
+
+    def test_retire_unpooled_container(self, setup):
+        sim, engine, pool, worker = setup
+        container = run(sim, engine.boot_container(ContainerConfig(image="python:3.6")))
+        run(sim, worker.retire(container))  # must not raise
+        assert engine.live_count == 0

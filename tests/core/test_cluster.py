@@ -1,0 +1,125 @@
+"""Tests for multi-host HotC (the Section VII load-balancing extension)."""
+
+import pytest
+
+from repro.core import ClusterHotC, HotCConfig, make_cluster_platform
+from repro.containers import ContainerEngine
+from repro.faas import FunctionSpec
+from repro.sim import Simulator
+
+
+def make_platform(registry, n_hosts=3, placement="reuse-aware", **kwargs):
+    platform = make_cluster_platform(
+        registry, n_hosts=n_hosts, seed=0, placement=placement,
+        jitter_sigma=0.0, **kwargs
+    )
+    platform.deploy(FunctionSpec(name="fn", image="python:3.6", exec_ms=20))
+    return platform
+
+
+class TestConstruction:
+    def test_needs_engines(self):
+        with pytest.raises(ValueError):
+            ClusterHotC([])
+
+    def test_unknown_placement(self, registry):
+        sim = Simulator()
+        engine = ContainerEngine(sim, registry, rng=None)
+        with pytest.raises(ValueError):
+            ClusterHotC([engine], placement="random")
+
+    def test_platform_builds_n_hosts(self, registry):
+        platform = make_platform(registry, n_hosts=3)
+        assert platform.provider.n_hosts == 3
+        with pytest.raises(ValueError):
+            make_cluster_platform(registry, n_hosts=0)
+
+
+class TestReuseAwareRouting:
+    def test_sequential_requests_stick_to_one_host(self, registry):
+        """A lone request stream should reuse one host's hot container,
+        not spray cold boots across the cluster."""
+        platform = make_platform(registry, n_hosts=3)
+        # 5s spacing: the first request (which also pulls the image)
+        # finishes before the next arrives.
+        for index in range(6):
+            platform.submit("fn", delay=index * 5_000.0)
+        platform.run()
+        assert platform.traces.cold_count() == 1
+        sizes = platform.provider.pool_sizes()
+        assert sorted(sizes) == [0, 0, 1]
+        assert platform.provider.stats.reuse_routed == 5
+        assert platform.provider.stats.cold_routed == 1
+
+    def test_concurrent_cold_boots_spread(self, registry):
+        """Simultaneous cold requests balance across hosts."""
+        platform = make_platform(registry, n_hosts=3)
+        for _ in range(6):
+            platform.submit("fn")
+        platform.run()
+        sizes = platform.provider.pool_sizes()
+        assert sizes == (2, 2, 2)
+
+    def test_round_robin_sprays_cold_boots(self, registry):
+        """The strawman placement ignores warm containers."""
+        platform = make_platform(registry, n_hosts=3, placement="round-robin")
+        for index in range(6):
+            platform.submit("fn", delay=index * 2_000.0)
+        platform.run()
+        # Requests rotate hosts: the first visit to each host is cold.
+        assert platform.traces.cold_count() == 3
+
+    def test_reuse_aware_beats_round_robin_latency(self, registry):
+        def mean_latency(placement):
+            platform = make_platform(registry, n_hosts=3, placement=placement)
+            for index in range(9):
+                platform.submit("fn", delay=index * 2_000.0)
+            platform.run()
+            return platform.traces.mean_latency()
+
+        assert mean_latency("reuse-aware") < mean_latency("round-robin")
+
+
+class TestBookkeeping:
+    def test_engine_for_resolves_owner(self, registry):
+        platform = make_platform(registry, n_hosts=2)
+        platform.submit("fn")
+        platform.run()
+        # After release the cluster no longer tracks the container.
+        trace = platform.traces.traces[0]
+        assert trace.container_id.startswith("host-")
+
+    def test_untracked_container_raises(self, registry):
+        platform = make_platform(registry, n_hosts=2)
+        from repro.containers import Container, ContainerConfig
+
+        ghost = Container("ghost", ContainerConfig(image="python:3.6"), 0.0)
+        with pytest.raises(KeyError):
+            platform.provider.host_of(ghost)
+
+    def test_inflight_returns_to_zero(self, registry):
+        platform = make_platform(registry, n_hosts=2)
+        for _ in range(4):
+            platform.submit("fn")
+        platform.run()
+        for index in range(2):
+            assert platform.provider.inflight(index) == 0
+
+    def test_shutdown_drains_all_hosts(self, registry):
+        platform = make_platform(registry, n_hosts=3)
+        for _ in range(6):
+            platform.submit("fn")
+        platform.run()
+        platform.shutdown()
+        assert platform.provider.pool_sizes() == (0, 0, 0)
+
+    def test_control_loops_start_stop(self, registry):
+        platform = make_platform(registry, n_hosts=2)
+        provider = platform.provider
+        provider.start_control_loops()
+        platform.submit("fn")
+        platform.run(until=5_000)
+        provider.stop_control_loops()
+        platform.run(until=10_000)
+        for host in provider.hosts:
+            assert not host._control_running

@@ -1,0 +1,115 @@
+"""Unit tests for exponential smoothing (Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import ExponentialSmoothing
+
+
+class TestValidation:
+    def test_alpha_bounds(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                ExponentialSmoothing(alpha=bad)
+
+    def test_init_policy(self):
+        with pytest.raises(ValueError):
+            ExponentialSmoothing(init="median")
+
+    def test_non_finite_observation(self):
+        es = ExponentialSmoothing()
+        with pytest.raises(ValueError):
+            es.update(float("nan"))
+        with pytest.raises(ValueError):
+            es.update(float("inf"))
+
+
+class TestRecursion:
+    def test_eq1_recursion_with_first_init(self):
+        """e_t = alpha*x_t + (1-alpha)*e_{t-1} with e_1 = x_1."""
+        es = ExponentialSmoothing(alpha=0.8, init="first")
+        assert es.update(10.0) == pytest.approx(10.0)
+        assert es.update(20.0) == pytest.approx(0.8 * 20 + 0.2 * 10)
+        level = 0.8 * 20 + 0.2 * 10
+        assert es.update(5.0) == pytest.approx(0.8 * 5 + 0.2 * level)
+
+    def test_mean5_init_is_mean_of_first_five(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        es = ExponentialSmoothing(alpha=0.8, init="mean5")
+        for value in values:
+            forecast = es.update(value)
+        # init = mean(values) = 30; replay recursion over values[1:].
+        level = 30.0
+        for value in values[1:]:
+            level = 0.8 * value + 0.2 * level
+        assert forecast == pytest.approx(level)
+
+    def test_auto_uses_mean_for_short_series(self):
+        a = ExponentialSmoothing(alpha=0.5, init="auto")
+        b = ExponentialSmoothing(alpha=0.5, init="mean5")
+        for value in (3.0, 9.0, 6.0):
+            last_a = a.update(value)
+            last_b = b.update(value)
+        assert last_a == pytest.approx(last_b)
+
+    def test_constant_series_forecast_constant(self):
+        es = ExponentialSmoothing(alpha=0.8)
+        for _ in range(10):
+            forecast = es.update(7.0)
+        assert forecast == pytest.approx(7.0)
+
+    def test_forecast_none_before_data(self):
+        assert ExponentialSmoothing().forecast is None
+
+    def test_fit_series_matches_streaming(self):
+        values = [5.0, 8.0, 2.0, 9.0, 4.0, 7.0]
+        series = ExponentialSmoothing(alpha=0.8).fit_series(values)
+        streaming = ExponentialSmoothing(alpha=0.8)
+        expected = [streaming.update(v) for v in values]
+        assert np.allclose(series, expected)
+
+    def test_n_observations(self):
+        es = ExponentialSmoothing()
+        es.update(1.0)
+        es.update(2.0)
+        assert es.n_observations == 2
+
+
+class TestLagBehaviour:
+    def test_high_alpha_tracks_jumps_faster(self):
+        """Section IV-C(2): larger alpha is more sensitive to changes."""
+        series = [10.0] * 10 + [50.0] * 5
+        fast = ExponentialSmoothing(alpha=0.8, init="first").fit_series(series)
+        slow = ExponentialSmoothing(alpha=0.1, init="first").fit_series(series)
+        # After the jump, the fast smoother is much closer to 50.
+        assert abs(fast[-1] - 50) < abs(slow[-1] - 50)
+
+    def test_forecast_lags_rising_series(self):
+        """The paper's observed drawback: the forecast is 'relatively
+        lagging' on a trend."""
+        series = np.arange(1.0, 21.0)
+        forecasts = ExponentialSmoothing(alpha=0.8, init="first").fit_series(series)
+        assert np.all(forecasts[5:] < series[5:])
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_forecast_within_observed_range(self, values, alpha):
+        """Property: a convex combination never escapes [min, max]."""
+        es = ExponentialSmoothing(alpha=alpha)
+        for value in values:
+            forecast = es.update(value)
+            assert min(values) - 1e-6 <= forecast <= max(values) + 1e-6
+
+    @given(st.floats(min_value=-1e5, max_value=1e5, allow_nan=False))
+    def test_single_observation_forecast_is_itself(self, value):
+        es = ExponentialSmoothing()
+        assert es.update(value) == pytest.approx(value)

@@ -1,0 +1,243 @@
+"""Tests for the HotC middleware: reuse, cleanup, limits, prediction loop."""
+
+import pytest
+
+from repro.core import HotC, HotCConfig, PoolLimits
+from repro.faas import FaasPlatform
+
+
+def make_platform(registry, config=None, seed=0, **kwargs):
+    platform = FaasPlatform(
+        registry,
+        seed=seed,
+        jitter_sigma=0.0,
+        provider_factory=lambda engine: HotC(engine, config),
+        **kwargs,
+    )
+    return platform
+
+
+class TestReuse:
+    def test_first_request_cold_second_warm(self, registry, fn_python):
+        platform = make_platform(registry)
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run()
+        platform.submit(fn_python.name)
+        platform.run()
+        flags = list(platform.traces.cold_flags())
+        assert flags == [True, False]
+
+    def test_warm_request_much_faster(self, registry, fn_python):
+        platform = make_platform(registry)
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run()
+        platform.submit(fn_python.name)
+        platform.run()
+        latencies = platform.traces.latencies()
+        assert latencies[1] < 0.4 * latencies[0]
+
+    def test_different_functions_same_runtime_share_containers(
+        self, registry, fn_python
+    ):
+        """Two functions with identical runtime parameters reuse the same
+        container type (the homogeneity insight of Section I)."""
+        platform = make_platform(registry)
+        other = fn_python.with_overrides(name="other-py")
+        platform.deploy(fn_python)
+        platform.deploy(other)
+        platform.submit(fn_python.name)
+        platform.run()
+        platform.submit(other.name)
+        platform.run()
+        assert platform.traces.cold_count() == 1
+        assert platform.engine.stats.boots == 1
+
+    def test_different_runtime_configs_do_not_share(self, registry, fn_python):
+        platform = make_platform(registry)
+        heavier = fn_python.with_overrides(name="big-py", mem_mb=512.0)
+        platform.deploy(fn_python)
+        platform.deploy(heavier)
+        platform.submit(fn_python.name)
+        platform.run()
+        platform.submit(heavier.name)
+        platform.run()
+        assert platform.traces.cold_count() == 2
+
+    def test_concurrent_requests_get_distinct_containers(self, registry, fn_python):
+        platform = make_platform(registry)
+        platform.deploy(fn_python)
+        for _ in range(3):
+            platform.submit(fn_python.name)
+        platform.run()
+        provider = platform.provider
+        # All three arrived before any container existed: three boots.
+        assert platform.engine.stats.boots == 3
+        assert provider.pool.total_live == 3
+
+    def test_containers_cleaned_between_uses(self, registry):
+        from repro.faas import FunctionSpec
+
+        platform = make_platform(registry)
+        writer = FunctionSpec(
+            name="writer", image="python:3.6", exec_ms=5.0, write_mb=4.0
+        )
+        platform.deploy(writer)
+        platform.submit(writer.name)
+        platform.run()
+        platform.submit(writer.name)
+        platform.run()
+        pool = platform.provider.pool
+        entry = next(iter(pool.available_entries(next(iter(pool.keys())))))
+        # Cleanup wiped the volume after the last run too.
+        assert entry.container.volume.bytes_mb == 0
+        assert platform.engine.stats.volume_wipes == 2
+
+    def test_pool_hit_stats(self, registry, fn_python):
+        platform = make_platform(registry)
+        platform.deploy(fn_python)
+        for _ in range(4):
+            platform.submit(fn_python.name)
+            platform.run()
+        stats = platform.provider.pool.stats
+        assert stats.hits == 3
+        assert stats.misses == 1
+
+
+class TestLimits:
+    def test_capacity_eviction_oldest(self, registry, fn_python, fn_go):
+        config = HotCConfig(limits=PoolLimits(max_containers=1))
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        platform.deploy(fn_go)
+        platform.submit(fn_python.name)
+        platform.run()
+        platform.submit(fn_go.name)
+        platform.run()
+        provider = platform.provider
+        # Only one container may live: the python one was evicted.
+        assert provider.pool.total_live == 1
+        assert provider.pool.stats.evictions_capacity >= 1
+        assert platform.engine.live_count == 1
+
+    def test_memory_pressure_eviction(self, registry, fn_python):
+        # Absurdly low threshold: every release triggers pressure eviction.
+        config = HotCConfig(limits=PoolLimits(memory_threshold=1e-6))
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run()
+        provider = platform.provider
+        assert provider.pool.stats.evictions_pressure >= 1
+        assert provider.pool.total_live == 0
+
+    def test_shutdown_drains_pool(self, registry, fn_python):
+        platform = make_platform(registry)
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run()
+        platform.shutdown()
+        assert platform.provider.pool.total_live == 0
+        assert platform.engine.live_count == 0
+
+
+class TestAdaptiveControl:
+    def test_control_tick_records_demand(self, registry, fn_python):
+        platform = make_platform(registry)
+        platform.deploy(fn_python)
+        provider = platform.provider
+        for _ in range(2):
+            platform.submit(fn_python.name)
+        platform.run()
+        provider.control_tick()
+        key = provider.key_of(fn_python.container_config())
+        assert provider.controller.history(key) == (2.0,)
+
+    def test_prewarm_boots_toward_forecast(self, registry, fn_python):
+        config = HotCConfig(control_interval_ms=0)  # manual ticks
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        provider = platform.provider
+        # Sustained demand of 3 concurrent requests.
+        for _ in range(3):
+            platform.submit(fn_python.name)
+        platform.run()
+        provider.control_tick()
+        platform.run()
+        key = provider.key_of(fn_python.container_config())
+        assert provider.pool.num_total(key) >= 3
+
+    def test_scale_down_retires_idle(self, registry, fn_python):
+        config = HotCConfig(control_interval_ms=0, alpha=0.9, init="first")
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        provider = platform.provider
+        for _ in range(4):
+            platform.submit(fn_python.name)
+        platform.run()
+        key = provider.key_of(fn_python.container_config())
+        assert provider.pool.num_total(key) == 4
+        # Demand collapses to zero: repeated ticks shrink the forecast.
+        for _ in range(30):
+            provider.control_tick()
+            platform.run()
+        assert provider.pool.num_total(key) < 4
+
+    def test_control_loop_runs_periodically(self, registry, fn_python):
+        config = HotCConfig(control_interval_ms=100.0)
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        provider = platform.provider
+        provider.start_control_loop()
+        platform.submit(fn_python.name)
+        platform.run(until=550.0)
+        provider.stop_control_loop()
+        platform.run()
+        key = provider.key_of(fn_python.container_config())
+        assert len(provider.controller.history(key)) >= 4
+
+    def test_prewarmed_container_serves_warm_request(self, registry, fn_python):
+        config = HotCConfig(control_interval_ms=0)
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        provider = platform.provider
+        platform.submit(fn_python.name)
+        platform.run()
+        provider.control_tick()  # forecast ~1 -> keep one warm
+        platform.run()
+        platform.submit(fn_python.name)
+        platform.run()
+        assert platform.traces.cold_count() == 1
+
+    def test_prewarm_disabled_never_boots_extra(self, registry, fn_python):
+        config = HotCConfig(prewarm=False, control_interval_ms=0)
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        provider = platform.provider
+        platform.submit(fn_python.name)
+        platform.run()
+        boots_before = platform.engine.stats.boots
+        for _ in range(5):
+            provider.control_tick()
+        platform.run()
+        assert platform.engine.stats.boots == boots_before
+
+
+class TestHotCConfig:
+    def test_default_matches_paper(self):
+        config = HotCConfig()
+        assert config.alpha == 0.8
+        assert config.limits.max_containers == 500
+        assert config.limits.memory_threshold == 0.8
+        assert config.eviction == "oldest"
+
+    def test_markov_correction_flag(self):
+        es_only = HotCConfig(markov_correction=False).make_predictor()
+        series = [4.0, 18.0, 4.0, 18.0] * 5
+        es_only.fit_series(series)
+        # min_history is huge: the chain never engages; forecast == ES.
+        from repro.core import ExponentialSmoothing
+
+        reference = ExponentialSmoothing(alpha=0.8).fit_series(series)
+        assert es_only.forecast == pytest.approx(max(0.0, reference[-1]))

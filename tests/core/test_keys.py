@@ -1,0 +1,129 @@
+"""Unit tests for parameter analysis (runtime keys + command parsing)."""
+
+import pytest
+
+from repro.containers import ContainerConfig, NetworkConfig
+from repro.core import KeyPolicy, parse_run_command, runtime_key
+
+
+def config(**overrides):
+    params = dict(image="python:3.6")
+    params.update(overrides)
+    return ContainerConfig(**params)
+
+
+class TestRuntimeKey:
+    def test_identical_configs_same_key(self):
+        assert runtime_key(config()) == runtime_key(config())
+
+    def test_keys_are_dict_usable(self):
+        store = {runtime_key(config()): 1}
+        assert store[runtime_key(config())] == 1
+
+    def test_different_image_different_key(self):
+        assert runtime_key(config()) != runtime_key(config(image="node:10"))
+
+    def test_network_mode_participates(self):
+        a = runtime_key(config(network=NetworkConfig(mode="host")))
+        b = runtime_key(config(network=NetworkConfig(mode="bridge")))
+        assert a != b
+
+    def test_env_participates_in_full(self):
+        a = runtime_key(config(env=(("A", "1"),)))
+        b = runtime_key(config(env=(("A", "2"),)))
+        assert a != b
+
+    def test_env_order_does_not_matter(self):
+        a = runtime_key(config(env=(("A", "1"), ("B", "2"))))
+        b = runtime_key(config(env=(("B", "2"), ("A", "1"))))
+        assert a == b
+
+    def test_uts_ipc_participate(self):
+        assert runtime_key(config(uts_mode="host")) != runtime_key(config())
+        assert runtime_key(config(ipc_mode="host")) != runtime_key(config())
+
+    def test_relaxed_ignores_env(self):
+        a = runtime_key(config(env=(("A", "1"),)), KeyPolicy.RELAXED)
+        b = runtime_key(config(env=(("A", "2"),)), KeyPolicy.RELAXED)
+        assert a == b
+
+    def test_relaxed_keeps_resources(self):
+        a = runtime_key(config(mem_mb=128), KeyPolicy.RELAXED)
+        b = runtime_key(config(mem_mb=256), KeyPolicy.RELAXED)
+        assert a != b
+
+    def test_image_only_collapses_everything_else(self):
+        a = runtime_key(
+            config(network=NetworkConfig(mode="host"), env=(("A", "1"),)),
+            KeyPolicy.IMAGE_ONLY,
+        )
+        b = runtime_key(config(), KeyPolicy.IMAGE_ONLY)
+        assert a == b
+
+    def test_policies_never_collide_across(self):
+        assert runtime_key(config(), KeyPolicy.FULL) != runtime_key(
+            config(), KeyPolicy.IMAGE_ONLY
+        )
+
+    def test_str_is_readable(self):
+        assert "python:3.6" in str(runtime_key(config()))
+
+
+class TestParseRunCommand:
+    def test_basic(self):
+        parsed = parse_run_command("docker run python:3.6")
+        assert parsed.image == "python:3.6"
+        assert parsed.network.mode == "bridge"
+
+    def test_full_flags(self):
+        parsed = parse_run_command(
+            "docker run --net=host -e A=1 --env B=2 --uts host --ipc host "
+            "-p 8080:80 -m 256m --cpus 0.5 python:3.6 handler.py --debug"
+        )
+        assert parsed.network.mode == "host"
+        assert parsed.env == (("A", "1"), ("B", "2"))
+        assert parsed.uts_mode == "host"
+        assert parsed.ipc_mode == "host"
+        assert parsed.network.ports == (8080,)
+        assert parsed.mem_mb == pytest.approx(256)
+        assert parsed.cpu_millicores == pytest.approx(500)
+        assert parsed.image == "python:3.6"
+        assert parsed.exec_options == ("handler.py", "--debug")
+
+    def test_without_docker_prefix(self):
+        assert parse_run_command("run alpine:3.8").image == "alpine:3.8"
+        assert parse_run_command("alpine:3.8").image == "alpine:3.8"
+
+    def test_memory_units(self):
+        assert parse_run_command("-m 1g alpine:3.8").mem_mb == pytest.approx(1024)
+        assert parse_run_command("-m 512k alpine:3.8").mem_mb == pytest.approx(0.5)
+        assert parse_run_command("-m 64 alpine:3.8").mem_mb == pytest.approx(64)
+
+    def test_container_network_peer(self):
+        parsed = parse_run_command("--net=container:proxy-1 alpine:3.8")
+        assert parsed.network.mode == "container"
+        assert parsed.network.peer == "proxy-1"
+
+    def test_flag_space_and_equals_forms(self):
+        a = parse_run_command("--net host alpine:3.8")
+        b = parse_run_command("--net=host alpine:3.8")
+        assert a.network.mode == b.network.mode == "host"
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="no image"):
+            parse_run_command("docker run")
+        with pytest.raises(ValueError, match="no image"):
+            parse_run_command("--net=host")
+        with pytest.raises(ValueError, match="unsupported flag"):
+            parse_run_command("--privileged alpine:3.8")
+        with pytest.raises(ValueError, match="KEY=VALUE"):
+            parse_run_command("-e JUSTKEY alpine:3.8")
+        with pytest.raises(ValueError, match="needs a value"):
+            parse_run_command("--net")
+
+    def test_parse_then_key_round_trip(self):
+        """Two textually different but semantically equal commands map to
+        the same runtime key — the core of parameter analysis."""
+        a = parse_run_command("docker run --net=host -e A=1 -e B=2 python:3.6")
+        b = parse_run_command("docker run -e B=2 -e A=1 --net host python:3.6")
+        assert runtime_key(a) == runtime_key(b)

@@ -1,0 +1,164 @@
+"""Tests for the replicated metadata store (Section VII extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ReplicatedKeyValueStore
+from repro.core.kvstore import StoreUnavailable
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def store(sim):
+    return ReplicatedKeyValueStore(sim, n_replicas=3, rtt_ms=0.5, rng=None)
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestBasics:
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            ReplicatedKeyValueStore(sim, n_replicas=0)
+        with pytest.raises(ValueError):
+            ReplicatedKeyValueStore(sim, rtt_ms=-1)
+
+    def test_put_get_round_trip(self, sim, store):
+        run(sim, store.put("k", 42))
+        assert run(sim, store.get("k")) == 42
+        assert store.writes == 1 and store.reads == 1
+
+    def test_get_default(self, sim, store):
+        assert run(sim, store.get("missing", default="d")) == "d"
+
+    def test_operations_take_time(self, sim, store):
+        run(sim, store.put("k", 1))
+        assert sim.now > 0
+
+    def test_delete(self, sim, store):
+        run(sim, store.put("k", 1))
+        run(sim, store.delete("k"))
+        assert run(sim, store.get("k")) is None
+
+    def test_quorum_size(self, sim):
+        assert ReplicatedKeyValueStore(sim, n_replicas=1).quorum_size() == 1
+        assert ReplicatedKeyValueStore(sim, n_replicas=3).quorum_size() == 2
+        assert ReplicatedKeyValueStore(sim, n_replicas=5).quorum_size() == 3
+
+
+class TestFailures:
+    def test_replica_failure_keeps_availability(self, sim, store):
+        store.fail_replica(2)
+        assert store.available
+        run(sim, store.put("k", 1))
+        assert run(sim, store.get("k")) == 1
+
+    def test_losing_quorum_blocks_writes(self, sim, store):
+        store.fail_replica(1)
+        store.fail_replica(2)
+        assert not store.available
+        with pytest.raises(StoreUnavailable):
+            run(sim, store.put("k", 1))
+
+    def test_primary_failover(self, sim, store):
+        assert store.primary_index == 0
+        store.fail_replica(0)
+        assert store.primary_index == 1
+        assert store.failovers == 1
+        run(sim, store.put("k", "after-failover"))
+        assert run(sim, store.get("k")) == "after-failover"
+
+    def test_reads_survive_with_one_replica(self, sim, store):
+        run(sim, store.put("k", 7))
+        store.fail_replica(0)
+        store.fail_replica(1)
+        assert run(sim, store.get("k")) == 7
+
+    def test_no_replica_blocks_reads(self, sim, store):
+        for index in range(3):
+            store.fail_replica(index)
+        with pytest.raises(StoreUnavailable):
+            run(sim, store.get("k"))
+
+    def test_recovery_catches_up(self, sim, store):
+        store.fail_replica(2)
+        run(sim, store.put("a", 1))
+        run(sim, store.put("b", 2))
+        store.recover_replica(2)
+        assert store.replicas_consistent()
+
+    def test_fail_recover_idempotent(self, sim, store):
+        store.fail_replica(1)
+        store.fail_replica(1)
+        store.recover_replica(1)
+        store.recover_replica(1)
+        assert store.available
+
+
+class TestConsistency:
+    def test_healthy_replicas_identical_after_writes(self, sim, store):
+        for index in range(10):
+            run(sim, store.put(f"k{index}", index))
+        assert store.replicas_consistent()
+
+    def test_jitter_deterministic_with_seed(self):
+        def run_once():
+            sim = Simulator()
+            store = ReplicatedKeyValueStore(
+                sim, rng=np.random.default_rng(4), rtt_ms=1.0
+            )
+            proc = sim.process(store.put("k", 1))
+            sim.run()
+            return sim.now
+
+        assert run_once() == run_once()
+
+
+class TestHotCIntegration:
+    def test_journaling_on_acquire_path(self, registry, fn_python):
+        from repro.core import HotC
+        from repro.faas import FaasPlatform
+
+        platform = FaasPlatform(
+            registry, seed=0, jitter_sigma=0.0, provider_factory=HotC
+        )
+        store = ReplicatedKeyValueStore(platform.sim, rtt_ms=0.5, rng=None)
+        platform.provider.attach_metadata_store(store)
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.submit(fn_python.name, delay=5_000)
+        platform.run()
+        # Two acquires + two releases journaled.
+        assert store.writes == 4
+        assert store.replicas_consistent()
+
+    def test_journaling_adds_latency(self, registry, fn_python):
+        from repro.core import HotC
+        from repro.faas import FaasPlatform
+
+        def warm_latency(with_store):
+            platform = FaasPlatform(
+                registry, seed=0, jitter_sigma=0.0, provider_factory=HotC
+            )
+            if with_store:
+                store = ReplicatedKeyValueStore(
+                    platform.sim, rtt_ms=5.0, rng=None
+                )
+                platform.provider.attach_metadata_store(store)
+            platform.deploy(fn_python)
+            platform.submit(fn_python.name)
+            platform.submit(fn_python.name, delay=5_000)
+            platform.run()
+            return platform.traces.latencies()[1]
+
+        assert warm_latency(True) > warm_latency(False)

@@ -1,0 +1,210 @@
+"""Tests for the baseline keep-alive providers."""
+
+import pytest
+
+from repro.core import (
+    FixedKeepAliveProvider,
+    HistogramKeepAliveProvider,
+    NoReuseProvider,
+    PeriodicWarmupProvider,
+)
+from repro.faas import FaasPlatform
+
+
+def make_platform(registry, provider_factory, **kwargs):
+    return FaasPlatform(
+        registry,
+        seed=0,
+        jitter_sigma=0.0,
+        provider_factory=provider_factory,
+        **kwargs,
+    )
+
+
+class TestNoReuse:
+    def test_every_request_cold(self, registry, fn_python):
+        platform = make_platform(registry, NoReuseProvider)
+        platform.deploy(fn_python)
+        for _ in range(3):
+            platform.submit(fn_python.name)
+            platform.run()
+        assert platform.traces.cold_count() == 3
+        assert platform.engine.live_count == 0
+
+
+class TestFixedKeepAlive:
+    def test_validation(self, registry):
+        platform = make_platform(registry, NoReuseProvider)
+        with pytest.raises(ValueError):
+            FixedKeepAliveProvider(platform.engine, keep_alive_ms=0)
+
+    def test_reuse_within_window(self, registry, fn_python):
+        platform = make_platform(
+            registry,
+            lambda engine: FixedKeepAliveProvider(engine, keep_alive_ms=60_000),
+        )
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.submit(fn_python.name, delay=10_000)
+        platform.run()
+        assert platform.traces.cold_count() == 1
+        assert platform.provider.hits == 1
+
+    def test_expiry_after_window(self, registry, fn_python):
+        platform = make_platform(
+            registry,
+            lambda engine: FixedKeepAliveProvider(engine, keep_alive_ms=5_000),
+        )
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.submit(fn_python.name, delay=30_000)
+        platform.run()
+        # The 5s window lapsed before the request at t=30s: both cold,
+        # and both containers were eventually destroyed by expiry.
+        assert platform.traces.cold_count() == 2
+        assert platform.provider.expirations == 2
+        assert platform.engine.live_count == 0
+
+    def test_periodic_cold_start_pattern(self, registry, fn_python):
+        """Fig 1a's mechanism: bursts separated by > keep-alive go cold."""
+        platform = make_platform(
+            registry,
+            lambda engine: FixedKeepAliveProvider(engine, keep_alive_ms=10_000),
+        )
+        platform.deploy(fn_python)
+        # Pre-pull the image so the first boot is not slowed by the
+        # registry pull (which would make burst requests overlap).
+        platform.sim.process(platform.engine.ensure_image(fn_python.image))
+        platform.run()
+        for burst in range(3):
+            base = burst * 100_000.0
+            for index in range(5):
+                platform.submit(fn_python.name, delay=base + index * 1_000)
+        platform.run()
+        flags = list(platform.traces.cold_flags())
+        assert sum(flags) == 3
+        assert flags[0] and flags[5] and flags[10]
+
+    def test_keys_isolate_runtimes(self, registry, fn_python, fn_go):
+        platform = make_platform(
+            registry,
+            lambda engine: FixedKeepAliveProvider(engine, keep_alive_ms=60_000),
+        )
+        platform.deploy(fn_python)
+        platform.deploy(fn_go)
+        platform.submit(fn_python.name)
+        platform.run()
+        platform.submit(fn_go.name)
+        platform.run()
+        assert platform.traces.cold_count() == 2
+
+    def test_shutdown_empties_idle_lists(self, registry, fn_python):
+        platform = make_platform(
+            registry,
+            lambda engine: FixedKeepAliveProvider(engine, keep_alive_ms=60_000),
+        )
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run()
+        platform.shutdown()
+        assert platform.engine.live_count == 0
+
+
+class TestPeriodicWarmup:
+    def test_validation(self, registry):
+        platform = make_platform(registry, NoReuseProvider)
+        with pytest.raises(ValueError):
+            PeriodicWarmupProvider(platform.engine, period_ms=0)
+        with pytest.raises(ValueError):
+            PeriodicWarmupProvider(platform.engine, ping_ms=-1)
+
+    def test_warm_container_never_expires(self, registry, fn_python):
+        platform = make_platform(
+            registry,
+            lambda engine: PeriodicWarmupProvider(engine, period_ms=5_000),
+        )
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run(until=60_000)
+        platform.submit(fn_python.name, delay=1_000)
+        platform.run(until=120_000)
+        assert platform.traces.cold_count() == 1
+        assert platform.provider.pings > 0
+        platform.provider._running = False
+        platform.run()
+
+    def test_extras_are_disposable(self, registry, fn_python):
+        platform = make_platform(
+            registry,
+            lambda engine: PeriodicWarmupProvider(engine, period_ms=1e9),
+        )
+        platform.deploy(fn_python)
+        # Two concurrent requests: one warm slot + one disposable boot.
+        platform.submit(fn_python.name)
+        platform.submit(fn_python.name)
+        # The ping loop never ends on its own: bound the run.
+        platform.run(until=60_000)
+        assert platform.engine.stats.boots == 2
+        assert platform.engine.live_count == 1  # extra was destroyed
+        platform.provider._running = False
+
+
+class TestHistogramKeepAlive:
+    def test_validation(self, registry):
+        platform = make_platform(registry, NoReuseProvider)
+        engine = platform.engine
+        with pytest.raises(ValueError):
+            HistogramKeepAliveProvider(engine, percentile=0)
+        with pytest.raises(ValueError):
+            HistogramKeepAliveProvider(engine, min_keep_ms=0)
+        with pytest.raises(ValueError):
+            HistogramKeepAliveProvider(engine, min_keep_ms=10, max_keep_ms=5)
+        with pytest.raises(ValueError):
+            HistogramKeepAliveProvider(engine, history=0)
+
+    def test_no_data_uses_max_window(self, registry, fn_python):
+        platform = make_platform(
+            registry,
+            lambda engine: HistogramKeepAliveProvider(engine),
+        )
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run()
+        key = platform.provider.key_of(fn_python.container_config())
+        assert platform.provider._keep_alive_for(key) == platform.provider.max_keep_ms
+
+    def test_window_adapts_to_observed_gaps(self, registry, fn_python):
+        platform = make_platform(
+            registry,
+            lambda engine: HistogramKeepAliveProvider(
+                engine, percentile=95, min_keep_ms=1_000, max_keep_ms=1e9
+            ),
+        )
+        platform.deploy(fn_python)
+        # Steady 5-second inter-arrival gaps.
+        for index in range(10):
+            platform.submit(fn_python.name, delay=index * 5_000.0)
+        platform.run()
+        provider = platform.provider
+        key = provider.key_of(fn_python.container_config())
+        window = provider._keep_alive_for(key)
+        # Window tracks the ~5s gap (plus margin), far below the default.
+        assert 3_000 <= window <= 10_000
+        # The first request is cold; one more cold start happens while
+        # the policy is still learning (its first window is derived from
+        # a single short gap); after that the stream is served warm.
+        assert platform.traces.cold_count() == 2
+        assert not any(platform.traces.cold_flags()[3:])
+
+    def test_history_bounded(self, registry, fn_python):
+        platform = make_platform(
+            registry,
+            lambda engine: HistogramKeepAliveProvider(engine, history=5),
+        )
+        platform.deploy(fn_python)
+        for index in range(12):
+            platform.submit(fn_python.name, delay=index * 1_000.0)
+        platform.run()
+        provider = platform.provider
+        key = provider.key_of(fn_python.container_config())
+        assert len(provider._gaps[key]) <= 5

@@ -1,0 +1,203 @@
+"""Tests for the evaluation-figure experiments (Figs 8-15).
+
+These use reduced parameters; the benchmarks run the full versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_fig08,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+)
+
+
+class TestFig08:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig08(seed=0, runs=4)
+
+    def test_reductions_in_paper_band(self, figure):
+        server = figure.get_table("fig8-t430-server")
+        reductions = dict(zip(server.column("app"), server.column("reduction %")))
+        assert 28 <= reductions["v3-app"] <= 38
+        assert 20 <= reductions["tf-api-app"] <= 29
+
+    def test_pi_has_smaller_v3_benefit(self, figure):
+        server = dict(
+            zip(
+                figure.get_table("fig8-t430-server").column("app"),
+                figure.get_table("fig8-t430-server").column("reduction %"),
+            )
+        )
+        pi = dict(
+            zip(
+                figure.get_table("fig8-raspberry-pi3").column("app"),
+                figure.get_table("fig8-raspberry-pi3").column("reduction %"),
+            )
+        )
+        assert pi["v3-app"] < server["v3-app"]
+
+    def test_hotc_always_faster(self, figure):
+        for name in ("fig8-t430-server", "fig8-raspberry-pi3"):
+            table = figure.get_table(name)
+            for row in table.rows:
+                assert row[2] < row[1]  # HotC < default
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig09(seed=0, requests=24)
+
+    def test_cold_counts(self, figure):
+        table = figure.get_table("fig9-summary")
+        default = dict(zip(table.column("metric"), table.column("default")))
+        hotc = dict(zip(table.column("metric"), table.column("hotc")))
+        assert default["cold starts"] == 24
+        assert hotc["cold starts"] == 3
+
+    def test_latency_collapse(self, figure):
+        table = figure.get_table("fig9-summary")
+        default = dict(zip(table.column("metric"), table.column("default")))
+        hotc = dict(zip(table.column("metric"), table.column("hotc")))
+        assert hotc["steady-state latency (ms)"] < 0.3 * default["mean latency (ms)"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig09(requests=2)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig10(seed=0, length=40)
+
+    def test_combined_beats_es(self, figure):
+        table = figure.get_table("fig10a-errors")
+        overall = dict(zip(table.column("strategy"), table.column("overall MAPE %")))
+        assert overall["es+markov"] < overall["exp-smoothing"]
+
+    def test_jump_error_reduced(self, figure):
+        table = figure.get_table("fig10a-errors")
+        jump = dict(zip(table.column("strategy"), table.column("jump-window MAPE %")))
+        assert jump["es+markov"] < jump["exp-smoothing"]
+
+    def test_series_aligned(self, figure):
+        real = figure.get_series("real")
+        combined = figure.get_series("es+markov")
+        assert len(real.y) == len(combined.y) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig10(length=5)
+
+
+class TestFig11:
+    def test_features(self):
+        figure = run_fig11(seed=0)
+        table = figure.get_table("fig11-features")
+        features = dict(zip(table.column("feature"), table.column("value")))
+        assert features["burst magnitude (x)"] > 10
+
+    def test_stride_thins_series(self):
+        figure = run_fig11(seed=0, stride=60)
+        assert len(figure.get_series("requests-per-minute").x) == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig11(stride=0)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig12(seed=0, serial_rounds=8, parallel_rounds=6, n_threads=4)
+
+    def test_serial_single_cold(self, figure):
+        table = figure.get_table("fig12-summary")
+        rows = {row[0]: row for row in table.rows}
+        assert rows["serial"][4] == 1
+
+    def test_parallel_per_thread_cold(self, figure):
+        table = figure.get_table("fig12-summary")
+        rows = {row[0]: row for row in table.rows}
+        assert rows["parallel"][4] == 4  # one per configuration
+
+    def test_hotc_latency_ratio(self, figure):
+        table = figure.get_table("fig12-summary")
+        rows = {row[0]: row for row in table.rows}
+        assert rows["parallel"][2] < 0.4 * rows["parallel"][1]
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig13(seed=0, n_rounds=6, start_decreasing=12)
+
+    def test_increment_only_cold(self, figure):
+        table = figure.get_table("fig13-summary")
+        rows = {row[0]: row for row in table.rows}
+        assert rows["increasing"][4] == 12  # 6 rounds x 2 increments
+
+    def test_decreasing_all_cold_in_round_one(self, figure):
+        table = figure.get_table("fig13-summary")
+        rows = {row[0]: row for row in table.rows}
+        assert rows["decreasing"][4] == 12  # the 12 requests of round 1
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig14(seed=0, exp_rounds=5, burst_rounds=12)
+
+    def test_first_burst_small_benefit(self, figure):
+        table = figure.get_table("fig14b-burst-reductions")
+        reductions = list(table.column("reduction %"))
+        assert reductions[0] < 20
+
+    def test_later_bursts_large_benefit(self, figure):
+        table = figure.get_table("fig14b-burst-reductions")
+        reductions = list(table.column("reduction %"))
+        assert max(reductions[1:]) > 50
+
+    def test_exponential_series_present(self, figure):
+        for name in (
+            "exp-increasing-default",
+            "exp-increasing-hotc",
+            "exp-decreasing-hotc",
+        ):
+            assert len(figure.get_series(name).y) == 5
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig15(seed=0, counts=(0, 10, 100))
+
+    def test_idle_pool_cheap(self, figure):
+        table = figure.get_table("fig15a-t430-server")
+        ten = next(row for row in table.rows if row[0] == 10)
+        assert ten[1] < 1.0
+        assert ten[2] == pytest.approx(7.0, abs=0.5)
+
+    def test_pi_sweep_bounded_by_memory(self, figure):
+        table = figure.get_table("fig15a-raspberry-pi3")
+        counts = [row[0] for row in table.rows]
+        assert max(counts) <= 1024  # nothing absurd on a 1GB device
+
+    def test_lifecycle_exec_dominates(self, figure):
+        table = figure.get_table("fig15b-summary")
+        rows = {row[0]: row for row in table.rows}
+        assert rows["app executing (6-13s)"][1] > rows["container live, app stopped"][1]
+
+    def test_cassandra_series(self, figure):
+        _, mem = figure.get_series("cassandra-mem").as_arrays()
+        assert mem.max() > 1000  # the 2GB-class app shows up
+        assert mem[-1] < 10      # reclaimed after the app stops

@@ -1,0 +1,102 @@
+"""Tests for the motivation-figure experiments (Figs 1, 2, 4, 5)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig01, run_fig02, run_fig04, run_fig05
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig01(seed=0, bursts=3)
+
+    def test_one_cold_per_burst(self, figure):
+        table = figure.get_table("fig1a-summary")
+        metrics = dict(zip(table.column("metric"), table.column("value")))
+        assert metrics["cold starts"] == 3
+
+    def test_latency_ratio_near_paper(self, figure):
+        table = figure.get_table("fig1a-summary")
+        metrics = dict(zip(table.column("metric"), table.column("value")))
+        assert 1.25 <= metrics["max/min"] <= 1.6
+
+    def test_cdf_series_present(self, figure):
+        x, p = figure.get_series("serverless-cdf").as_arrays()
+        assert p[-1] == 1.0
+        assert np.all(np.diff(x) >= 0)
+
+    def test_local_has_no_tail(self, figure):
+        table = figure.get_table("fig1a-summary")
+        metrics = dict(zip(table.column("metric"), table.column("value")))
+        assert metrics["p99/p50 local"] < metrics["p99/p50 serverless"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig01(bursts=0)
+
+    def test_deterministic(self):
+        a = run_fig01(seed=3, bursts=2)
+        b = run_fig01(seed=3, bursts=2)
+        assert a.get_series("serverless-latency").y == b.get_series("serverless-latency").y
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig02(seed=0, n_projects=800)
+
+    def test_tables_present(self, figure):
+        assert figure.get_table("fig2a-image-shares")
+        assert figure.get_table("fig2b-category-shares")
+
+    def test_head_dominance(self, figure):
+        shares = figure.get_table("fig2a-image-shares").column("all projects %")
+        assert sum(shares[:5]) > 40
+
+    def test_category_shares_sum_close_to_100(self, figure):
+        values = figure.get_table("fig2b-category-shares").column("all projects %")
+        assert sum(values) == pytest.approx(100, abs=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_fig02(n_projects=50, top_n=100)
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig04(seed=0, runs=3)
+
+    def test_go_ratio(self, figure):
+        table = figure.get_table("fig4ab-language-cold-hot")
+        ratios = dict(zip(table.column("language"), table.column("cold/hot")))
+        assert ratios["go"] == pytest.approx(3.06, rel=0.15)
+
+    def test_all_ratios_above_one(self, figure):
+        for ratio in figure.get_table("fig4ab-language-cold-hot").column("cold/hot"):
+            assert ratio > 1.5
+
+    def test_overlay_expensive(self, figure):
+        table = figure.get_table("fig4c-network-startup")
+        ratios = dict(zip(table.column("mode"), table.column("vs multihost-host")))
+        assert ratios["overlay"] > 15
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_fig05(seed=0, warm_requests=3, include_edge=False)
+
+    def test_server_breakdown_present(self, figure):
+        table = figure.get_table("breakdown-t430-server")
+        assert "function_init" in table.column("segment")
+
+    def test_function_init_dominates(self, figure):
+        table = figure.get_table("breakdown-t430-server")
+        cold = dict(zip(table.column("segment"), table.column("cold (ms)")))
+        assert cold["function_init"] > 0.5 * sum(cold.values())
+
+    def test_edge_tables_optional(self):
+        figure = run_fig05(seed=0, warm_requests=2, include_edge=True)
+        assert figure.get_table("breakdown-raspberry-pi3")

@@ -1,0 +1,40 @@
+"""Shared fixtures for FaaS-layer tests."""
+
+import pytest
+
+from repro.containers import Registry, make_base_image
+from repro.faas import FaasPlatform, FunctionSpec
+
+
+@pytest.fixture
+def registry():
+    return Registry(
+        [
+            make_base_image("python", "3.6", size_mb=330, language="python"),
+            make_base_image("golang", "1.11", size_mb=310, language="go"),
+            make_base_image("alpine", "3.8", size_mb=5),
+        ]
+    )
+
+
+@pytest.fixture
+def platform(registry):
+    """Deterministic platform with a cold-boot provider."""
+    p = FaasPlatform(registry, seed=1, jitter_sigma=0.0)
+    p.deploy(
+        FunctionSpec(
+            name="random-number",
+            image="python:3.6",
+            language="python",
+            exec_ms=1.0,
+        )
+    )
+    p.deploy(
+        FunctionSpec(
+            name="qr-encoder",
+            image="golang:1.11",
+            language="go",
+            exec_ms=60.0,
+        )
+    )
+    return p

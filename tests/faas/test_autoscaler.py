@@ -1,0 +1,119 @@
+"""Unit tests for the reactive autoscaler baseline."""
+
+import pytest
+
+from repro.faas import ReactiveAutoscaler
+from repro.sim import Simulator
+
+
+class FakePool:
+    """Records scale_to calls; scaling is instantaneous."""
+
+    def __init__(self):
+        self.levels = {}
+        self.calls = []
+
+    def warm_count(self, key):
+        return self.levels.get(key, 0)
+
+    def scale_to(self, key, target):
+        self.calls.append((key, target))
+        self.levels[key] = target
+        return
+        yield  # pragma: no cover
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def pool():
+    return FakePool()
+
+
+class TestValidation:
+    def test_alpha_range(self, sim, pool):
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, pool, alpha=0)
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, pool, alpha=1.5)
+
+    def test_tick_positive(self, sim, pool):
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, pool, tick_ms=0)
+
+    def test_headroom(self, sim, pool):
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, pool, headroom=0.5)
+
+    def test_max_per_key(self, sim, pool):
+        with pytest.raises(ValueError):
+            ReactiveAutoscaler(sim, pool, max_per_key=-1)
+
+
+class TestScaling:
+    def test_scales_up_with_arrivals(self, sim, pool):
+        scaler = ReactiveAutoscaler(sim, pool, tick_ms=100, alpha=1.0, headroom=1.0)
+        scaler.start()
+        for _ in range(5):
+            scaler.observe_arrival("k")
+        sim.run(until=150)
+        scaler.stop()
+        sim.run()
+        assert pool.levels["k"] == 5
+
+    def test_headroom_adds_spares(self, sim, pool):
+        scaler = ReactiveAutoscaler(sim, pool, tick_ms=100, alpha=1.0, headroom=1.5)
+        scaler.start()
+        for _ in range(4):
+            scaler.observe_arrival("k")
+        sim.run(until=150)
+        scaler.stop()
+        sim.run()
+        assert pool.levels["k"] == 6  # ceil(4 * 1.5)
+
+    def test_max_per_key_caps(self, sim, pool):
+        scaler = ReactiveAutoscaler(
+            sim, pool, tick_ms=100, alpha=1.0, headroom=1.0, max_per_key=3
+        )
+        scaler.start()
+        for _ in range(10):
+            scaler.observe_arrival("k")
+        sim.run(until=150)
+        scaler.stop()
+        sim.run()
+        assert pool.levels["k"] == 3
+
+    def test_ewma_smooths_decay(self, sim, pool):
+        scaler = ReactiveAutoscaler(sim, pool, tick_ms=100, alpha=0.5, headroom=1.0)
+        scaler.start()
+        for _ in range(8):
+            scaler.observe_arrival("k")
+        sim.run(until=150)  # first tick: demand = 8
+        # No arrivals in the second tick: EWMA halves, not zeroes.
+        sim.run(until=250)
+        scaler.stop()
+        sim.run()
+        assert scaler.demand_estimate("k") == pytest.approx(4.0)
+        assert pool.levels["k"] == 4
+
+    def test_start_idempotent(self, sim, pool):
+        scaler = ReactiveAutoscaler(sim, pool, tick_ms=100)
+        scaler.start()
+        scaler.start()
+        scaler.observe_arrival("k")
+        sim.run(until=150)
+        scaler.stop()
+        sim.run()
+        # One tick -> exactly one scale call for the key.
+        assert len([c for c in pool.calls if c[0] == "k"]) == 1
+
+    def test_no_arrivals_no_calls(self, sim, pool):
+        scaler = ReactiveAutoscaler(sim, pool, tick_ms=100)
+        scaler.start()
+        sim.run(until=350)
+        scaler.stop()
+        sim.run()
+        assert pool.calls == []

@@ -1,0 +1,68 @@
+"""Unit tests for FunctionSpec."""
+
+import pytest
+
+from repro.containers import NetworkConfig
+from repro.faas import FunctionSpec
+
+
+class TestFunctionSpec:
+    def test_minimal(self):
+        spec = FunctionSpec(name="fn", image="python:3.6")
+        assert spec.language == "python"
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="", image="x")
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", image="x", exec_ms=-1)
+        with pytest.raises(ValueError):
+            FunctionSpec(name="f", image="x", app_init_ms=-1)
+
+    def test_container_config_carries_parameters(self):
+        spec = FunctionSpec(
+            name="fn",
+            image="python:3.6",
+            network=NetworkConfig(mode="host"),
+            uts_mode="host",
+            env=(("A", "1"),),
+            cpu_millicores=500,
+            mem_mb=256,
+        )
+        config = spec.container_config()
+        assert config.image == "python:3.6"
+        assert config.network.mode == "host"
+        assert config.uts_mode == "host"
+        assert config.env == (("A", "1"),)
+        assert config.cpu_millicores == 500
+
+    def test_exec_spec_carries_costs(self):
+        payload = lambda: "out"
+        spec = FunctionSpec(
+            name="fn",
+            image="python:3.6",
+            exec_ms=123,
+            app_init_ms=45,
+            write_mb=6,
+            payload=payload,
+        )
+        exec_spec = spec.exec_spec()
+        assert exec_spec.app_id == "fn"
+        assert exec_spec.exec_ms == 123
+        assert exec_spec.app_init_ms == 45
+        assert exec_spec.write_mb == 6
+        assert exec_spec.payload is payload
+
+    def test_with_overrides(self):
+        spec = FunctionSpec(name="fn", image="python:3.6", exec_ms=10)
+        faster = spec.with_overrides(exec_ms=5)
+        assert faster.exec_ms == 5
+        assert faster.name == "fn"
+        assert spec.exec_ms == 10  # original untouched
+
+    def test_specs_hashable(self):
+        a = FunctionSpec(name="fn", image="python:3.6")
+        b = FunctionSpec(name="fn", image="python:3.6")
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,60 @@
+"""Tests for multi-instance gateway scaling (Section III)."""
+
+import pytest
+
+from repro.faas import FaasPlatform, FunctionSpec
+
+
+def make_platform(registry, instances, concurrency):
+    platform = FaasPlatform(
+        registry,
+        seed=0,
+        jitter_sigma=0.0,
+        gateway_concurrency=concurrency,
+        gateway_instances=instances,
+    )
+    platform.deploy(FunctionSpec(name="fn", image="alpine:3.8", exec_ms=100))
+    platform.sim.process(platform.engine.ensure_image("alpine:3.8"))
+    platform.run()
+    return platform
+
+
+class TestGatewayScaling:
+    def test_validation(self, registry):
+        with pytest.raises(ValueError):
+            FaasPlatform(registry, gateway_instances=0)
+
+    def test_single_instance_default(self, registry):
+        platform = make_platform(registry, instances=1, concurrency=8)
+        assert len(platform.gateways) == 1
+        assert platform.gateway is platform.gateways[0]
+
+    def test_round_robin_assignment(self, registry):
+        platform = make_platform(registry, instances=3, concurrency=1024)
+        for _ in range(6):
+            platform.submit("fn")
+        platform.run()
+        # Each gateway saw exactly two requests at peak accounting.
+        peaks = [g.inflight_peak for g in platform.gateways]
+        assert all(peak >= 1 for peak in peaks)
+        assert len(platform.traces) == 6
+
+    def test_scaling_raises_effective_concurrency(self, registry):
+        """Two concurrency-1 gateways run two requests in parallel."""
+
+        def makespan(instances):
+            platform = make_platform(registry, instances=instances, concurrency=1)
+            start = platform.sim.now
+            for _ in range(4):
+                platform.submit("fn")
+            platform.run()
+            return platform.sim.now - start
+
+        assert makespan(2) < makespan(1)
+
+    def test_all_traces_complete(self, registry):
+        platform = make_platform(registry, instances=2, concurrency=4)
+        for index in range(8):
+            platform.submit("fn", delay=index * 50.0)
+        platform.run()
+        assert all(t.complete for t in platform.traces)

@@ -1,0 +1,85 @@
+"""Fine-grained checks of the request pipeline's stage composition."""
+
+import pytest
+
+from repro.core import HotC
+from repro.faas import FaasPlatform, FunctionSpec
+from repro.hardware.calibration import FAAS_STAGE_MS
+
+
+@pytest.fixture
+def warm_platform(registry):
+    """A platform with one warm container already pooled."""
+    platform = FaasPlatform(
+        registry, seed=0, jitter_sigma=0.0, provider_factory=HotC
+    )
+    platform.deploy(FunctionSpec(name="fn", image="python:3.6", exec_ms=40.0))
+    platform.sim.process(platform.engine.ensure_image("python:3.6"))
+    platform.run()
+    platform.submit("fn")
+    platform.run()
+    return platform
+
+
+class TestWarmSegmentComposition:
+    def test_client_hop_matches_calibration(self, warm_platform):
+        warm_platform.submit("fn")
+        warm_platform.run()
+        trace = warm_platform.traces.traces[1]
+        assert not trace.cold_start
+        segments = trace.segments()
+        assert segments["client_to_gateway"] == pytest.approx(
+            FAAS_STAGE_MS["client_to_gateway"]
+        )
+
+    def test_gateway_forward_is_proxy_plus_hop(self, warm_platform):
+        warm_platform.submit("fn")
+        warm_platform.run()
+        trace = warm_platform.traces.traces[1]
+        expected = FAAS_STAGE_MS["gateway_proxy"] + FAAS_STAGE_MS["gateway_to_watchdog"]
+        assert trace.segments()["gateway_forward"] == pytest.approx(expected)
+
+    def test_warm_function_init_is_fork_plus_inject(self, warm_platform):
+        """Warm init = watchdog fork + code injection, nothing else."""
+        warm_platform.submit("fn")
+        warm_platform.run()
+        trace = warm_platform.traces.traces[1]
+        init = trace.segments()["function_init"]
+        fork = FAAS_STAGE_MS["watchdog_fork"]
+        inject = warm_platform.engine.latency.code_inject()
+        assert init == pytest.approx(fork + inject, rel=0.01)
+
+    def test_exec_segment_matches_app_cost(self, warm_platform):
+        warm_platform.submit("fn")
+        warm_platform.run()
+        trace = warm_platform.traces.traces[1]
+        expected = warm_platform.engine.latency.app_execution(40.0, "python")
+        assert trace.function_exec_ms == pytest.approx(expected)
+
+    def test_return_path_matches_calibration(self, warm_platform):
+        warm_platform.submit("fn")
+        warm_platform.run()
+        trace = warm_platform.traces.traces[1]
+        segments = trace.segments()
+        assert segments["watchdog_out"] == pytest.approx(
+            FAAS_STAGE_MS["watchdog_pipe"]
+        )
+        assert segments["gateway_return"] == pytest.approx(
+            FAAS_STAGE_MS["watchdog_to_gateway"] + FAAS_STAGE_MS["gateway_to_client"]
+        )
+
+    def test_cleanup_off_critical_path(self, warm_platform):
+        """The response returns before the released container has been
+        cleaned: warm latency excludes volume wipe + remount."""
+        warm_platform.submit("fn")
+        warm_platform.run()
+        trace = warm_platform.traces.traces[1]
+        latency_model = warm_platform.engine.latency
+        wipe_cost = latency_model.volume_wipe() + latency_model.volume_mount()
+        stage_sum = (
+            sum(FAAS_STAGE_MS.values())
+            + latency_model.code_inject()
+            + latency_model.app_execution(40.0, "python")
+        )
+        assert trace.total_latency == pytest.approx(stage_sum, rel=0.01)
+        assert trace.total_latency < stage_sum + wipe_cost

@@ -1,0 +1,138 @@
+"""Integration-style tests for the platform + cold-boot provider."""
+
+import pytest
+
+from repro.faas import FaasPlatform, FunctionSpec
+
+
+def invoke_and_run(platform, name):
+    proc = platform.submit(name)
+    platform.run()
+    assert proc.ok, proc.value
+    return proc.value
+
+
+class TestDeployment:
+    def test_deploy_and_lookup(self, platform):
+        assert platform.functions == ("qr-encoder", "random-number")
+        assert platform.function("random-number").language == "python"
+
+    def test_duplicate_deploy_rejected(self, platform):
+        with pytest.raises(ValueError, match="already deployed"):
+            platform.deploy(FunctionSpec(name="random-number", image="python:3.6"))
+
+    def test_unknown_image_rejected(self, platform):
+        with pytest.raises(Exception, match="not in registry"):
+            platform.deploy(FunctionSpec(name="new", image="ghost:1"))
+
+    def test_language_mismatch_rejected(self, platform):
+        with pytest.raises(ValueError, match="provides"):
+            platform.deploy(
+                FunctionSpec(name="bad", image="golang:1.11", language="python")
+            )
+
+    def test_unknown_function_invoke(self, platform):
+        with pytest.raises(KeyError, match="random-number"):
+            platform.function("ghost")
+
+
+class TestRequestPipeline:
+    def test_trace_is_complete_and_ordered(self, platform):
+        trace = invoke_and_run(platform, "random-number")
+        assert trace.complete
+        moments = [
+            trace.t0_client_send,
+            trace.t1_gateway_in,
+            trace.t2_watchdog_in,
+            trace.t3_function_start,
+            trace.t4_function_stop,
+            trace.t5_watchdog_out,
+            trace.t6_client_recv,
+        ]
+        assert moments == sorted(moments)
+
+    def test_cold_boot_every_request(self, platform):
+        """The default provider never reuses: every request is cold."""
+        for _ in range(3):
+            platform.submit("random-number")
+        platform.run()
+        assert len(platform.traces) == 3
+        assert platform.traces.cold_count() == 3
+
+    def test_cold_provider_destroys_containers(self, platform):
+        invoke_and_run(platform, "random-number")
+        assert platform.engine.live_count == 0
+
+    def test_function_init_dominates_cold_request(self, platform):
+        """Section III: segment 2->3 dominates the cold request latency."""
+        trace = invoke_and_run(platform, "random-number")
+        segments = trace.segments()
+        assert segments["function_init"] > 0.5 * trace.total_latency
+
+    def test_traces_collected_per_function(self, platform):
+        platform.submit("random-number")
+        platform.submit("qr-encoder")
+        platform.run()
+        assert len(platform.traces.filter("qr-encoder")) == 1
+
+    def test_submit_delay(self, platform):
+        proc = platform.submit("random-number", delay=500.0)
+        platform.run()
+        trace = proc.value
+        assert trace.t0_client_send == pytest.approx(500.0)
+
+    def test_request_ids_unique_and_ordered(self, platform):
+        for _ in range(4):
+            platform.submit("random-number")
+        platform.run()
+        ids = [t.request_id for t in platform.traces]
+        assert ids == sorted(set(ids))
+
+    def test_shutdown_leaves_nothing_live(self, platform):
+        platform.submit("random-number")
+        platform.run()
+        platform.shutdown()
+        assert platform.engine.live_count == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_latencies(self, registry):
+        def run(seed):
+            p = FaasPlatform(registry, seed=seed, jitter_sigma=0.08)
+            p.deploy(FunctionSpec(name="fn", image="python:3.6", exec_ms=5))
+            for _ in range(5):
+                p.submit("fn")
+            p.run()
+            return list(p.traces.latencies())
+
+        assert run(3) == run(3)
+        assert run(3) != run(4)
+
+
+class TestGatewayConcurrency:
+    def test_concurrency_limit_serializes(self, registry):
+        def total_time(concurrency):
+            p = FaasPlatform(
+                registry,
+                seed=0,
+                jitter_sigma=0.0,
+                gateway_concurrency=concurrency,
+            )
+            p.deploy(FunctionSpec(name="fn", image="alpine:3.8", exec_ms=100))
+            for _ in range(4):
+                p.submit("fn")
+            p.run()
+            return p.sim.now
+
+        assert total_time(1) > total_time(8)
+
+    def test_invalid_concurrency(self, registry):
+        with pytest.raises(ValueError):
+            FaasPlatform(registry, gateway_concurrency=0)
+
+    def test_inflight_peak_tracked(self, platform):
+        for _ in range(3):
+            platform.submit("random-number")
+        platform.run()
+        assert 1 <= platform.gateway.inflight_peak <= 3
+        assert platform.gateway.inflight == 0

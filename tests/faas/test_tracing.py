@@ -1,0 +1,85 @@
+"""Unit tests for request traces and the collector."""
+
+import numpy as np
+import pytest
+
+from repro.faas import RequestTrace, TraceCollector
+
+
+def make_trace(request_id=0, base=0.0, exec_ms=10.0, cold=False, function="f"):
+    """A complete synthetic trace with simple arithmetic segments."""
+    trace = RequestTrace(request_id=request_id, function=function, t0_client_send=base)
+    trace.t1_gateway_in = base + 1
+    trace.t2_watchdog_in = base + 3
+    trace.t3_function_start = base + 3 + (500 if cold else 2)
+    trace.t4_function_stop = trace.t3_function_start + exec_ms
+    trace.t5_watchdog_out = trace.t4_function_stop + 1
+    trace.t6_client_recv = trace.t5_watchdog_out + 1
+    trace.cold_start = cold
+    trace.exec_ms = exec_ms
+    return trace
+
+
+class TestRequestTrace:
+    def test_total_latency(self):
+        trace = make_trace(exec_ms=10)
+        assert trace.total_latency == pytest.approx(1 + 2 + 2 + 10 + 1 + 1)
+
+    def test_segments_sum_to_total(self):
+        trace = make_trace(cold=True)
+        assert sum(trace.segments().values()) == pytest.approx(trace.total_latency)
+
+    def test_function_init_dominates_when_cold(self):
+        trace = make_trace(cold=True, exec_ms=10)
+        segments = trace.segments()
+        assert segments["function_init"] == max(segments.values())
+
+    def test_incomplete_trace_detected(self):
+        trace = RequestTrace(request_id=0, function="f", t0_client_send=0.0)
+        assert not trace.complete
+        assert make_trace().complete
+
+
+class TestTraceCollector:
+    def test_add_and_len(self):
+        collector = TraceCollector()
+        collector.add(make_trace(0))
+        collector.add(make_trace(1))
+        assert len(collector) == 2
+        assert len(list(collector)) == 2
+
+    def test_latencies_order(self):
+        collector = TraceCollector()
+        collector.add(make_trace(0, exec_ms=10))
+        collector.add(make_trace(1, exec_ms=30))
+        latencies = collector.latencies()
+        assert latencies[1] - latencies[0] == pytest.approx(20)
+
+    def test_cold_counting(self):
+        collector = TraceCollector()
+        collector.add(make_trace(0, cold=True))
+        collector.add(make_trace(1, cold=False))
+        collector.add(make_trace(2, cold=True))
+        assert collector.cold_count() == 2
+        assert list(collector.cold_flags()) == [True, False, True]
+
+    def test_mean_latency_empty_is_nan(self):
+        assert np.isnan(TraceCollector().mean_latency())
+
+    def test_mean_segments(self):
+        collector = TraceCollector()
+        collector.add(make_trace(0, exec_ms=10))
+        collector.add(make_trace(1, exec_ms=30))
+        segments = collector.mean_segments()
+        assert segments["function_exec"] == pytest.approx(20)
+
+    def test_mean_segments_empty(self):
+        assert TraceCollector().mean_segments() == {}
+
+    def test_filter_by_function(self):
+        collector = TraceCollector()
+        collector.add(make_trace(0, function="a"))
+        collector.add(make_trace(1, function="b"))
+        collector.add(make_trace(2, function="a"))
+        assert len(collector.filter("a")) == 2
+        assert len(collector.filter()) == 3

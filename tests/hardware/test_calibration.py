@@ -1,0 +1,146 @@
+"""Unit tests for the latency calibration tables."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    LANGUAGE_RUNTIMES,
+    LatencyModel,
+    NETWORK_SETUP_MS,
+    RASPBERRY_PI3,
+    T430_SERVER,
+    network_setup_ms,
+)
+
+
+@pytest.fixture
+def model():
+    """Deterministic (jitter-free) model on the reference server."""
+    return LatencyModel(profile=T430_SERVER, rng=None)
+
+
+class TestNetworkCalibration:
+    def test_single_host_modes_close_to_none(self, model):
+        """Fig 4c: bridge and host are close to no networking."""
+        none = network_setup_ms("none")
+        assert network_setup_ms("bridge") == pytest.approx(none, rel=0.15)
+        assert network_setup_ms("host") == pytest.approx(none, rel=0.15)
+
+    def test_container_mode_about_half(self):
+        """Fig 4c: container mode is ~half of the none mode."""
+        ratio = network_setup_ms("container") / network_setup_ms("none")
+        assert 0.4 <= ratio <= 0.6
+
+    def test_overlay_23x_host(self):
+        """Fig 4c: overlay setup is up to 23x the multi-host host mode."""
+        ratio = network_setup_ms("overlay") / network_setup_ms("multihost-host")
+        assert 20.0 <= ratio <= 23.5
+
+    def test_routing_also_expensive(self):
+        assert network_setup_ms("routing") > 10 * network_setup_ms("multihost-host")
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(KeyError, match="overlay"):
+            network_setup_ms("quantum")
+
+
+class TestLanguageCalibration:
+    def test_known_languages(self):
+        assert set(LANGUAGE_RUNTIMES) == {"python", "go", "java", "node"}
+
+    def test_java_has_largest_cold_overhead(self):
+        """Section II-C: JVM boot dominates Java cold starts."""
+        java = LANGUAGE_RUNTIMES["java"].cold_overhead_ms()
+        for name, runtime in LANGUAGE_RUNTIMES.items():
+            if name != "java":
+                assert runtime.cold_overhead_ms() < java
+
+    def test_go_has_smallest_cold_overhead(self):
+        go = LANGUAGE_RUNTIMES["go"].cold_overhead_ms()
+        for name, runtime in LANGUAGE_RUNTIMES.items():
+            if name != "go":
+                assert runtime.cold_overhead_ms() > go
+
+    def test_unknown_language_raises(self, model):
+        with pytest.raises(KeyError, match="python"):
+            model.runtime_init("cobol")
+
+
+class TestLatencyModel:
+    def test_deterministic_without_rng(self, model):
+        assert model.container_create() == model.container_create()
+
+    def test_jitter_varies_with_rng(self):
+        model = LatencyModel(rng=np.random.default_rng(0), jitter_sigma=0.1)
+        samples = {model.container_create() for _ in range(5)}
+        assert len(samples) > 1
+
+    def test_jitter_mean_near_base(self):
+        model = LatencyModel(rng=np.random.default_rng(0), jitter_sigma=0.05)
+        samples = [model.container_start() for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(
+            LatencyModel(rng=None).container_start(), rel=0.02
+        )
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(jitter_sigma=-0.1)
+
+    def test_pi_scales_container_ops(self):
+        server = LatencyModel(profile=T430_SERVER, rng=None)
+        pi = LatencyModel(profile=RASPBERRY_PI3, rng=None)
+        scale = RASPBERRY_PI3.container_op_scale
+        assert pi.container_create() == pytest.approx(server.container_create() * scale)
+        assert pi.network_setup("overlay") == pytest.approx(
+            server.network_setup("overlay") * scale
+        )
+
+    def test_pi_scales_compute(self):
+        server = LatencyModel(profile=T430_SERVER, rng=None)
+        pi = LatencyModel(profile=RASPBERRY_PI3, rng=None)
+        assert pi.app_execution(100.0, "python") == pytest.approx(
+            server.app_execution(100.0, "python") * RASPBERRY_PI3.compute_scale
+        )
+
+    def test_image_pull_scales_with_bandwidth(self):
+        server = LatencyModel(profile=T430_SERVER, rng=None)
+        pi = LatencyModel(profile=RASPBERRY_PI3, rng=None)
+        # Pi has 100 Mbps vs 1 Gbps: pulls 10x slower.
+        assert pi.image_pull(100) == pytest.approx(server.image_pull(100) * 10)
+
+    def test_image_sizes_validated(self, model):
+        with pytest.raises(ValueError):
+            model.image_pull(-1)
+        with pytest.raises(ValueError):
+            model.image_decompress(-1)
+
+    def test_app_execution_validates(self, model):
+        with pytest.raises(ValueError):
+            model.app_execution(-5, "go")
+
+    def test_warm_overhead_applied(self, model):
+        base = 100.0
+        expected = base * (1 + LANGUAGE_RUNTIMES["java"].warm_overhead_fraction)
+        assert model.app_execution(base, "java") == pytest.approx(expected)
+
+    def test_faas_stage_lookup(self, model):
+        assert model.faas_stage("gateway_proxy") > 0
+        with pytest.raises(KeyError, match="gateway_proxy"):
+            model.faas_stage("nonexistent")
+
+    def test_faas_stages_are_small(self, model):
+        """Section III: forwarding stages are tiny next to cold start."""
+        total_forwarding = sum(
+            model.faas_stage(stage)
+            for stage in (
+                "client_to_gateway",
+                "gateway_proxy",
+                "gateway_to_watchdog",
+                "watchdog_fork",
+                "watchdog_pipe",
+                "watchdog_to_gateway",
+                "gateway_to_client",
+            )
+        )
+        cold_core = model.container_create() + model.runtime_init("python")
+        assert total_forwarding < 0.05 * cold_core

@@ -1,0 +1,59 @@
+"""Unit tests for hardware profiles."""
+
+import pytest
+
+from repro.hardware import (
+    JETSON_TX2,
+    RASPBERRY_PI3,
+    T430_SERVER,
+    get_profile,
+    list_profiles,
+)
+
+
+class TestProfiles:
+    def test_reference_server_is_unit_scale(self):
+        assert T430_SERVER.compute_scale == 1.0
+        assert T430_SERVER.container_op_scale == 1.0
+
+    def test_t430_matches_paper_specs(self):
+        """Section V-A: dual ten-core Xeon, 64GB memory."""
+        assert T430_SERVER.cores == 20
+        assert T430_SERVER.mem_mb == 64 * 1024
+        assert T430_SERVER.clock_ghz == pytest.approx(2.6)
+
+    def test_pi3_matches_paper_specs(self):
+        """Section V-A: quad-core 1.2GHz, 1GB memory."""
+        assert RASPBERRY_PI3.cores == 4
+        assert RASPBERRY_PI3.mem_mb == 1024
+        assert RASPBERRY_PI3.clock_ghz == pytest.approx(1.2)
+
+    def test_pi_compute_scale_over_10x(self):
+        """Section V-B: edge exec time 'prolongs more than 10 times'."""
+        assert RASPBERRY_PI3.compute_scale > 10.0
+
+    def test_cpu_millicores(self):
+        assert T430_SERVER.cpu_millicores == 20000
+        assert RASPBERRY_PI3.cpu_millicores == 4000
+
+    def test_make_resources_matches_profile(self):
+        host = JETSON_TX2.make_resources()
+        assert host.cpu_millicores_total == JETSON_TX2.cpu_millicores
+        assert host.mem_mb_total == JETSON_TX2.mem_mb
+
+    def test_registry_lookup(self):
+        assert get_profile("t430-server") is T430_SERVER
+        assert get_profile("raspberry-pi3") is RASPBERRY_PI3
+
+    def test_unknown_profile_lists_known(self):
+        with pytest.raises(KeyError, match="raspberry-pi3"):
+            get_profile("cray-1")
+
+    def test_list_profiles(self):
+        names = list_profiles()
+        assert "t430-server" in names
+        assert names == tuple(sorted(names))
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(AttributeError):
+            T430_SERVER.cores = 1  # type: ignore[misc]

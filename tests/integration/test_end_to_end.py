@@ -1,0 +1,179 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FixedKeepAliveProvider,
+    HistogramKeepAliveProvider,
+    HotC,
+    HotCConfig,
+    make_cluster_platform,
+)
+from repro.faas import FaasPlatform, FunctionSpec
+from repro.workloads import (
+    TracePattern,
+    WorkloadGenerator,
+    default_catalog,
+    qr_encoder_app,
+    youtube_campus_trace,
+)
+
+
+def build_platform(provider_factory=None, seed=0, **kwargs):
+    catalog = default_catalog()
+    platform = FaasPlatform(
+        catalog.make_registry(),
+        seed=seed,
+        provider_factory=provider_factory,
+        **kwargs,
+    )
+    spec = qr_encoder_app(name="svc", language="python")
+    platform.deploy(spec)
+    platform.sim.process(platform.engine.ensure_image(spec.image))
+    platform.run()
+    return platform
+
+
+def trace_workload(platform, minutes=30, scale=0.01, slot_ms=2_000.0):
+    """A scaled slice of the campus trace driven through the platform."""
+    trace = youtube_campus_trace(seed=1)
+    counts = trace.segment(700, 700 + minutes)  # includes the T710 burst
+    pattern = TracePattern(counts, slot_ms=slot_ms, scale=scale)
+    return WorkloadGenerator(platform).run(pattern, "svc")
+
+
+class TestProviderComparison:
+    """All four providers survive the same bursty trace slice."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        outcomes = {}
+        for name, factory in {
+            "cold-boot": None,
+            "hotc": HotC,
+            "fixed": lambda e: FixedKeepAliveProvider(e, keep_alive_ms=120_000),
+            "histogram": HistogramKeepAliveProvider,
+        }.items():
+            platform = build_platform(factory, jitter_sigma=0.03)
+            outcomes[name] = (trace_workload(platform), platform)
+        return outcomes
+
+    def test_all_requests_complete(self, results):
+        totals = {name: result.total_requests for name, (result, _) in results.items()}
+        assert len(set(totals.values())) == 1  # same workload everywhere
+        assert totals["hotc"] > 30
+
+    def test_hotc_reduces_cold_starts(self, results):
+        cold = {name: result.total_cold() for name, (result, _) in results.items()}
+        assert cold["hotc"] < 0.2 * cold["cold-boot"]
+        assert cold["fixed"] < cold["cold-boot"]
+
+    def test_hotc_reduces_latency(self, results):
+        mean = {name: result.mean_latency() for name, (result, _) in results.items()}
+        assert mean["hotc"] < 0.4 * mean["cold-boot"]
+
+    def test_traces_are_complete_and_ordered(self, results):
+        for name, (result, _) in results.items():
+            for trace in result.all_traces:
+                assert trace.complete, name
+                assert trace.total_latency > 0
+                segments = trace.segments()
+                assert sum(segments.values()) == pytest.approx(trace.total_latency)
+
+    def test_resources_returned(self, results):
+        for name, (result, platform) in results.items():
+            platform.shutdown()
+            assert platform.engine.live_count == 0, name
+            assert platform.engine.resources.cpu_used_millicores == pytest.approx(0)
+            assert platform.engine.resources.used_mem_mb == pytest.approx(0)
+
+
+class TestFullDeterminism:
+    def test_hotc_with_control_loop_bit_reproducible(self):
+        def run_once():
+            config = HotCConfig(control_interval_ms=5_000.0)
+            platform = build_platform(
+                lambda e: HotC(e, config), seed=9, jitter_sigma=0.08
+            )
+            platform.provider.start_control_loop()
+            trace = youtube_campus_trace(seed=2)
+            pattern = TracePattern(trace.segment(705, 725), slot_ms=1_000.0, scale=0.02)
+            run_until = platform.sim.now + 25_000.0 + 60_000.0
+            result = WorkloadGenerator(platform).run(pattern, "svc", run_until=run_until)
+            platform.provider.stop_control_loop()
+            return list(result.latencies())
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+        assert len(first) > 0
+
+    def test_different_seeds_differ(self):
+        def run_once(seed):
+            platform = build_platform(HotC, seed=seed, jitter_sigma=0.08)
+            for index in range(5):
+                platform.submit("svc", delay=index * 1_000.0)
+            platform.run()
+            return list(platform.traces.latencies())
+
+        assert run_once(1) != run_once(2)
+
+
+class TestClusterEndToEnd:
+    def test_cluster_handles_trace_burst(self):
+        catalog = default_catalog()
+        platform = make_cluster_platform(
+            catalog.make_registry(), n_hosts=3, seed=0, jitter_sigma=0.03
+        )
+        spec = qr_encoder_app(name="svc", language="python")
+        platform.deploy(spec)
+        for host in platform.provider.hosts:
+            platform.sim.process(host.engine.ensure_image(spec.image))
+        platform.run()
+        result = trace_workload(platform, minutes=15, scale=0.02)
+        assert result.total_requests > 20
+        # Cold starts are bounded by peak concurrency, not request count.
+        assert result.total_cold() < 0.5 * result.total_requests
+        # Work landed on more than one host during the burst.
+        busy_hosts = sum(1 for s in platform.provider.pool_sizes() if s > 0)
+        assert busy_hosts >= 2
+        platform.shutdown()
+        for host in platform.provider.hosts:
+            assert host.engine.live_count == 0
+
+
+class TestPipelineInvariants:
+    def test_moments_strictly_ordered_under_load(self):
+        platform = build_platform(HotC, jitter_sigma=0.05)
+        rng = np.random.default_rng(5)
+        for _ in range(40):
+            platform.submit("svc", delay=float(rng.uniform(0, 60_000)))
+        platform.run()
+        for trace in platform.traces:
+            moments = [
+                trace.t0_client_send,
+                trace.t1_gateway_in,
+                trace.t2_watchdog_in,
+                trace.t3_function_start,
+                trace.t4_function_stop,
+                trace.t5_watchdog_out,
+                trace.t6_client_recv,
+            ]
+            assert moments == sorted(moments)
+            assert trace.function_exec_ms > 0
+
+    def test_volume_hygiene_across_reuses(self):
+        """No zombie volumes: live volumes == live containers."""
+        platform = build_platform(HotC, jitter_sigma=0.0)
+        writer = FunctionSpec(
+            name="writer", image="python:3.6", exec_ms=5, write_mb=2.0
+        )
+        platform.deploy(writer)
+        for index in range(6):
+            platform.submit("writer", delay=index * 2_000.0)
+        platform.run()
+        engine = platform.engine
+        assert len(engine.volumes) == engine.live_count
+        for container in engine.live_containers():
+            assert container.volume.bytes_mb == 0  # cleaned after use

@@ -1,0 +1,112 @@
+"""Tests for the FaaS billing model."""
+
+import pytest
+
+from repro.faas import RequestTrace
+from repro.metrics import BillingModel
+
+
+def make_trace(duration_ms, exec_ms=None):
+    trace = RequestTrace(request_id=0, function="f", t0_client_send=0.0)
+    trace.t1_gateway_in = 1.0
+    trace.t2_watchdog_in = 2.0
+    trace.t5_watchdog_out = 2.0 + duration_ms
+    exec_ms = duration_ms if exec_ms is None else exec_ms
+    trace.t4_function_stop = trace.t5_watchdog_out - 0.5
+    trace.t3_function_start = trace.t4_function_stop - exec_ms
+    trace.t6_client_recv = trace.t5_watchdog_out + 1.0
+    return trace
+
+
+class TestValidation:
+    def test_model_params(self):
+        with pytest.raises(ValueError):
+            BillingModel(usd_per_gb_second=0)
+        with pytest.raises(ValueError):
+            BillingModel(billing_quantum_ms=0)
+
+    def test_mem_positive(self):
+        with pytest.raises(ValueError):
+            BillingModel().request_cost_usd(make_trace(50), mem_mb=0)
+
+    def test_empty_traces(self):
+        with pytest.raises(ValueError):
+            BillingModel().report([], mem_mb=128)
+
+
+class TestBilledDuration:
+    def test_rounds_up_to_quantum(self):
+        model = BillingModel(billing_quantum_ms=100)
+        assert model.billed_duration_ms(make_trace(1)) == 100
+        assert model.billed_duration_ms(make_trace(100)) == 100
+        assert model.billed_duration_ms(make_trace(101)) == 200
+
+    def test_1ms_quantum(self):
+        model = BillingModel(billing_quantum_ms=1)
+        assert model.billed_duration_ms(make_trace(42.3)) == 43
+
+    def test_cold_start_is_billed(self):
+        """The core complaint: initiation time shows up on the bill."""
+        model = BillingModel(billing_quantum_ms=1)
+        warm = make_trace(60, exec_ms=59)
+        cold = make_trace(560, exec_ms=59)  # +500ms initiation
+        assert model.billed_duration_ms(cold) - model.billed_duration_ms(warm) == 500
+
+
+class TestCosts:
+    def test_cost_scales_with_memory(self):
+        model = BillingModel()
+        trace = make_trace(1_000)
+        assert model.request_cost_usd(trace, 1024) == pytest.approx(
+            2 * model.request_cost_usd(trace, 512)
+        )
+
+    def test_known_value(self):
+        """1 GB for exactly 1 s at the AWS-like rate."""
+        model = BillingModel(billing_quantum_ms=100)
+        trace = make_trace(1_000)
+        assert model.request_cost_usd(trace, 1024) == pytest.approx(0.0000166667)
+
+    def test_report_overhead_fraction(self):
+        model = BillingModel(billing_quantum_ms=1)
+        traces = [make_trace(100, exec_ms=60), make_trace(600, exec_ms=60)]
+        report = model.report(traces, mem_mb=128)
+        assert report.requests == 2
+        assert report.billed_ms == pytest.approx(700)
+        assert report.exec_ms == pytest.approx(120)
+        assert 0.8 <= report.overhead_fraction <= 0.85
+
+    def test_ping_fees(self):
+        model = BillingModel(billing_quantum_ms=100)
+        report = model.report(
+            [make_trace(100)], mem_mb=1024, ping_count=36, ping_ms=10
+        )
+        # 36 pings x 100ms quantum x 1GB = 3.6 GB-seconds.
+        assert report.ping_cost_usd == pytest.approx(3.6 * 0.0000166667)
+        assert report.total_usd > report.cost_usd
+
+
+class TestEndToEndBilling:
+    def test_hotc_cuts_the_bill(self, tmp_path):
+        from repro.core import HotC
+        from repro.containers import Registry, make_base_image
+        from repro.faas import FaasPlatform, FunctionSpec
+
+        registry = Registry(
+            [make_base_image("python", "3.6", size_mb=50, language="python")]
+        )
+
+        def billed(provider_factory):
+            platform = FaasPlatform(
+                registry, seed=0, jitter_sigma=0.0, provider_factory=provider_factory
+            )
+            platform.deploy(FunctionSpec(name="fn", image="python:3.6", exec_ms=30))
+            for index in range(10):
+                platform.submit("fn", delay=index * 2_000.0)
+            platform.run()
+            return BillingModel().report(platform.traces, mem_mb=128)
+
+        cold = billed(None)
+        hotc = billed(HotC)
+        assert hotc.total_usd < 0.5 * cold.total_usd
+        assert hotc.overhead_fraction < cold.overhead_fraction

@@ -1,0 +1,66 @@
+"""Unit tests for prediction error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    relative_errors,
+    root_mean_square_error,
+)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_errors([1.0, 2.0], [1.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    def test_non_finite(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([float("inf")], [1.0])
+
+    def test_floor_positive(self):
+        with pytest.raises(ValueError):
+            relative_errors([1.0], [1.0], floor=0)
+
+
+class TestValues:
+    def test_relative_errors(self):
+        errors = relative_errors([10.0, 20.0], [9.0, 25.0])
+        assert errors[0] == pytest.approx(0.1)
+        assert errors[1] == pytest.approx(0.25)
+
+    def test_floor_guards_small_actuals(self):
+        errors = relative_errors([0.0], [3.0], floor=1.0)
+        assert errors[0] == pytest.approx(3.0)
+
+    def test_mape(self):
+        assert mean_absolute_percentage_error(
+            [10.0, 20.0], [9.0, 25.0]
+        ) == pytest.approx((0.1 + 0.25) / 2)
+
+    def test_mae(self):
+        assert mean_absolute_error([1.0, 2.0], [2.0, 4.0]) == pytest.approx(1.5)
+
+    def test_rmse(self):
+        assert root_mean_square_error([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_perfect_prediction_zero(self):
+        actual = [4.0, 8.0, 15.0]
+        assert mean_absolute_error(actual, actual) == 0
+        assert root_mean_square_error(actual, actual) == 0
+        assert mean_absolute_percentage_error(actual, actual) == 0
+
+    def test_rmse_at_least_mae(self):
+        actual = np.array([1.0, 5.0, 9.0, 2.0])
+        predicted = np.array([2.0, 3.0, 10.0, 0.0])
+        assert root_mean_square_error(actual, predicted) >= mean_absolute_error(
+            actual, predicted
+        )

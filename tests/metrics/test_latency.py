@@ -1,0 +1,98 @@
+"""Unit tests for latency statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    empirical_cdf,
+    percentile,
+    summarize_latencies,
+    tail_ratio,
+)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([-1.0], 50)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([float("nan")], 50)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([[1.0, 2.0]], 50)
+
+    def test_q_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestPercentileAndCdf:
+    def test_percentile_basics(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.5)
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_cdf_monotone_and_normalized(self):
+        x, p = empirical_cdf([5.0, 1.0, 3.0, 3.0])
+        assert list(x) == [1.0, 3.0, 3.0, 5.0]
+        assert p[-1] == 1.0
+        assert np.all(np.diff(p) >= 0)
+
+    def test_cdf_probability_semantics(self):
+        x, p = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        # P[X <= 2] = 0.5
+        assert p[list(x).index(2.0)] == pytest.approx(0.5)
+
+
+class TestTailRatio:
+    def test_uniform_has_no_tail(self):
+        assert tail_ratio([10.0] * 100) == pytest.approx(1.0)
+
+    def test_cold_start_tail_detected(self):
+        """Fig 1b: occasional cold starts inflate p99 over the median."""
+        latencies = [10.0] * 95 + [500.0] * 5
+        assert tail_ratio(latencies) > 10
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            tail_ratio([0.0, 0.0, 1.0])
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_fig1a_ratios(self):
+        """Fig 1a's comparisons: highest vs lowest and vs average."""
+        latencies = [100.0] * 9 + [141.8]
+        summary = summarize_latencies(latencies)
+        assert summary.max_over_min == pytest.approx(1.418)
+        assert summary.max_over_mean == pytest.approx(141.8 / np.mean(latencies))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_summary_orderings(self, values):
+        """Property: min <= p50 <= p90 <= p99 <= max and min <= mean <= max."""
+        summary = summarize_latencies(values)
+        assert summary.minimum <= summary.p50 <= summary.p90 + 1e-9
+        assert summary.p90 <= summary.p99 + 1e-9
+        assert summary.p99 <= summary.maximum + 1e-9
+        assert summary.minimum - 1e-9 <= summary.mean <= summary.maximum + 1e-9

@@ -1,0 +1,58 @@
+"""Unit tests for the resource monitor."""
+
+import pytest
+
+from repro.containers import ContainerConfig, ContainerEngine, Registry, make_base_image
+from repro.metrics import ResourceMonitor
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def engine():
+    sim = Simulator()
+    registry = Registry([make_base_image("alpine", "3.8", size_mb=5)])
+    return ContainerEngine(sim, registry, rng=None)
+
+
+class TestMonitor:
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            ResourceMonitor(engine, period_ms=0)
+
+    def test_samples_on_period(self, engine):
+        monitor = ResourceMonitor(engine, period_ms=100)
+        monitor.start()
+        engine.sim.run(until=450)
+        monitor.stop()
+        engine.sim.run()
+        # t=0 immediate + 100..400 -> at least 5 samples.
+        assert len(engine.resources.timeline) >= 5
+        assert len(monitor.times_s) == len(engine.resources.timeline)
+
+    def test_start_idempotent(self, engine):
+        monitor = ResourceMonitor(engine, period_ms=100)
+        monitor.start()
+        monitor.start()
+        engine.sim.run(until=150)
+        monitor.stop()
+        engine.sim.run()
+        # One immediate sample + one at t=100 (not doubled).
+        assert len(engine.resources.timeline) == 2
+
+    def test_series_reflect_usage(self, engine):
+        sim = engine.sim
+        monitor = ResourceMonitor(engine, period_ms=50)
+        proc = sim.process(
+            engine.boot_container(ContainerConfig(image="alpine:3.8"))
+        )
+        monitor.start()
+        sim.run(until=2_000)
+        monitor.stop()
+        sim.run()
+        assert proc.ok
+        assert monitor.mem_mb[-1] > 0          # idle footprint visible
+        assert monitor.cpu_percent[-1] < 1.0   # and tiny (Fig 15a)
+        assert monitor.mem_percent[-1] == pytest.approx(
+            100 * monitor.mem_mb[-1] / engine.resources.mem_mb_total
+        )
+        assert monitor.swap_mb[-1] == 0

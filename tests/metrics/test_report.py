@@ -1,0 +1,73 @@
+"""Unit tests for figures, series, tables and text rendering."""
+
+import pytest
+
+from repro.metrics import Figure, Series, Table, format_table
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series(name="s", x=(1.0,), y=(1.0, 2.0))
+
+    def test_from_arrays(self):
+        series = Series.from_arrays("s", [1, 2], [3.5, 4.5], y_label="ms")
+        assert series.x == (1.0, 2.0)
+        assert series.y == (3.5, 4.5)
+        x, y = series.as_arrays()
+        assert list(x) == [1.0, 2.0]
+
+
+class TestTable:
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            Table(name="t", columns=("a", "b"), rows=((1,),))
+
+    def test_column_access(self):
+        table = Table(name="t", columns=("lang", "ms"), rows=(("go", 1.0), ("java", 2.0)))
+        assert table.column("ms") == (1.0, 2.0)
+        with pytest.raises(KeyError):
+            table.column("ghost")
+
+
+class TestFigure:
+    def test_lookup(self):
+        figure = Figure(figure_id="fig1", title="demo")
+        figure.add_series(Series.from_arrays("lat", [0], [1]))
+        figure.add_table(Table(name="tbl", columns=("c",), rows=((1,),)))
+        assert figure.get_series("lat").name == "lat"
+        assert figure.get_table("tbl").name == "tbl"
+        with pytest.raises(KeyError):
+            figure.get_series("missing")
+        with pytest.raises(KeyError):
+            figure.get_table("missing")
+
+    def test_render_contains_everything(self):
+        figure = Figure(figure_id="fig9", title="latency")
+        figure.add_series(Series.from_arrays("warm", [1, 2], [10.5, 11.25]))
+        figure.add_table(
+            Table(name="summary", columns=("arm", "mean"), rows=(("hotc", 12.5),))
+        )
+        figure.note("matches the paper's shape")
+        text = figure.render()
+        assert "fig9" in text
+        assert "warm" in text
+        assert "hotc" in text
+        assert "matches" in text
+
+
+class TestFormatTable:
+    def test_alignment_and_values(self):
+        text = format_table(("name", "value"), (("a", 1), ("long-name", 2.5)))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3] or "long-name" in lines[2]
+        assert "2.5" in text
+
+    def test_empty_rows(self):
+        text = format_table(("only", "header"), ())
+        assert "only" in text
+
+    def test_float_formatting(self):
+        text = format_table(("v",), ((0.123456789,),))
+        assert "0.1235" in text

@@ -1,0 +1,328 @@
+"""Unit tests for the process engine (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Interrupt, Simulator
+
+
+class TestTimeoutAndRun:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(10.0)
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 10.0
+        assert sim.now == 10.0
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.timeout(-1.0)
+
+    def test_run_until_stops_clock_exactly(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        final = sim.run(until=50.0)
+        assert final == 50.0
+        assert sim.now == 50.0
+        # The event at t=100 is still pending.
+        sim.run()
+        assert sim.now == 100.0
+
+    def test_run_until_past_raises(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_zero_delay_events_run_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.0, order.append, 1)
+        sim.schedule(0.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2]
+
+    def test_timeout_cancel(self):
+        sim = Simulator()
+        t = sim.timeout(5.0)
+        t.cancel()
+        sim.run()
+        assert not t.triggered
+
+
+class TestProcess:
+    def test_process_return_value(self):
+        sim = Simulator()
+
+        def child(sim):
+            yield sim.timeout(3.0)
+            return "payload"
+
+        def parent(sim):
+            value = yield sim.process(child(sim))
+            return value + "!"
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == "payload!"
+
+    def test_yield_timeout_value(self):
+        sim = Simulator()
+
+        def proc(sim):
+            got = yield sim.timeout(1.0, value="tick")
+            return got
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == "tick"
+
+    def test_exception_propagates_to_waiter(self):
+        sim = Simulator()
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise RuntimeError("inner")
+
+        def outer(sim):
+            try:
+                yield sim.process(failing(sim))
+            except RuntimeError as exc:
+                return f"caught {exc}"
+
+        p = sim.process(outer(sim))
+        sim.run()
+        assert p.value == "caught inner"
+
+    def test_uncaught_exception_fails_process(self):
+        sim = Simulator()
+
+        def bad(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        p = sim.process(bad(sim))
+        sim.run()
+        assert p.triggered and not p.ok
+        assert isinstance(p.value, ValueError)
+
+    def test_yield_non_event_fails(self):
+        sim = Simulator()
+
+        def wrong(sim):
+            yield 5  # type: ignore[misc]
+
+        p = sim.process(wrong(sim))
+        sim.run()
+        assert not p.ok
+        assert isinstance(p.value, TypeError)
+
+    def test_process_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_interrupt_waiting_process(self):
+        sim = Simulator()
+
+        def sleeper(sim):
+            try:
+                yield sim.timeout(100.0)
+                return "slept"
+            except Interrupt as i:
+                return f"interrupted:{i.cause}"
+
+        p = sim.process(sleeper(sim))
+        sim.schedule(10.0, p.interrupt, "wakeup")
+        sim.run()
+        assert p.value == "interrupted:wakeup"
+        assert sim.now < 100.0
+
+    def test_interrupt_finished_process_raises(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_is_alive(self):
+        sim = Simulator()
+
+        def quick(sim):
+            yield sim.timeout(1.0)
+
+        p = sim.process(quick(sim))
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestComposites:
+    def test_all_of_collects_values(self):
+        sim = Simulator()
+
+        def proc(sim):
+            values = yield AllOf([sim.timeout(3.0, "a"), sim.timeout(1.0, "b")])
+            return (sim.now, values)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == (3.0, ["a", "b"])
+
+    def test_all_of_empty_fires_immediately(self):
+        event = AllOf([])
+        assert event.triggered and event.value == []
+
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+
+        def proc(sim):
+            index, value = yield AnyOf([sim.timeout(9.0, "slow"), sim.timeout(2.0, "fast")])
+            return (sim.now, index, value)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == (2.0, 1, "fast")
+
+    def test_any_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            AnyOf([])
+
+
+class TestResource:
+    def test_fifo_granting(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        log = []
+
+        def worker(sim, name, hold):
+            yield res.request()
+            log.append((sim.now, name, "start"))
+            yield sim.timeout(hold)
+            res.release()
+            log.append((sim.now, name, "end"))
+
+        sim.process(worker(sim, "a", 5.0))
+        sim.process(worker(sim, "b", 5.0))
+        sim.run()
+        assert log == [
+            (0.0, "a", "start"),
+            (5.0, "a", "end"),
+            (5.0, "b", "start"),
+            (10.0, "b", "end"),
+        ]
+
+    def test_capacity_allows_parallelism(self):
+        sim = Simulator()
+        res = sim.resource(capacity=2)
+        starts = []
+
+        def worker(sim):
+            yield res.request()
+            starts.append(sim.now)
+            yield sim.timeout(10.0)
+            res.release()
+
+        for _ in range(3):
+            sim.process(worker(sim))
+        sim.run()
+        assert starts == [0.0, 0.0, 10.0]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_invalid_capacity(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.resource(capacity=0)
+
+    def test_queued_counter(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        res.request()
+        res.request()
+        assert res.in_use == 1
+        assert res.queued == 1
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = sim.store()
+        store.put("x")
+
+        def getter(sim):
+            item = yield store.get()
+            return item
+
+        p = sim.process(getter(sim))
+        sim.run()
+        assert p.value == "x"
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = sim.store()
+
+        def getter(sim):
+            item = yield store.get()
+            return (sim.now, item)
+
+        p = sim.process(getter(sim))
+        sim.schedule(7.0, store.put, "late")
+        sim.run()
+        assert p.value == (7.0, "late")
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = sim.store()
+        store.put(1)
+        store.put(2)
+        got = []
+
+        def getter(sim):
+            a = yield store.get()
+            b = yield store.get()
+            got.extend([a, b])
+
+        sim.process(getter(sim))
+        sim.run()
+        assert got == [1, 2]
+
+    def test_len(self):
+        sim = Simulator()
+        store = sim.store()
+        store.put("a")
+        assert len(store) == 1
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def worker(sim, name, period):
+                for _ in range(5):
+                    yield sim.timeout(period)
+                    trace.append((sim.now, name))
+
+            sim.process(worker(sim, "x", 3.0))
+            sim.process(worker(sim, "y", 3.0))
+            sim.process(worker(sim, "z", 2.0))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,108 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim.events import PENDING, Event, EventQueue
+
+
+class TestEvent:
+    def test_starts_pending(self):
+        event = Event()
+        assert not event.triggered
+        assert event.value is PENDING
+
+    def test_succeed_delivers_value(self):
+        event = Event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed(42)
+        assert event.triggered and event.ok
+        assert seen == [42]
+
+    def test_late_callback_runs_immediately(self):
+        event = Event()
+        event.succeed("v")
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == ["v"]
+
+    def test_double_trigger_is_error(self):
+        event = Event()
+        event.succeed()
+        with pytest.raises(RuntimeError):
+            event.succeed()
+        with pytest.raises(RuntimeError):
+            event.fail(ValueError("x"))
+
+    def test_fail_requires_exception(self):
+        event = Event()
+        with pytest.raises(TypeError):
+            event.fail("not an exception")  # type: ignore[arg-type]
+
+    def test_fail_marks_not_ok(self):
+        event = Event()
+        error = ValueError("boom")
+        event.fail(error)
+        assert event.triggered and not event.ok
+        assert event.value is error
+
+    def test_callbacks_run_in_registration_order(self):
+        event = Event()
+        order = []
+        event.add_callback(lambda e: order.append(1))
+        event.add_callback(lambda e: order.append(2))
+        event.add_callback(lambda e: order.append(3))
+        event.succeed()
+        assert order == [1, 2, 3]
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(5.0, fired.append, ("b",))
+        queue.push(1.0, fired.append, ("a",))
+        queue.push(9.0, fired.append, ("c",))
+        while queue:
+            entry = queue.pop()
+            entry.callback(*entry.args)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        entries = [queue.push(3.0, lambda: None) for _ in range(10)]
+        popped = [queue.pop() for _ in range(10)]
+        assert [e.seq for e in popped] == [e.seq for e in entries]
+
+    def test_priority_beats_insertion_at_same_time(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, priority=0)
+        high = queue.push(1.0, lambda: None, priority=-1)
+        assert queue.pop() is high
+
+    def test_cancelled_entries_are_skipped(self):
+        queue = EventQueue()
+        doomed = queue.push(1.0, lambda: None)
+        kept = queue.push(2.0, lambda: None)
+        doomed.cancel()
+        assert len(queue) == 1
+        assert queue.peek_time() == 2.0
+        assert queue.pop() is kept
+
+    def test_pop_empty_raises(self):
+        queue = EventQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_nan_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.push(float("nan"), lambda: None)
+
+    def test_bool_and_drain(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(4.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue
+        assert list(queue.drain_times()) == [2.0, 4.0]

@@ -1,0 +1,156 @@
+"""Unit tests for host resource accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.resources import HostResources, ResourceSample, ResourceTimeline
+from repro.sim.resources import ResourceError
+
+
+def make_host(**overrides):
+    params = dict(cpu_millicores=4000, mem_mb=1024, swap_mb=512)
+    params.update(overrides)
+    return HostResources(**params)
+
+
+class TestAllocation:
+    def test_basic_allocate_release(self):
+        host = make_host()
+        alloc = host.allocate("c1", cpu_millicores=500, mem_mb=100)
+        assert host.cpu_used_millicores == 500
+        assert host.used_mem_mb == 100
+        assert host.live_allocations == 1
+        host.release(alloc)
+        assert host.cpu_used_millicores == 0
+        assert host.used_mem_mb == 0
+        assert host.live_allocations == 0
+
+    def test_cpu_exhaustion(self):
+        host = make_host()
+        host.allocate("a", 4000, 10)
+        with pytest.raises(ResourceError):
+            host.allocate("b", 1, 10)
+
+    def test_memory_spills_to_swap(self):
+        host = make_host()
+        host.allocate("big", 0, 1200)
+        assert host.used_mem_mb == 1024
+        assert host.used_swap_mb == pytest.approx(176)
+
+    def test_memory_plus_swap_exhaustion(self):
+        host = make_host()
+        with pytest.raises(ResourceError):
+            host.allocate("huge", 0, 1024 + 512 + 1)
+
+    def test_double_release_is_error(self):
+        host = make_host()
+        alloc = host.allocate("x", 10, 10)
+        host.release(alloc)
+        with pytest.raises(ResourceError):
+            host.release(alloc)
+
+    def test_foreign_allocation_rejected(self):
+        host_a = make_host()
+        host_b = make_host()
+        alloc = host_a.allocate("x", 10, 10)
+        with pytest.raises(ResourceError):
+            host_b.release(alloc)
+
+    def test_negative_amounts_rejected(self):
+        host = make_host()
+        with pytest.raises(ValueError):
+            host.allocate("x", -1, 0)
+
+    def test_invalid_capacities_rejected(self):
+        with pytest.raises(ValueError):
+            HostResources(0, 100)
+        with pytest.raises(ValueError):
+            HostResources(100, -5)
+
+    def test_can_allocate_predicts_allocate(self):
+        host = make_host()
+        host.allocate("a", 3500, 1400)
+        assert host.can_allocate(500, 100)
+        assert not host.can_allocate(501, 0)
+        assert not host.can_allocate(0, 200)
+
+
+class TestMemoryPressure:
+    def test_below_threshold(self):
+        host = make_host()
+        host.allocate("a", 0, 500)
+        assert not host.memory_pressure(threshold=0.8)
+
+    def test_at_threshold(self):
+        host = make_host()
+        host.allocate("a", 0, 0.8 * 1024)
+        assert host.memory_pressure(threshold=0.8)
+
+    def test_swap_triggers_pressure(self):
+        host = make_host()
+        host.allocate("a", 0, 1100)  # spills 76 MB to swap
+        assert host.memory_pressure(threshold=0.99)
+
+    def test_fractions(self):
+        host = make_host()
+        host.allocate("a", 1000, 512)
+        assert host.cpu_fraction == pytest.approx(0.25)
+        assert host.mem_fraction == pytest.approx(0.5)
+
+
+class TestTimeline:
+    def test_sample_records(self):
+        host = make_host()
+        host.allocate("a", 100, 50)
+        sample = host.sample(now=10.0)
+        assert isinstance(sample, ResourceSample)
+        assert len(host.timeline) == 1
+        assert host.timeline.cpu[0] == 100
+        assert host.timeline.mem[0] == 50
+
+    def test_timeline_rejects_time_regression(self):
+        timeline = ResourceTimeline()
+        timeline.record(ResourceSample(5.0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            timeline.record(ResourceSample(4.0, 0, 0, 0))
+
+    def test_timeline_arrays(self):
+        host = make_host()
+        for t in (0.0, 1.0, 2.0):
+            host.sample(t)
+        assert list(host.timeline.times) == [0.0, 1.0, 2.0]
+        assert len(host.timeline.swap) == 3
+
+    def test_timeline_iterates(self):
+        host = make_host()
+        host.sample(0.0)
+        assert [s.time for s in host.timeline] == [0.0]
+
+
+class TestInvariantProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=50),
+            ),
+            max_size=30,
+        )
+    )
+    def test_allocate_release_round_trip_is_clean(self, requests):
+        """Releasing everything always returns the host to empty."""
+        host = HostResources(cpu_millicores=1e6, mem_mb=1e6, swap_mb=1e6)
+        allocations = [host.allocate(f"o{i}", cpu, mem) for i, (cpu, mem) in enumerate(requests)]
+        for allocation in reversed(allocations):
+            host.release(allocation)
+        assert host.cpu_used_millicores == pytest.approx(0, abs=1e-6)
+        assert host.used_mem_mb == pytest.approx(0, abs=1e-6)
+        assert host.used_swap_mb == pytest.approx(0, abs=1e-6)
+
+    @given(st.floats(min_value=0, max_value=2000))
+    def test_mem_swap_partition(self, mem_request):
+        """used_mem + used_swap always equals total outstanding allocation."""
+        host = HostResources(cpu_millicores=1000, mem_mb=1024, swap_mb=1024)
+        host.allocate("x", 0, mem_request)
+        assert host.used_mem_mb + host.used_swap_mb == pytest.approx(mem_request)
+        assert host.used_mem_mb <= 1024

@@ -1,0 +1,70 @@
+"""Unit tests for named RNG streams."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import RngRegistry, derive_seed
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed(42, "arrivals") == derive_seed(42, "arrivals")
+
+    def test_distinct_names_distinct_seeds(self):
+        assert derive_seed(42, "arrivals") != derive_seed(42, "departures")
+
+    def test_distinct_roots_distinct_seeds(self):
+        assert derive_seed(1, "arrivals") != derive_seed(2, "arrivals")
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            derive_seed("42", "x")  # type: ignore[arg-type]
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=40))
+    def test_always_in_range(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**63
+
+
+class TestRngRegistry:
+    def test_stream_is_cached(self):
+        rngs = RngRegistry(7)
+        assert rngs.stream("a") is rngs.stream("a")
+
+    def test_same_seed_same_sequence(self):
+        a = RngRegistry(123).stream("lat").random(10)
+        b = RngRegistry(123).stream("lat").random(10)
+        assert (a == b).all()
+
+    def test_different_streams_are_independent(self):
+        rngs = RngRegistry(5)
+        a = rngs.stream("a").random(10)
+        b = rngs.stream("b").random(10)
+        assert not (a == b).all()
+
+    def test_new_stream_does_not_perturb_existing(self):
+        """Adding a stream must not change another stream's draws."""
+        r1 = RngRegistry(9)
+        r1.stream("x").random(3)
+        tail1 = r1.stream("x").random(3)
+
+        r2 = RngRegistry(9)
+        r2.stream("x").random(3)
+        r2.stream("brand-new")  # interleaved creation
+        tail2 = r2.stream("x").random(3)
+        assert (tail1 == tail2).all()
+
+    def test_fork_independent(self):
+        parent = RngRegistry(11)
+        child = parent.fork("host-0")
+        assert child.seed != parent.seed
+        a = parent.stream("s").random(5)
+        b = child.stream("s").random(5)
+        assert not (a == b).all()
+
+    def test_known_streams_sorted(self):
+        rngs = RngRegistry(0)
+        rngs.stream("b")
+        rngs.stream("a")
+        assert rngs.known_streams() == ("a", "b")
+        assert list(rngs) == ["a", "b"]

@@ -1,0 +1,50 @@
+"""Tests for the top-level CLI (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_version(self, capsys):
+        assert main(["version"]) == 0
+        import repro
+
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "v3-app" in out
+        assert "tensorflow" in out
+
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "t430-server" in out
+        assert "raspberry-pi3" in out
+
+    def test_survey(self, capsys):
+        assert main(["--seed", "1", "survey", "--projects", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2a-image-shares" in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["experiments", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "burst" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "fig99"])

@@ -1,0 +1,135 @@
+"""Unit tests for the application catalog."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    cassandra_app,
+    default_catalog,
+    qr_encoder_app,
+    random_number_app,
+    s3_download_app,
+    tf_api_app,
+    v3_app,
+)
+from repro.workloads.apps import encode_qr_matrix
+
+
+class TestPayloads:
+    def test_random_number_changes(self):
+        app = random_number_app()
+        first = app.payload()
+        second = app.payload()
+        assert first != second
+        assert isinstance(first, int)
+
+    def test_qr_matrix_shape_and_finders(self):
+        matrix = encode_qr_matrix("https://example.org", size=21)
+        assert matrix.shape == (21, 21)
+        assert matrix.dtype == bool
+        # Finder pattern: 7x7 ring with 3x3 core in each corner block.
+        for row, col in ((0, 0), (0, 14), (14, 0)):
+            block = matrix[row : row + 7, col : col + 7]
+            assert block[0, :].all() and block[:, 0].all()
+            assert not block[1, 1] and block[3, 3]
+
+    def test_qr_deterministic_per_url(self):
+        a = encode_qr_matrix("https://a")
+        b = encode_qr_matrix("https://a")
+        c = encode_qr_matrix("https://b")
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_qr_size_validated(self):
+        with pytest.raises(ValueError):
+            encode_qr_matrix("x", size=5)
+
+    def test_inference_returns_class_index(self):
+        app = v3_app()
+        prediction = app.payload()
+        assert 0 <= prediction < 1000
+
+    def test_checksum_payload_stable(self):
+        app = s3_download_app("go")
+        assert app.payload() == app.payload()
+
+    def test_kv_store_grows(self):
+        app = cassandra_app()
+        first = app.payload()
+        second = app.payload()
+        assert second >= first
+
+
+class TestCalibration:
+    def test_qr_app_exec_near_60ms(self):
+        """Fig 9: 'the URL transition only took around 60ms'."""
+        assert qr_encoder_app().exec_ms == pytest.approx(60.0)
+
+    def test_qr_language_variants(self):
+        for language in ("python", "go", "node", "java"):
+            app = qr_encoder_app(language=language)
+            assert app.language == language
+        with pytest.raises(ValueError):
+            qr_encoder_app(language="fortran")
+
+    def test_v3_is_python_tensorflow(self):
+        app = v3_app()
+        assert app.language == "python"
+        assert "tensorflow" in app.image
+        assert app.app_init_ms > 0  # model load exists
+
+    def test_tf_api_is_go(self):
+        assert tf_api_app().language == "go"
+
+    def test_s3_exec_ordering(self):
+        """Fig 4: Go fastest, Java slowest hot execution."""
+        times = {lang: s3_download_app(lang).exec_ms for lang in ("go", "python", "java", "node")}
+        assert times["go"] < times["node"] <= times["python"] < times["java"]
+
+    def test_s3_java_hot_near_paper(self):
+        """Paper: ~1.07s hot execution in Java."""
+        assert s3_download_app("java").exec_ms == pytest.approx(1100, rel=0.15)
+
+    def test_s3_unknown_language(self):
+        with pytest.raises(ValueError, match="go"):
+            s3_download_app("rust")
+
+    def test_cassandra_is_heavy_java(self):
+        app = cassandra_app()
+        assert app.language == "java"
+        assert app.mem_mb >= 1024
+
+
+class TestCatalog:
+    def test_default_catalog_contents(self):
+        catalog = default_catalog()
+        names = catalog.names()
+        assert "v3-app" in names
+        assert "tf-api-app" in names
+        assert "qr-encoder" in names
+        assert "random-number" in names
+        assert "cassandra" in names
+        assert "s3-download-go" in names
+
+    def test_duplicate_add_rejected(self):
+        catalog = default_catalog()
+        with pytest.raises(ValueError):
+            catalog.add(random_number_app())
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="v3-app"):
+            default_catalog().get("ghost")
+
+    def test_registry_covers_required_images(self):
+        catalog = default_catalog()
+        registry = catalog.make_registry()
+        for reference in catalog.required_images():
+            assert reference in registry
+
+    def test_deploy_all(self):
+        from repro.faas import FaasPlatform
+
+        catalog = default_catalog()
+        platform = FaasPlatform(catalog.make_registry(), jitter_sigma=0.0)
+        catalog.deploy_all(platform)
+        assert set(platform.functions) == set(catalog.names())

@@ -1,0 +1,98 @@
+"""Tests for the workload generator driving a real platform."""
+
+import numpy as np
+import pytest
+
+from repro.core import HotC
+from repro.faas import FaasPlatform, FunctionSpec
+from repro.containers import Registry, make_base_image
+from repro.workloads import (
+    ParallelPattern,
+    SerialPattern,
+    WorkloadGenerator,
+)
+
+
+@pytest.fixture
+def registry():
+    return Registry([make_base_image("python", "3.6", size_mb=50, language="python")])
+
+
+def make_platform(registry, provider_factory=None):
+    platform = FaasPlatform(
+        registry, seed=0, jitter_sigma=0.0, provider_factory=provider_factory
+    )
+    platform.deploy(FunctionSpec(name="fn-a", image="python:3.6", exec_ms=10))
+    platform.deploy(FunctionSpec(name="fn-b", image="python:3.6", exec_ms=10))
+    return platform
+
+
+class TestGenerator:
+    def test_serial_round_grouping(self, registry):
+        platform = make_platform(registry)
+        result = WorkloadGenerator(platform).run(
+            SerialPattern(n_rounds=4, round_ms=5_000), "fn-a"
+        )
+        assert len(result.rounds) == 4
+        assert result.total_requests == 4
+        assert [len(r.traces) for r in result.rounds] == [1, 1, 1, 1]
+        assert list(result.round_times()) == [0.0, 5_000.0, 10_000.0, 15_000.0]
+
+    def test_parallel_function_cycling(self, registry):
+        platform = make_platform(registry)
+        result = WorkloadGenerator(platform).run(
+            ParallelPattern(n_threads=4, n_rounds=1), ["fn-a", "fn-b"]
+        )
+        functions = [t.function for t in result.rounds[0].traces]
+        assert functions.count("fn-a") == 2
+        assert functions.count("fn-b") == 2
+
+    def test_callable_selector(self, registry):
+        platform = make_platform(registry)
+        result = WorkloadGenerator(platform).run(
+            SerialPattern(n_rounds=2, round_ms=1_000),
+            lambda round_index, _req: "fn-a" if round_index == 0 else "fn-b",
+        )
+        assert result.rounds[0].traces[0].function == "fn-a"
+        assert result.rounds[1].traces[0].function == "fn-b"
+
+    def test_empty_function_list_rejected(self, registry):
+        platform = make_platform(registry)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(platform).run(SerialPattern(n_rounds=1), [])
+
+    def test_hotc_serial_only_first_round_cold(self, registry):
+        platform = make_platform(registry, provider_factory=HotC)
+        result = WorkloadGenerator(platform).run(
+            SerialPattern(n_rounds=5, round_ms=5_000), "fn-a"
+        )
+        assert list(result.cold_counts_per_round()) == [1, 0, 0, 0, 0]
+        assert result.total_cold() == 1
+
+    def test_mean_latency_per_round_drops_with_hotc(self, registry):
+        platform = make_platform(registry, provider_factory=HotC)
+        result = WorkloadGenerator(platform).run(
+            SerialPattern(n_rounds=3, round_ms=5_000), "fn-a"
+        )
+        series = result.mean_latency_per_round()
+        assert series[1] < series[0]
+        assert series[2] == pytest.approx(series[1], rel=0.2)
+
+    def test_result_aggregates(self, registry):
+        platform = make_platform(registry)
+        result = WorkloadGenerator(platform).run(
+            SerialPattern(n_rounds=3, round_ms=1_000), "fn-a"
+        )
+        assert result.latencies().shape == (3,)
+        assert result.mean_latency() > 0
+        assert result.total_cold() == 3  # cold-boot provider
+
+    def test_offset_start_time(self, registry):
+        """Patterns schedule relative to the current sim time."""
+        platform = make_platform(registry)
+        platform.run(until=500.0)
+        result = WorkloadGenerator(platform).run(
+            SerialPattern(n_rounds=1, round_ms=1_000), "fn-a"
+        )
+        assert result.rounds[0].time_ms == pytest.approx(500.0)
+        assert result.rounds[0].traces[0].t0_client_send == pytest.approx(500.0)

@@ -1,0 +1,128 @@
+"""Tests for the sinusoidal and Markov-modulated patterns."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import MarkovModulatedPattern, SinusoidalPattern
+
+
+class TestSinusoidal:
+    def test_oscillates_around_base(self):
+        pattern = SinusoidalPattern(base=10, amplitude=8, period_slots=24, n_slots=48)
+        counts = [c for _, c in pattern.rounds()]
+        assert max(counts) >= 17
+        assert min(counts) <= 3
+        assert 8 <= np.mean(counts) <= 12
+
+    def test_periodicity(self):
+        pattern = SinusoidalPattern(base=10, amplitude=5, period_slots=12, n_slots=24)
+        counts = [c for _, c in pattern.rounds()]
+        assert counts[:12] == counts[12:]
+
+    def test_floor_at_zero(self):
+        pattern = SinusoidalPattern(base=2, amplitude=10, n_slots=30)
+        # Slots whose level would be negative are skipped entirely.
+        for _, count in pattern.rounds():
+            assert count > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SinusoidalPattern(base=-1)
+        with pytest.raises(ValueError):
+            SinusoidalPattern(period_slots=1)
+        with pytest.raises(ValueError):
+            SinusoidalPattern(slot_ms=0)
+
+
+class TestMarkovModulated:
+    def test_two_levels_only(self):
+        pattern = MarkovModulatedPattern(low=2, high=20, n_slots=60)
+        counts = {c for _, c in pattern.rounds()}
+        assert counts <= {2, 20}
+
+    def test_deterministic_per_rng(self):
+        a = MarkovModulatedPattern(rng=np.random.default_rng(7))
+        b = MarkovModulatedPattern(rng=np.random.default_rng(7))
+        assert list(a.request_times()) == list(b.request_times())
+
+    def test_iteration_stable(self):
+        pattern = MarkovModulatedPattern(rng=np.random.default_rng(3))
+        assert list(pattern.rounds()) == list(pattern.rounds())
+
+    def test_on_fraction_reasonable(self):
+        pattern = MarkovModulatedPattern(
+            p_on=0.5, p_off=0.5, n_slots=400, rng=np.random.default_rng(1)
+        )
+        assert 0.3 <= pattern.on_fraction <= 0.7
+
+    def test_bursts_cluster(self):
+        """ON slots come in runs, unlike independent coin flips."""
+        pattern = MarkovModulatedPattern(
+            low=0, high=10, p_on=0.1, p_off=0.2, n_slots=600,
+            rng=np.random.default_rng(2),
+        )
+        states = (pattern._counts == 10).astype(int)
+        transitions = np.abs(np.diff(states)).sum()
+        on_fraction = states.mean()
+        # Independent flips at the same ON fraction would flip state
+        # ~2*p*(1-p) per slot; the MMPP flips far less often.
+        independent_rate = 2 * on_fraction * (1 - on_fraction)
+        assert transitions / len(states) < 0.7 * independent_rate
+
+    def test_low_zero_slots_skipped(self):
+        pattern = MarkovModulatedPattern(
+            low=0, high=5, n_slots=50, rng=np.random.default_rng(5)
+        )
+        for _, count in pattern.rounds():
+            assert count == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkovModulatedPattern(low=5, high=2)
+        with pytest.raises(ValueError):
+            MarkovModulatedPattern(p_on=0)
+        with pytest.raises(ValueError):
+            MarkovModulatedPattern(n_slots=0)
+
+
+class TestEndToEndWithHotC:
+    def test_hotc_tracks_mmpp_bursts(self, ):
+        """HotC with the adaptive loop serves an ON/OFF load with far
+        fewer cold starts than cold-boot."""
+        from repro.containers import Registry, make_base_image
+        from repro.core import HotC, HotCConfig
+        from repro.faas import FaasPlatform, FunctionSpec
+        from repro.workloads import WorkloadGenerator
+
+        registry = Registry(
+            [make_base_image("python", "3.6", size_mb=50, language="python")]
+        )
+
+        def run(provider_factory, adaptive):
+            platform = FaasPlatform(
+                registry, seed=0, jitter_sigma=0.0,
+                provider_factory=provider_factory,
+            )
+            platform.deploy(FunctionSpec(name="fn", image="python:3.6", exec_ms=10))
+            platform.sim.process(platform.engine.ensure_image("python:3.6"))
+            platform.run()
+            pattern = MarkovModulatedPattern(
+                low=1, high=12, p_on=0.25, p_off=0.25, n_slots=30,
+                slot_ms=10_000.0, rng=np.random.default_rng(11),
+            )
+            run_until = None
+            if adaptive:
+                platform.provider.start_control_loop()
+                run_until = platform.sim.now + 30 * 10_000.0 + 60_000.0
+            result = WorkloadGenerator(platform).run(pattern, "fn", run_until=run_until)
+            if adaptive:
+                platform.provider.stop_control_loop()
+                platform.run()
+            return result
+
+        cold_boot = run(None, adaptive=False)
+        hotc = run(
+            lambda e: HotC(e, HotCConfig(control_interval_ms=10_000.0)),
+            adaptive=True,
+        )
+        assert hotc.total_cold() < 0.35 * cold_boot.total_cold()

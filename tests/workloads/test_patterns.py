@@ -1,0 +1,143 @@
+"""Unit tests for request patterns (Figs 12-14 shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    BurstPattern,
+    ExponentialPattern,
+    LinearPattern,
+    ParallelPattern,
+    PoissonPattern,
+    SerialPattern,
+    TracePattern,
+)
+
+
+class TestSerial:
+    def test_one_request_per_round(self):
+        pattern = SerialPattern(n_rounds=5, round_ms=30_000)
+        rounds = list(pattern.rounds())
+        assert rounds == [(i * 30_000.0, 1) for i in range(5)]
+        assert pattern.total_requests == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SerialPattern(n_rounds=0)
+        with pytest.raises(ValueError):
+            SerialPattern(round_ms=0)
+
+
+class TestParallel:
+    def test_threads_per_round(self):
+        pattern = ParallelPattern(n_threads=10, n_rounds=3)
+        rounds = list(pattern.rounds())
+        assert all(count == 10 for _, count in rounds)
+        assert pattern.total_requests == 30
+
+    def test_request_times_flatten(self):
+        pattern = ParallelPattern(n_threads=2, n_rounds=2, round_ms=100)
+        assert list(pattern.request_times()) == [0.0, 0.0, 100.0, 100.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParallelPattern(n_threads=0)
+
+
+class TestLinear:
+    def test_increasing_by_two(self):
+        """Fig 13: start at 2, +2 every round."""
+        pattern = LinearPattern(start=2, step=2, n_rounds=4)
+        counts = [c for _, c in pattern.rounds()]
+        assert counts == [2, 4, 6, 8]
+
+    def test_decreasing_stops_at_zero(self):
+        pattern = LinearPattern(start=6, step=-2, n_rounds=10)
+        counts = [c for _, c in pattern.rounds()]
+        assert counts == [6, 4, 2]  # never emits zero or negative rounds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearPattern(start=0)
+        with pytest.raises(ValueError):
+            LinearPattern(step=0)
+
+
+class TestExponential:
+    def test_powers_of_two(self):
+        """Fig 14a: 2^i requests at round i."""
+        pattern = ExponentialPattern(n_rounds=5)
+        counts = [c for _, c in pattern.rounds()]
+        assert counts == [1, 2, 4, 8, 16]
+
+    def test_decreasing(self):
+        pattern = ExponentialPattern(n_rounds=4, decreasing=True)
+        counts = [c for _, c in pattern.rounds()]
+        assert counts == [8, 4, 2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialPattern(base=1)
+
+
+class TestBurst:
+    def test_paper_configuration(self):
+        """Fig 14b: 8 requests/round, 10x at rounds 4, 8, 12, 16."""
+        pattern = BurstPattern()
+        counts = [c for _, c in pattern.rounds()]
+        assert len(counts) == 20
+        for index, count in enumerate(counts):
+            assert count == (80 if index in (4, 8, 12, 16) else 8)
+
+    def test_burst_round_bounds_checked(self):
+        with pytest.raises(ValueError):
+            BurstPattern(n_rounds=5, burst_rounds=(7,))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstPattern(base_requests=0)
+
+
+class TestPoisson:
+    def test_rate_approximate(self):
+        pattern = PoissonPattern(
+            rate_per_s=50, duration_ms=60_000, rng=np.random.default_rng(1)
+        )
+        # ~3000 expected; loose 3-sigma-ish band.
+        assert 2700 <= pattern.total_requests <= 3300
+
+    def test_times_sorted_and_bounded(self):
+        pattern = PoissonPattern(
+            rate_per_s=5, duration_ms=10_000, rng=np.random.default_rng(2)
+        )
+        times = pattern.request_times()
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 10_000
+
+    def test_schedule_fixed_after_build(self):
+        pattern = PoissonPattern(
+            rate_per_s=5, duration_ms=10_000, rng=np.random.default_rng(3)
+        )
+        assert list(pattern.request_times()) == list(pattern.request_times())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonPattern(rate_per_s=0, duration_ms=100)
+
+
+class TestTracePattern:
+    def test_replays_counts(self):
+        pattern = TracePattern([3, 0, 1], slot_ms=500)
+        assert list(pattern.rounds()) == [(0.0, 3), (1000.0, 1)]
+
+    def test_scaling(self):
+        pattern = TracePattern([10, 20], scale=0.1)
+        assert [c for _, c in pattern.rounds()] == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TracePattern([])
+        with pytest.raises(ValueError):
+            TracePattern([-1])
+        with pytest.raises(ValueError):
+            TracePattern([1], scale=0)

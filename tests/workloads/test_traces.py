@@ -1,0 +1,75 @@
+"""Unit tests for the synthetic UMass-style trace (Fig 11)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import UMassStyleTrace, youtube_campus_trace
+from repro.workloads.traces import BURST_AT, DECLINE_END, DECLINE_START, RISE_END
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return youtube_campus_trace(seed=0)
+
+
+class TestShape:
+    def test_full_day(self, trace):
+        assert len(trace) == 1440
+        assert trace.duration_ms == 1440 * 60_000
+
+    def test_counts_non_negative_ints(self, trace):
+        assert trace.counts.dtype.kind == "i"
+        assert np.all(trace.counts >= 0)
+
+    def test_deterministic_per_seed(self):
+        a = youtube_campus_trace(seed=5)
+        b = youtube_campus_trace(seed=5)
+        c = youtube_campus_trace(seed=6)
+        assert np.array_equal(a.counts, b.counts)
+        assert not np.array_equal(a.counts, c.counts)
+
+
+class TestPaperFeatures:
+    def test_burst_at_t710(self, trace):
+        """Feature 1: burst from ~20 to ~300 requests at T710."""
+        before = np.mean(trace.segment(BURST_AT - 30, BURST_AT - 5))
+        peak = np.max(trace.segment(BURST_AT, BURST_AT + 10))
+        assert before < 30
+        assert peak > 250
+        assert trace.burst_magnitude() > 10
+
+    def test_afternoon_decline(self, trace):
+        """Feature 2: requests keep decreasing T800 -> T1200."""
+        assert trace.afternoon_slope() < -0.2
+        assert np.mean(trace.segment(DECLINE_START, DECLINE_START + 50)) > np.mean(
+            trace.segment(DECLINE_END - 50, DECLINE_END)
+        )
+
+    def test_night_rise(self, trace):
+        """Feature 3: throughput increases T1200 -> T1400."""
+        assert trace.night_slope() > 0.5
+        assert np.mean(trace.segment(RISE_END - 50, RISE_END)) > np.mean(
+            trace.segment(DECLINE_END, DECLINE_END + 50)
+        )
+
+
+class TestValidation:
+    def test_segment_bounds(self, trace):
+        with pytest.raises(ValueError):
+            trace.segment(100, 100)
+        with pytest.raises(ValueError):
+            trace.segment(-1, 10)
+        with pytest.raises(ValueError):
+            trace.segment(0, 2000)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            UMassStyleTrace(counts=np.array([-1, 2]))
+
+    def test_noise_level_validated(self):
+        with pytest.raises(ValueError):
+            youtube_campus_trace(noise_level=-0.1)
+
+    def test_zero_noise_is_clean(self):
+        trace = youtube_campus_trace(noise_level=0.0)
+        assert np.max(trace.segment(BURST_AT, BURST_AT + 5)) == 300
