@@ -1,0 +1,193 @@
+"""Pool hot-path microbenchmark: indexed pool vs. the seed list scans.
+
+Drives >= 100k acquire/release/evict cycles at 500 live containers
+against both :class:`~repro.core.pool.ContainerRuntimePool` (indexed)
+and :class:`~repro.core.naivepool.NaiveContainerRuntimePool` (the seed
+implementation, kept as an executable baseline) and writes a
+before/after comparison to ``BENCH_pool.json``.
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_pool_hotpath.py
+    PYTHONPATH=src python benchmarks/bench_pool_hotpath.py --check
+
+``--check`` is the fast quality-gate mode wired into the tier-1 pytest
+run (``tests/test_pool_hotpath_gate.py``): it runs a reduced cycle
+count on the indexed pool only and fails if per-op costs exceed a
+generous budget, so future PRs cannot quietly regress the hot path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(SRC))
+
+from repro.containers.container import Container, ContainerConfig  # noqa: E402
+from repro.core.keys import runtime_key  # noqa: E402
+from repro.core.naivepool import NaiveContainerRuntimePool  # noqa: E402
+from repro.core.pool import ContainerRuntimePool, PoolLimits  # noqa: E402
+
+#: Benchmark scale (the paper's pool cap: 500 live containers).
+N_LIVE = 500
+N_KEYS = 20
+N_CYCLES = 100_000
+N_EVICT_CALLS = 20_000
+
+#: Quality-gate budgets (generous on purpose: they exist to catch
+#: gross complexity regressions, not micro-variance between machines).
+CHECK_CYCLES = 20_000
+ACQUIRE_RELEASE_BUDGET_US = 50.0
+EVICTION_CANDIDATE_BUDGET_US = 100.0
+
+
+def build_pool(pool_class, n_live=N_LIVE, n_keys=N_KEYS, eviction="lru"):
+    """A pool pre-filled with ``n_live`` available containers."""
+    pool = pool_class(limits=PoolLimits(max_containers=n_live), eviction=eviction)
+    keys = [
+        runtime_key(ContainerConfig(image=f"img{i}:1", mem_mb=64.0 + i))
+        for i in range(n_keys)
+    ]
+    for index in range(n_live):
+        key_index = index % n_keys
+        container = Container(
+            f"c{index:06d}",
+            ContainerConfig(image=f"img{key_index}:1", mem_mb=64.0 + key_index),
+            created_at=float(index),
+        )
+        pool.register(container, keys[key_index], now=float(index), available=True)
+    return pool, keys
+
+
+def bench_acquire_release(pool, keys, cycles):
+    """Seconds per acquire+release pair under bursty drain/refill load.
+
+    Each key is drained to a miss and then refilled, so successive
+    acquires must skip over the already-busy entries — the load shape a
+    concurrent burst produces, and the one where a list scan degrades
+    to O(key size) per lookup.
+    """
+    done = 0
+    now = 0.0
+    start = time.perf_counter()
+    while done < cycles:
+        for key in keys:
+            taken = []
+            while True:
+                now += 1.0
+                container = pool.acquire(key, now=now)
+                if container is None:
+                    break
+                taken.append(container)
+            for container in taken:
+                pool.release(container, now=now)
+            done += len(taken)
+            if done >= cycles:
+                break
+    return (time.perf_counter() - start) / done
+
+
+def bench_eviction_candidate(pool, calls):
+    """Seconds per eviction_candidate call at full pool occupancy."""
+    start = time.perf_counter()
+    for _ in range(calls):
+        pool.eviction_candidate()
+    return (time.perf_counter() - start) / calls
+
+
+def bench_snapshot(pool, calls=2_000):
+    """Seconds per snapshot() call (predictor input)."""
+    start = time.perf_counter()
+    for _ in range(calls):
+        pool.snapshot()
+    return (time.perf_counter() - start) / calls
+
+
+def run_suite(pool_class, cycles=N_CYCLES, evict_calls=N_EVICT_CALLS, n_live=N_LIVE):
+    """All hot-path measurements for one implementation, in microseconds."""
+    pool, keys = build_pool(pool_class, n_live=n_live)
+    acquire_release_s = bench_acquire_release(pool, keys, cycles)
+    eviction_s = bench_eviction_candidate(pool, evict_calls)
+    snapshot_s = bench_snapshot(pool)
+    return {
+        "implementation": pool_class.__name__,
+        "n_live": n_live,
+        "n_keys": N_KEYS,
+        "cycles": cycles,
+        "acquire_release_us_per_cycle": round(acquire_release_s * 1e6, 4),
+        "eviction_candidate_us_per_call": round(eviction_s * 1e6, 4),
+        "snapshot_us_per_call": round(snapshot_s * 1e6, 4),
+    }
+
+
+def run_comparison(cycles=N_CYCLES, evict_calls=N_EVICT_CALLS):
+    """Before (seed) / after (indexed) measurements plus speedups."""
+    before = run_suite(NaiveContainerRuntimePool, cycles, evict_calls)
+    after = run_suite(ContainerRuntimePool, cycles, evict_calls)
+    speedup = {
+        metric: round(before[metric] / after[metric], 2)
+        for metric in (
+            "acquire_release_us_per_cycle",
+            "eviction_candidate_us_per_call",
+            "snapshot_us_per_call",
+        )
+        if after[metric] > 0
+    }
+    return {"before": before, "after": after, "speedup": speedup}
+
+
+def run_check(cycles=CHECK_CYCLES):
+    """Fast gate: indexed pool only, asserting generous per-op budgets.
+
+    Returns the measurements; raises AssertionError on a budget breach.
+    """
+    results = run_suite(ContainerRuntimePool, cycles=cycles, evict_calls=cycles)
+    acquire_us = results["acquire_release_us_per_cycle"]
+    evict_us = results["eviction_candidate_us_per_call"]
+    assert acquire_us < ACQUIRE_RELEASE_BUDGET_US, (
+        f"pool acquire/release regressed: {acquire_us:.2f}us per cycle "
+        f"exceeds the {ACQUIRE_RELEASE_BUDGET_US}us budget"
+    )
+    assert evict_us < EVICTION_CANDIDATE_BUDGET_US, (
+        f"eviction_candidate regressed: {evict_us:.2f}us per call "
+        f"exceeds the {EVICTION_CANDIDATE_BUDGET_US}us budget"
+    )
+    return results
+
+
+def main(argv=None):
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fast budget-gate mode (no JSON written)",
+    )
+    parser.add_argument("--cycles", type=int, default=N_CYCLES)
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parents[1] / "BENCH_pool.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        results = run_check()
+        print(json.dumps(results, indent=2))
+        print("pool hot-path budgets OK")
+        return 0
+
+    comparison = run_comparison(cycles=args.cycles)
+    args.output.write_text(json.dumps(comparison, indent=2) + "\n")
+    print(json.dumps(comparison, indent=2))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

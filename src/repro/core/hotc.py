@@ -98,9 +98,13 @@ class HotC(RuntimeProvider):
         #: Demand tracking: currently busy and interval peak per key.
         self._busy: Dict[RuntimeKey, int] = {}
         self._peak: Dict[RuntimeKey, int] = {}
-        #: Boots requested by the control loop but not finished yet.
+        #: In-flight boots (cold and prewarm) counted against the cap.
         self._pending_boots: Dict[RuntimeKey, int] = {}
         self._control_running = False
+        #: Bumped on every control-loop start so stale loops exit.
+        self._control_generation = 0
+        #: Prune per-key side-indexes when a key's last container leaves.
+        self.pool.on_key_empty = self._forget_key
         #: Partial-key matching: relaxed key -> full keys seen under it.
         self._relaxed_index: Dict[RuntimeKey, set] = {}
         #: Reuses served through the relaxed fallback (stats).
@@ -142,8 +146,14 @@ class HotC(RuntimeProvider):
             yield from self._journal(key, container, "busy")
             return container, False
 
-        yield from self._make_room()
-        container = yield from self.engine.boot_container(config)
+        # The boot counts against the cap while in flight so concurrent
+        # cold boots cannot collectively overshoot ``max_containers``.
+        self._note_pending(key, +1)
+        try:
+            yield from self._make_room()
+            container = yield from self.engine.boot_container(config)
+        finally:
+            self._note_pending(key, -1)
         self.pool.register(container, key, now=self.sim.now, available=False)
         yield from self._journal(key, container, "busy")
         return container, True
@@ -159,7 +169,9 @@ class HotC(RuntimeProvider):
             container = self.pool.acquire(key, now=self.sim.now)
             if container is None or container.is_reusable:
                 return container
-            self.pool.remove(container)
+            # Not a real hit: un-count it so the retry is the only
+            # lookup recorded and hit_ratio stays honest.
+            self.pool.discard_dead(container)
 
     def _index_relaxed(self, key: RuntimeKey) -> None:
         if self.config.fallback_key_policy is None:
@@ -168,6 +180,26 @@ class HotC(RuntimeProvider):
             self._config_for_key[key], self.config.fallback_key_policy
         )
         self._relaxed_index.setdefault(relaxed, set()).add(key)
+
+    def _forget_key(self, key: RuntimeKey) -> None:
+        """Pool hook: the last container of ``key`` was retired.
+
+        Prunes ``key`` from the relaxed fallback index (and drops the
+        relaxed bucket once empty) so long-running multi-tenant hosts do
+        not accumulate index entries for key types that no longer have
+        any pooled container.  The next request of that type re-indexes.
+        """
+        if self.config.fallback_key_policy is None:
+            return
+        config = self._config_for_key.get(key)
+        if config is None:
+            return
+        relaxed = runtime_key(config, self.config.fallback_key_policy)
+        full_keys = self._relaxed_index.get(relaxed)
+        if full_keys is not None:
+            full_keys.discard(key)
+            if not full_keys:
+                del self._relaxed_index[relaxed]
 
     def _acquire_similar(self, key: RuntimeKey, config: ContainerConfig) -> Generator:
         """Process: the partial-key fallback — reuse and reconfigure."""
@@ -229,10 +261,28 @@ class HotC(RuntimeProvider):
         return self._peak.get(key, 0)
 
     # -- capacity guards ---------------------------------------------------------
+    def _note_pending(self, key: RuntimeKey, delta: int) -> None:
+        """Track an in-flight boot for ``key`` (cold or prewarm)."""
+        pending = self._pending_boots.get(key, 0) + delta
+        if pending > 0:
+            self._pending_boots[key] = pending
+        else:
+            self._pending_boots.pop(key, None)
+
+    def _pending_total(self) -> int:
+        """In-flight boots across all keys (count against the cap)."""
+        return sum(self._pending_boots.values())
+
     def _make_room(self) -> Generator:
-        """Evict idle containers until below caps (before a boot)."""
+        """Evict idle containers until below caps (before a boot).
+
+        The caller must already have counted its own boot in
+        ``_pending_boots``; live plus pending must fit the cap, so
+        concurrent cold boots and prewarm boots cannot overshoot it.
+        """
         while (
-            self.pool.total_live + 1 > self.config.limits.max_containers
+            self.pool.total_live + self._pending_total()
+            > self.config.limits.max_containers
             or self.engine.resources.memory_pressure(
                 self.config.limits.memory_threshold
             )
@@ -256,20 +306,31 @@ class HotC(RuntimeProvider):
 
     # -- adaptive control loop ------------------------------------------------
     def start_control_loop(self) -> None:
-        """Begin the periodic predict-and-resize loop; idempotent."""
+        """Begin the periodic predict-and-resize loop; idempotent.
+
+        A stop/start cycle bumps the generation counter, so a stale loop
+        still pending its next tick exits instead of running alongside
+        the new one.
+        """
         if self._control_running or self.config.control_interval_ms <= 0:
             return
         self._control_running = True
-        self.sim.process(self._control_loop(), name="hotc-control")
+        self._control_generation += 1
+        self.sim.process(
+            self._control_loop(self._control_generation), name="hotc-control"
+        )
 
     def stop_control_loop(self) -> None:
         """Stop after the in-flight tick."""
         self._control_running = False
 
-    def _control_loop(self) -> Generator:
-        while self._control_running:
+    def _control_loop(self, generation: int) -> Generator:
+        while self._control_running and generation == self._control_generation:
             yield self.sim.timeout(self.config.control_interval_ms)
-            if not self._control_running:
+            if (
+                not self._control_running
+                or generation != self._control_generation
+            ):
                 break
             self.control_tick()
 
@@ -301,6 +362,11 @@ class HotC(RuntimeProvider):
             # that the next tick would rebuild.
             surplus = min(total - target, max(1, total // 2))
             for entry in self.pool.available_entries(key)[:surplus]:
+                # Claim the victim synchronously: once the retire process
+                # is merely *scheduled*, an acquire landing before it
+                # runs must not be handed a container about to be
+                # stopped, and the next tick must not pick it again.
+                self.pool.remove(entry.container)
                 self.sim.process(
                     self.cleanup.retire(entry.container),
                     name=f"retire:{entry.container.container_id}",
@@ -308,7 +374,7 @@ class HotC(RuntimeProvider):
 
     def _spawn_prewarm(self, key: RuntimeKey) -> None:
         config = self._config_for_key[key]
-        self._pending_boots[key] = self._pending_boots.get(key, 0) + 1
+        self._note_pending(key, +1)
 
         def _boot() -> Generator:
             try:
@@ -322,7 +388,7 @@ class HotC(RuntimeProvider):
                     container, key, now=self.sim.now, available=True
                 )
             finally:
-                self._pending_boots[key] -= 1
+                self._note_pending(key, -1)
 
         self.sim.process(_boot(), name=f"prewarm:{key}")
 

@@ -11,12 +11,39 @@ entries.  Limits: at most ``max_containers`` live containers and a host
 memory threshold (80% in the paper); under pressure the oldest live
 container is evicted (``oldest`` strategy; ``lru`` and ``largest`` are
 provided for the eviction ablation).
+
+Pool internals (hot-path design)
+--------------------------------
+Every operation the request path touches is indexed so bookkeeping
+stays off the critical path:
+
+* **acquire** pops from a per-key min-heap ordered by registration
+  sequence number, reproducing the seed semantics (earliest-registered
+  available entry first) in O(log a) instead of an O(n) list scan.
+* **eviction_candidate** peeks a pool-wide heap ordered by the active
+  strategy's sort key with the container id as tie-breaker, O(log n)
+  amortised instead of scanning every live container.
+* **num_available / num_total / total_available / snapshot / state_of**
+  read incrementally maintained per-key ``(available, total)``
+  counters; nothing recounts.
+
+Heaps use *lazy deletion*: each availability flip bumps the entry's
+``stamp`` and pushes a fresh heap copy; copies whose stamp no longer
+matches (or whose entry left the pool) are skipped and discarded when
+they surface, and the heaps are compacted once stale copies outnumber
+live ones.  An entry's eviction sort fields (``added_at``,
+``last_used_at``, memory size) are frozen while it is available, so a
+pushed copy can never be mis-ordered.  Determinism guarantee: acquire
+order depends only on registration order, and eviction ties break on
+container id — identical to the original list-scanning implementation,
+so seeded benchmarks reproduce bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.containers.container import Container
 from repro.core.keys import RuntimeKey
@@ -38,6 +65,10 @@ AVAILABLE = 1
 
 _EVICTION_STRATEGIES = ("oldest", "lru", "largest")
 
+#: Compact a heap when it holds more than this many entries and more
+#: than half of them are stale lazy-deletion copies.
+_COMPACT_MIN = 64
+
 
 @dataclass
 class PoolEntry:
@@ -48,6 +79,12 @@ class PoolEntry:
     available: bool
     added_at: float
     last_used_at: float
+    #: Registration order; acquire hands out the smallest available seq.
+    seq: int = 0
+    #: Bumped on every availability flip; stale heap copies are skipped.
+    stamp: int = 0
+    #: False once the entry has been removed from the pool.
+    in_pool: bool = True
 
 
 @dataclass(frozen=True)
@@ -74,6 +111,8 @@ class PoolStats:
     retired: int = 0
     evictions_capacity: int = 0
     evictions_pressure: int = 0
+    #: Pool hits whose container turned out dead; un-counted from hits.
+    dead_discards: int = 0
 
     @property
     def lookups(self) -> int:
@@ -87,7 +126,13 @@ class PoolStats:
 
 
 class ContainerRuntimePool:
-    """Key-value store of live container runtimes."""
+    """Key-value store of live container runtimes.
+
+    The optional ``on_key_empty`` callback fires after the last pooled
+    container of a key is removed — HotC uses it to prune per-key
+    side-indexes (e.g. the relaxed-key fallback index) so long-running
+    multi-tenant hosts do not leak bookkeeping.
+    """
 
     def __init__(
         self,
@@ -101,39 +146,63 @@ class ContainerRuntimePool:
         self.limits = limits
         self.eviction = eviction
         self.stats = PoolStats()
-        self._entries: Dict[RuntimeKey, List[PoolEntry]] = {}
+        #: Fires with the key after its last entry leaves the pool.
+        self.on_key_empty: Optional[Callable[[RuntimeKey], None]] = None
+        self._entries: Dict[RuntimeKey, Dict[str, PoolEntry]] = {}
         self._by_container: Dict[str, PoolEntry] = {}
+        #: Per-key ``[available, total]`` counters (never recounted).
+        self._counts: Dict[RuntimeKey, List[int]] = {}
+        self._total_available = 0
+        #: Per-key min-heaps of ``(seq, stamp, entry)`` available copies.
+        self._avail_heaps: Dict[RuntimeKey, List[Tuple]] = {}
+        #: Pool-wide eviction heap of the active strategy's sort tuples.
+        self._evict_heap: List[Tuple] = []
+        self._seq = 0
+        if eviction == "oldest":
+            self._evict_primary = lambda e: e.added_at
+        elif eviction == "lru":
+            self._evict_primary = lambda e: e.last_used_at
+        else:  # largest
+            self._evict_primary = lambda e: -e.container.config.mem_mb
 
     # -- the paper's views --------------------------------------------------
     def state_of(self, key: RuntimeKey) -> int:
         """Fig 7 tri-state for ``key``: −1 / 0 / 1."""
-        entries = self._entries.get(key)
-        if not entries:
+        counts = self._counts.get(key)
+        if not counts or counts[1] == 0:
             return NOT_EXISTING
-        if any(entry.available for entry in entries):
-            return AVAILABLE
-        return NOT_AVAILABLE
+        return AVAILABLE if counts[0] > 0 else NOT_AVAILABLE
 
     def num_available(self, key: RuntimeKey) -> int:
         """``num_avail[key]`` of Algorithms 1 and 2."""
-        return sum(1 for e in self._entries.get(key, ()) if e.available)
+        counts = self._counts.get(key)
+        return counts[0] if counts else 0
 
     def num_total(self, key: RuntimeKey) -> int:
         """All pooled containers of this type (busy + available)."""
-        return len(self._entries.get(key, ()))
+        counts = self._counts.get(key)
+        return counts[1] if counts else 0
 
     # -- membership ---------------------------------------------------------
     def acquire(self, key: RuntimeKey, now: float) -> Optional[Container]:
         """Take the first available container of type ``key`` (Algorithm 1).
 
+        "First" means earliest-registered, as in the original list scan.
         Returns ``None`` on miss — the caller then cold-boots.
         """
-        for entry in self._entries.get(key, ()):
-            if entry.available:
-                entry.available = False
-                entry.last_used_at = now
-                self.stats.hits += 1
-                return entry.container
+        heap = self._avail_heaps.get(key)
+        while heap:
+            _, stamp, entry = heap[0]
+            heapq.heappop(heap)
+            if not (entry.in_pool and entry.available and entry.stamp == stamp):
+                continue  # stale lazy-deletion copy
+            entry.available = False
+            entry.stamp += 1
+            entry.last_used_at = now
+            self._counts[key][0] -= 1
+            self._total_available -= 1
+            self.stats.hits += 1
+            return entry.container
         self.stats.misses += 1
         return None
 
@@ -152,13 +221,18 @@ class ContainerRuntimePool:
         entry = PoolEntry(
             container=container,
             key=key,
-            available=available,
+            available=False,
             added_at=now,
             last_used_at=now,
+            seq=self._seq,
         )
-        self._entries.setdefault(key, []).append(entry)
+        self._seq += 1
+        self._entries.setdefault(key, {})[container.container_id] = entry
         self._by_container[container.container_id] = entry
+        self._counts.setdefault(key, [0, 0])[1] += 1
         self.stats.registered += 1
+        if available:
+            self._make_available(entry)
         return entry
 
     def release(self, container: Container, now: float) -> None:
@@ -168,18 +242,46 @@ class ContainerRuntimePool:
             raise ValueError(
                 f"container {container.container_id} is already available"
             )
-        entry.available = True
         entry.last_used_at = now
+        self._make_available(entry)
 
     def remove(self, container: Container) -> PoolEntry:
         """Forget a container (being stopped/evicted)."""
         entry = self._entry_of(container)
+        entry.in_pool = False
+        entry.stamp += 1
         del self._by_container[container.container_id]
         siblings = self._entries[entry.key]
-        siblings.remove(entry)
-        if not siblings:
+        del siblings[container.container_id]
+        counts = self._counts[entry.key]
+        counts[1] -= 1
+        if entry.available:
+            counts[0] -= 1
+            self._total_available -= 1
+        key_emptied = not siblings
+        if key_emptied:
             del self._entries[entry.key]
+            del self._counts[entry.key]
+            self._avail_heaps.pop(entry.key, None)
         self.stats.retired += 1
+        if not key_emptied:
+            self._maybe_compact_avail(entry.key)
+        self._maybe_compact_evictions()
+        if key_emptied and self.on_key_empty is not None:
+            self.on_key_empty(entry.key)
+        return entry
+
+    def discard_dead(self, container: Container) -> PoolEntry:
+        """Forget a just-acquired container that turned out dead.
+
+        The preceding :meth:`acquire` counted a hit for an entry that
+        cannot serve the request; un-count it and record the discard so
+        ``hit_ratio`` reflects lookups actually served (the caller's
+        retry then counts the lookup exactly once).
+        """
+        entry = self.remove(container)
+        self.stats.hits -= 1
+        self.stats.dead_discards += 1
         return entry
 
     def contains(self, container: Container) -> bool:
@@ -203,7 +305,7 @@ class ContainerRuntimePool:
     @property
     def total_available(self) -> int:
         """All idle pooled containers."""
-        return sum(1 for e in self._by_container.values() if e.available)
+        return self._total_available
 
     def keys(self) -> Tuple[RuntimeKey, ...]:
         """Keys with at least one pooled container."""
@@ -212,11 +314,8 @@ class ContainerRuntimePool:
     def snapshot(self) -> Dict[RuntimeKey, Tuple[int, int]]:
         """Per-key ``(available, total)`` counts — predictor input."""
         return {
-            key: (
-                sum(1 for e in entries if e.available),
-                len(entries),
-            )
-            for key, entries in self._entries.items()
+            key: (self._counts[key][0], self._counts[key][1])
+            for key in self._entries
         }
 
     # -- eviction ----------------------------------------------------------
@@ -234,25 +333,72 @@ class ContainerRuntimePool:
         Busy containers are never evicted.  Ties break on container id
         so eviction is deterministic.
         """
-        candidates = [e for e in self._by_container.values() if e.available]
-        if not candidates:
-            return None
-        if self.eviction == "oldest":
-            sort_key = lambda e: (e.added_at, e.container.container_id)
-        elif self.eviction == "lru":
-            sort_key = lambda e: (e.last_used_at, e.container.container_id)
-        else:  # largest
-            sort_key = lambda e: (
-                -e.container.config.mem_mb,
-                e.container.container_id,
-            )
-        return min(candidates, key=sort_key)
+        heap = self._evict_heap
+        while heap:
+            item = heap[0]
+            entry, stamp = item[-1], item[-2]
+            if entry.in_pool and entry.available and entry.stamp == stamp:
+                return entry
+            heapq.heappop(heap)
+        return None
 
     def available_entries(self, key: RuntimeKey) -> Tuple[PoolEntry, ...]:
         """Idle entries of one key, oldest first (for scale-down)."""
         return tuple(
             sorted(
-                (e for e in self._entries.get(key, ()) if e.available),
+                (
+                    e
+                    for e in self._entries.get(key, {}).values()
+                    if e.available
+                ),
                 key=lambda e: (e.added_at, e.container.container_id),
             )
         )
+
+    # -- heap maintenance ---------------------------------------------------
+    def _make_available(self, entry: PoolEntry) -> None:
+        # The avail heap only goes stale via remove(), so compaction is
+        # checked there; the evict heap goes stale on every acquire and
+        # is growth-checked on each push.
+        entry.available = True
+        entry.stamp += 1
+        self._counts[entry.key][0] += 1
+        self._total_available += 1
+        heap = self._avail_heaps.setdefault(entry.key, [])
+        heapq.heappush(heap, (entry.seq, entry.stamp, entry))
+        heapq.heappush(self._evict_heap, self._evict_item(entry))
+        self._maybe_compact_evictions()
+
+    def _evict_item(self, entry: PoolEntry) -> Tuple:
+        # seq precedes the entry so the tuple never compares entries.
+        return (
+            self._evict_primary(entry),
+            entry.container.container_id,
+            entry.seq,
+            entry.stamp,
+            entry,
+        )
+
+    @staticmethod
+    def _live_copies(heap: List[Tuple]) -> List[Tuple]:
+        return [
+            item
+            for item in heap
+            if item[-1].in_pool
+            and item[-1].available
+            and item[-1].stamp == item[-2]
+        ]
+
+    def _maybe_compact_avail(self, key: RuntimeKey) -> None:
+        heap = self._avail_heaps.get(key)
+        if heap and len(heap) > _COMPACT_MIN and len(heap) > 2 * self._counts[key][0]:
+            live = self._live_copies(heap)
+            heapq.heapify(live)
+            self._avail_heaps[key] = live
+
+    def _maybe_compact_evictions(self) -> None:
+        heap = self._evict_heap
+        if len(heap) > _COMPACT_MIN and len(heap) > 2 * self._total_available:
+            live = self._live_copies(heap)
+            heapq.heapify(live)
+            self._evict_heap = live

@@ -25,23 +25,32 @@ class ResourceMonitor:
         self.engine = engine
         self.period_ms = period_ms
         self._running = False
+        self._generation = 0
 
     def start(self) -> None:
-        """Begin sampling; takes an immediate first sample. Idempotent."""
+        """Begin sampling; takes an immediate first sample. Idempotent.
+
+        A stop/start cycle bumps the generation counter so a stale loop
+        still pending its next sample exits instead of doubling the
+        sampling rate.
+        """
         if self._running:
             return
         self._running = True
+        self._generation += 1
         self.engine.sample_resources()
-        self.engine.sim.process(self._loop(), name="resource-monitor")
+        self.engine.sim.process(
+            self._loop(self._generation), name="resource-monitor"
+        )
 
     def stop(self) -> None:
         """Stop after the pending sample."""
         self._running = False
 
-    def _loop(self) -> Generator:
-        while self._running:
+    def _loop(self, generation: int) -> Generator:
+        while self._running and generation == self._generation:
             yield self.engine.sim.timeout(self.period_ms)
-            if not self._running:
+            if not self._running or generation != self._generation:
                 break
             self.engine.sample_resources()
 

@@ -224,6 +224,122 @@ class TestAdaptiveControl:
         assert platform.engine.stats.boots == boots_before
 
 
+class TestScaleDownRace:
+    def test_scale_down_claims_victims_synchronously(self, registry, fn_python):
+        """Regression: a scale-down victim must leave the pool before the
+        retire process runs, or an acquire landing in the gap is handed a
+        container that is about to be stopped."""
+        config = HotCConfig(control_interval_ms=0)
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        for _ in range(4):
+            platform.submit(fn_python.name)
+        platform.run()
+        provider = platform.provider
+        key = provider.key_of(fn_python.container_config())
+        assert provider.pool.num_available(key) == 4
+        provider._resize_key(key, 2)
+        # The two victims are claimed immediately, not at retire time.
+        assert provider.pool.num_available(key) == 2
+        assert provider.pool.num_total(key) == 2
+        # A request arriving before the retire processes run is served by
+        # one of the two survivors, not a dying container.
+        platform.submit(fn_python.name)
+        platform.run()
+        assert platform.traces.cold_count() == 4
+        assert provider.pool.total_live == 2
+
+    def test_same_victim_not_picked_twice(self, registry, fn_python):
+        """Two back-to-back scale-downs must not double-retire an entry."""
+        config = HotCConfig(control_interval_ms=0)
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        for _ in range(4):
+            platform.submit(fn_python.name)
+        platform.run()
+        provider = platform.provider
+        key = provider.key_of(fn_python.container_config())
+        provider._resize_key(key, 3)
+        provider._resize_key(key, 2)
+        platform.run()
+        assert provider.pool.num_total(key) == 2
+        assert provider.pool.stats.retired == 2
+
+
+class TestCapacityWithPendingBoots:
+    def test_pending_boots_count_against_cap(self, registry, fn_python, fn_go):
+        """Regression: an in-flight prewarm boot plus a concurrent cold
+        boot must not overshoot max_containers — pending boots count."""
+        config = HotCConfig(
+            control_interval_ms=0, limits=PoolLimits(max_containers=2)
+        )
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        platform.deploy(fn_go)
+        platform.submit(fn_python.name)
+        platform.run()  # one idle python container pooled
+        provider = platform.provider
+        key_py = provider.key_of(fn_python.container_config())
+        assert provider.pool.num_available(key_py) == 1
+        # A slow prewarm boot is in flight while a go request cold-boots.
+        platform.submit(fn_go.name)
+        provider._spawn_prewarm(key_py)
+        platform.run()
+        # Cap respected: the idle python was evicted to make room.
+        assert provider.pool.total_live <= 2
+        assert platform.engine.live_count <= 2
+
+
+class TestControlLoopRestart:
+    def test_stop_start_leaves_single_loop(self, registry, fn_python):
+        """Regression: stop() then start() within one control interval
+        must not leave the stale loop ticking alongside the new one."""
+        config = HotCConfig(control_interval_ms=100.0)
+        platform = make_platform(registry, config)
+        platform.deploy(fn_python)
+        provider = platform.provider
+        platform.submit(fn_python.name)
+        platform.run()
+        key = provider.key_of(fn_python.container_config())
+        t0 = provider.sim.now
+        provider.start_control_loop()
+        platform.run(until=t0 + 250.0)  # ticks at t0+100, t0+200
+        assert len(provider.controller.history(key)) == 2
+        provider.stop_control_loop()
+        provider.start_control_loop()  # old loop still pending its tick
+        # New loop ticks at t0+350 .. t0+1050 -> 8 more; the stale loop
+        # pending at t0+300 must exit without ticking.
+        platform.run(until=t0 + 1_050.0)
+        provider.stop_control_loop()
+        platform.run()
+        assert len(provider.controller.history(key)) == 10
+
+
+class TestDeadDiscardStats:
+    def test_dead_discard_not_counted_as_hit(self, registry, fn_python):
+        """Regression: handing out a crashed container must not inflate
+        hits, and the cold-boot retry must not double-count the lookup."""
+        platform = make_platform(registry)
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run()
+        provider = platform.provider
+        platform.engine.kill_container(platform.engine.live_containers()[0])
+        platform.submit(fn_python.name)
+        platform.run()
+        stats = provider.pool.stats
+        # One real miss per cold boot; the corpse lookup is a discard.
+        assert stats.hits == 0
+        assert stats.misses == 2
+        assert stats.dead_discards == 1
+        assert stats.hit_ratio == 0.0
+        # A healthy warm reuse still counts normally afterwards.
+        platform.submit(fn_python.name)
+        platform.run()
+        assert provider.pool.stats.hits == 1
+        assert provider.pool.stats.dead_discards == 1
+
+
 class TestHotCConfig:
     def test_default_matches_paper(self):
         config = HotCConfig()

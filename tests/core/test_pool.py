@@ -208,6 +208,48 @@ class TestEviction:
         assert ordered == ["c3", "c1", "c2"]  # by added_at, not id
 
 
+class TestDeadDiscards:
+    def test_discard_dead_uncounts_hit(self, pool):
+        key = key_for()
+        container = make_container("c1")
+        pool.register(container, key, now=0.0, available=True)
+        assert pool.acquire(key, now=1.0) is container
+        pool.discard_dead(container)
+        assert pool.stats.hits == 0
+        assert pool.stats.dead_discards == 1
+        assert pool.stats.retired == 1
+        assert not pool.contains(container)
+        # The retry is then the only lookup on record.
+        assert pool.acquire(key, now=2.0) is None
+        assert pool.stats.misses == 1
+        assert pool.stats.hit_ratio == 0.0
+
+
+class TestOnKeyEmpty:
+    def test_hook_fires_when_last_entry_leaves(self, pool):
+        emptied = []
+        pool.on_key_empty = emptied.append
+        key = key_for()
+        first, second = make_container("c1"), make_container("c2")
+        pool.register(first, key, now=0.0, available=True)
+        pool.register(second, key, now=0.0, available=True)
+        pool.remove(first)
+        assert emptied == []
+        pool.remove(second)
+        assert emptied == [key]
+
+    def test_hook_sees_consistent_pool(self, pool):
+        key = key_for()
+        container = make_container("c1")
+        pool.register(container, key, now=0.0, available=True)
+        seen = {}
+        pool.on_key_empty = lambda k: seen.update(
+            state=pool.state_of(k), live=pool.total_live
+        )
+        pool.remove(container)
+        assert seen == {"state": NOT_EXISTING, "live": 0}
+
+
 class TestPoolInvariants:
     @given(
         st.lists(

@@ -1,0 +1,181 @@
+"""Differential test: indexed pool vs. the naive reference pool.
+
+Replays long randomized register/acquire/release/remove/evict sequences
+against :class:`~repro.core.pool.ContainerRuntimePool` (indexed, lazy
+deletion heaps) and :class:`~repro.core.naivepool.NaiveContainerRuntimePool`
+(the seed's O(n) list scans) and asserts observable equivalence after
+every step — for all three eviction strategies, over >= 10k operations
+each.
+"""
+
+import random
+
+import pytest
+
+from repro.containers import Container, ContainerConfig
+from repro.core import runtime_key
+from repro.core.naivepool import NaiveContainerRuntimePool
+from repro.core.pool import ContainerRuntimePool
+
+N_OPERATIONS = 10_000
+N_KEYS = 6
+
+
+def make_container(cid, image, mem_mb):
+    return Container(cid, ContainerConfig(image=image, mem_mb=mem_mb), created_at=0.0)
+
+
+class MirroredPools:
+    """Drives both pools with identical operations and cross-checks them."""
+
+    def __init__(self, eviction, seed):
+        self.rng = random.Random(seed)
+        self.indexed = ContainerRuntimePool(eviction=eviction)
+        self.naive = NaiveContainerRuntimePool(eviction=eviction)
+        self.keys = [
+            runtime_key(ContainerConfig(image=f"img{i}:1", mem_mb=64.0 * (i + 1)))
+            for i in range(N_KEYS)
+        ]
+        # cid -> (container, key); tracked outside both pools so the
+        # driver picks operands identically for both.
+        self.tracked = {}
+        self.counter = 0
+        self.now = 0.0
+
+    def random_key(self):
+        return self.rng.choice(self.keys)
+
+    def random_container(self):
+        if not self.tracked:
+            return None
+        cid = self.rng.choice(sorted(self.tracked))
+        return self.tracked[cid]
+
+    # -- mirrored operations ------------------------------------------------
+    def op_register(self):
+        key_index = self.rng.randrange(N_KEYS)
+        key = self.keys[key_index]
+        available = self.rng.random() < 0.5
+        cid = f"c{self.counter}"
+        self.counter += 1
+        container = make_container(cid, f"img{key_index}:1", 64.0 * (key_index + 1))
+        self.indexed.register(container, key, now=self.now, available=available)
+        self.naive.register(container, key, now=self.now, available=available)
+        self.tracked[cid] = (container, key)
+
+    def op_acquire(self):
+        key = self.random_key()
+        got_indexed = self.indexed.acquire(key, now=self.now)
+        got_naive = self.naive.acquire(key, now=self.now)
+        assert (got_indexed is None) == (got_naive is None)
+        if got_indexed is not None:
+            assert got_indexed.container_id == got_naive.container_id
+
+    def op_release(self):
+        picked = self.random_container()
+        if picked is None:
+            return
+        container, _ = picked
+        entry = self.indexed._by_container.get(container.container_id)
+        if entry is None or entry.available:
+            return
+        self.indexed.release(container, now=self.now)
+        self.naive.release(container, now=self.now)
+
+    def op_remove(self):
+        picked = self.random_container()
+        if picked is None:
+            return
+        container, _ = picked
+        if not self.indexed.contains(container):
+            return
+        self.indexed.remove(container)
+        self.naive.remove(container)
+        del self.tracked[container.container_id]
+
+    def op_discard_dead(self):
+        """Acquire then discard, as HotC does for crashed containers."""
+        key = self.random_key()
+        got_indexed = self.indexed.acquire(key, now=self.now)
+        got_naive = self.naive.acquire(key, now=self.now)
+        assert (got_indexed is None) == (got_naive is None)
+        if got_indexed is None:
+            return
+        assert got_indexed.container_id == got_naive.container_id
+        self.indexed.discard_dead(got_indexed)
+        self.naive.discard_dead(got_naive)
+        del self.tracked[got_indexed.container_id]
+
+    def op_evict(self):
+        victim_indexed = self.indexed.eviction_candidate()
+        victim_naive = self.naive.eviction_candidate()
+        assert (victim_indexed is None) == (victim_naive is None)
+        if victim_indexed is None:
+            return
+        assert (
+            victim_indexed.container.container_id
+            == victim_naive.container.container_id
+        )
+        if self.rng.random() < 0.5:  # sometimes retire the candidate
+            self.indexed.remove(victim_indexed.container)
+            self.naive.remove(victim_naive.container)
+            del self.tracked[victim_indexed.container.container_id]
+
+    # -- cross-checks ---------------------------------------------------------
+    def check_cheap(self):
+        key = self.random_key()
+        assert self.indexed.state_of(key) == self.naive.state_of(key)
+        assert self.indexed.num_available(key) == self.naive.num_available(key)
+        assert self.indexed.num_total(key) == self.naive.num_total(key)
+        assert self.indexed.total_live == self.naive.total_live
+        assert self.indexed.total_available == self.naive.total_available
+
+    def check_full(self):
+        assert self.indexed.snapshot() == self.naive.snapshot()
+        assert set(self.indexed.keys()) == set(self.naive.keys())
+        for key in self.keys:
+            ids_indexed = [
+                e.container.container_id
+                for e in self.indexed.available_entries(key)
+            ]
+            ids_naive = [
+                e.container.container_id
+                for e in self.naive.available_entries(key)
+            ]
+            assert ids_indexed == ids_naive
+        victim_indexed = self.indexed.eviction_candidate()
+        victim_naive = self.naive.eviction_candidate()
+        assert (victim_indexed is None) == (victim_naive is None)
+        if victim_indexed is not None:
+            assert (
+                victim_indexed.container.container_id
+                == victim_naive.container.container_id
+            )
+        assert self.indexed.stats == self.naive.stats
+
+
+@pytest.mark.parametrize("eviction", ["oldest", "lru", "largest"])
+def test_indexed_pool_matches_reference(eviction):
+    mirror = MirroredPools(
+        eviction, seed={"oldest": 11, "lru": 22, "largest": 33}[eviction]
+    )
+    operations = (
+        [mirror.op_register] * 30
+        + [mirror.op_acquire] * 30
+        + [mirror.op_release] * 20
+        + [mirror.op_remove] * 8
+        + [mirror.op_evict] * 8
+        + [mirror.op_discard_dead] * 4
+    )
+    for step in range(N_OPERATIONS):
+        mirror.now += 1.0
+        mirror.rng.choice(operations)()
+        mirror.check_cheap()
+        if step % 250 == 0:
+            mirror.check_full()
+    mirror.check_full()
+
+
+def test_reference_sequences_are_long_enough():
+    """Guard the acceptance criterion: >= 10k operations per strategy."""
+    assert N_OPERATIONS >= 10_000

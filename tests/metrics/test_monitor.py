@@ -39,6 +39,20 @@ class TestMonitor:
         # One immediate sample + one at t=100 (not doubled).
         assert len(engine.resources.timeline) == 2
 
+    def test_stop_start_leaves_single_loop(self, engine):
+        """Regression: restarting within one period must not leave the
+        stale loop sampling alongside the new one (double rate)."""
+        monitor = ResourceMonitor(engine, period_ms=100)
+        monitor.start()
+        engine.sim.run(until=250)  # samples at 0, 100, 200
+        monitor.stop()
+        monitor.start()  # immediate sample at 250; old loop pending at 300
+        engine.sim.run(until=650)  # new loop samples at 350, 450, 550, 650
+        monitor.stop()
+        engine.sim.run()
+        # 3 + 1 + 4; the stale loop's 300/400/500/600 must not appear.
+        assert len(engine.resources.timeline) == 8
+
     def test_series_reflect_usage(self, engine):
         sim = engine.sim
         monitor = ResourceMonitor(engine, period_ms=50)

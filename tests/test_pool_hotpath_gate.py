@@ -1,0 +1,54 @@
+"""Quality gate: the pool hot path must stay within its per-op budget.
+
+Runs ``benchmarks/bench_pool_hotpath.py --check`` (the fast mode) inside
+the tier-1 suite so a future PR that quietly regresses ``acquire`` or
+``eviction_candidate`` back to a linear scan fails CI.  The budgets are
+deliberately generous — they catch complexity regressions, not machine
+jitter.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.quality_gate
+
+_BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "bench_pool_hotpath.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_pool_hotpath", _BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPoolHotPathGate:
+    def test_check_mode_within_budget(self):
+        bench = _load_bench()
+        results = bench.run_check()
+        assert (
+            results["acquire_release_us_per_cycle"]
+            < bench.ACQUIRE_RELEASE_BUDGET_US
+        )
+        assert (
+            results["eviction_candidate_us_per_call"]
+            < bench.EVICTION_CANDIDATE_BUDGET_US
+        )
+
+    def test_committed_comparison_shows_eviction_speedup(self):
+        """BENCH_pool.json (committed before/after run) must show the
+        >= 5x eviction_candidate speedup the optimisation promises."""
+        import json
+
+        path = _BENCH_PATH.parents[1] / "BENCH_pool.json"
+        comparison = json.loads(path.read_text())
+        assert comparison["speedup"]["eviction_candidate_us_per_call"] >= 5.0
+        assert comparison["before"]["n_live"] == 500
