@@ -47,7 +47,15 @@ __all__ = ["ContainerEngine", "EngineStats"]
 
 @dataclass
 class EngineStats:
-    """Operation counters for one engine (diagnostics and benches)."""
+    """Operation counters for one engine (diagnostics and benches).
+
+    The failure block counts *observed* errors and recovery actions:
+    ``boot_failures``/``transient_errors``/``exec_crashes`` are faults
+    the engine actually surfaced; ``boot_retries``, ``hedged_boots``,
+    ``breaker_opens``/``breaker_fastfails`` and ``request_retries``/
+    ``requests_failed`` are bumped by the middleware and watchdog as
+    they recover (or give up).  All stay 0 in fault-free runs.
+    """
 
     boots: int = 0
     image_pulls: int = 0
@@ -57,6 +65,15 @@ class EngineStats:
     removes: int = 0
     volume_wipes: int = 0
     kills: int = 0
+    boot_failures: int = 0
+    transient_errors: int = 0
+    exec_crashes: int = 0
+    boot_retries: int = 0
+    hedged_boots: int = 0
+    breaker_opens: int = 0
+    breaker_fastfails: int = 0
+    request_retries: int = 0
+    requests_failed: int = 0
 
     @property
     def total_execs(self) -> int:
@@ -108,6 +125,8 @@ class ContainerEngine:
 
             pull_strategy = FullPullStrategy()
         self.pull_strategy = pull_strategy
+        #: Optional fault injector (``FaultPlan.install`` attaches one).
+        self.fault_injector = None
         self._containers: Dict[str, Container] = {}
         self._local_images: set[str] = set()
         #: Lazy pulls defer bytes; the first exec per image pays them.
@@ -140,6 +159,20 @@ class ContainerEngine:
         """Whether the image is in the local cache."""
         image = self.registry.resolve(reference)
         return image.reference in self._local_images
+
+    # -- fault injection ----------------------------------------------------
+    def attach_fault_injector(self, injector) -> None:
+        """Install a :class:`~repro.faults.injector.FaultInjector`.
+
+        Boot and exec paths consult the injector from then on; pass
+        ``None`` to detach it again.
+        """
+        self.fault_injector = injector
+
+    @property
+    def is_down(self) -> bool:
+        """Whether a scheduled host outage currently holds this host."""
+        return self.fault_injector is not None and self.fault_injector.host_is_down()
 
     # -- capacity waiting ---------------------------------------------------
     def _acquire(self, owner: str, cpu: float, mem: float):
@@ -199,6 +232,9 @@ class ContainerEngine:
                 raise ContainerError(
                     f"network peer {config.network.peer} is not live"
                 )
+        if self.fault_injector is not None:
+            # May raise (outage / transient / boot failure) or straggle.
+            yield from self.fault_injector.boot_gate(self)
         yield from self.ensure_image(config.image)
 
         container = Container(
@@ -236,6 +272,13 @@ class ContainerEngine:
         if warm_runtime and image.language is not None:
             yield self.sim.timeout(self.latency.runtime_init(image.language))
             container.runtime_initialized = True
+        if self.is_down:
+            # The host went down while this boot was in flight: the
+            # container never becomes usable.
+            self.kill_container(container)
+            from repro.faults.errors import HostDownError
+
+            raise HostDownError(f"host {self.name} went down during boot")
         return container
 
     def execute(self, container: Container, spec: ExecSpec) -> Generator:
@@ -291,6 +334,15 @@ class ContainerEngine:
                 yield self.sim.timeout(app_init_ms)
 
             exec_ms = self.latency.app_execution(spec.exec_ms, spec.language)
+            if self.fault_injector is not None:
+                crash_at_ms = self.fault_injector.exec_crash_point(exec_ms)
+                if crash_at_ms is not None:
+                    from repro.faults.errors import ExecCrash
+
+                    yield self.sim.timeout(min(crash_at_ms, exec_ms))
+                    raise ExecCrash(
+                        f"container {container.container_id} crashed mid-execution"
+                    )
             yield self.sim.timeout(exec_ms)
 
             output = spec.payload() if spec.payload is not None else None
@@ -304,10 +356,27 @@ class ContainerEngine:
                     f"output/{spec.app_id}-{container.exec_count}.dat",
                     spec.write_mb,
                 )
+        except Exception as error:
+            from repro.faults.errors import ExecCrash
+
+            if isinstance(error, ExecCrash):
+                self.stats.exec_crashes += 1
+                self._destroy_crashed(container)
+            raise
         finally:
             self._release(container.exec_allocation)
             container.exec_allocation = None
 
+        if self.is_down:
+            # The host died under this execution: the result is lost.
+            from repro.faults.errors import HostDownError
+
+            self.stats.exec_crashes += 1
+            self._destroy_crashed(container)
+            raise HostDownError(
+                f"host {self.name} went down during execution of "
+                f"{container.container_id}"
+            )
         container.last_app_id = spec.app_id
         container.exec_count += 1
         container.transition(ContainerState.RUNNING)
@@ -397,6 +466,25 @@ class ContainerEngine:
         del self._containers[container.container_id]
         self.stats.kills += 1
         return container
+
+    def _destroy_crashed(self, container: Container) -> None:
+        """Instant teardown of a container whose execution died.
+
+        Like :meth:`kill_container` but starting from ``EXECUTING``:
+        resources and volume are reclaimed immediately; the in-flight
+        exec allocation is the caller's to release.
+        """
+        container.transition(ContainerState.STOPPING)
+        container.transition(ContainerState.STOPPED)
+        if container.idle_allocation is not None:
+            self._release(container.idle_allocation)
+            container.idle_allocation = None
+        if container.volume is not None:
+            self.volumes.unmount(container.volume)
+            self.volumes.delete(container.volume)
+            container.volume = None
+        container.transition(ContainerState.REMOVED)
+        del self._containers[container.container_id]
 
     def remove_container(self, container: Container) -> Generator:
         """Process: remove a stopped (or never-started) container."""

@@ -13,6 +13,7 @@
 - :mod:`repro.core.hotc` — the middleware tying everything together.
 """
 
+from repro.core.breaker import CircuitBreaker
 from repro.core.keys import KeyPolicy, RuntimeKey, parse_run_command, runtime_key
 from repro.core.pool import ContainerRuntimePool, PoolEntry, PoolLimits, PoolStats
 from repro.core.cleanup import CleanupWorker
@@ -34,6 +35,7 @@ from repro.core.predictor import (
 
 __all__ = [
     "AdaptivePoolController",
+    "CircuitBreaker",
     "CleanupWorker",
     "ClusterHotC",
     "ClusterStats",

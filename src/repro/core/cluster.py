@@ -24,10 +24,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
-from repro.containers.container import Container, ContainerConfig
+from repro.containers.container import Container, ContainerConfig, ContainerError
 from repro.containers.engine import ContainerEngine
 from repro.core.hotc import HotC, HotCConfig
 from repro.faas.platform import RuntimeProvider
+from repro.faults.errors import HostDownError, RuntimeUnavailableError
 
 __all__ = ["ClusterHotC", "ClusterStats", "make_cluster_platform"]
 
@@ -38,6 +39,10 @@ class ClusterStats:
 
     reuse_routed: int = 0
     cold_routed: int = 0
+    #: Requests re-routed to another host after an acquire failure.
+    failovers: int = 0
+    #: Host outages detected (a host recovering and dying again counts twice).
+    hosts_lost: int = 0
 
     @property
     def total_routed(self) -> int:
@@ -75,6 +80,8 @@ class ClusterHotC(RuntimeProvider):
         self._inflight: Dict[int, int] = {index: 0 for index in range(len(engines))}
         self._by_container: Dict[str, int] = {}
         self._rr_next = 0
+        #: Host indexes currently believed down (outage in progress).
+        self._down: set = set()
 
     # -- introspection ----------------------------------------------------
     @property
@@ -103,6 +110,33 @@ class ClusterHotC(RuntimeProvider):
         """Live pooled containers per host."""
         return tuple(host.pool.total_live for host in self.hosts)
 
+    def down_hosts(self) -> Tuple[int, ...]:
+        """Indexes of hosts currently believed down."""
+        return tuple(sorted(self._down))
+
+    # -- host health ---------------------------------------------------------
+    def _refresh_health(self) -> None:
+        """Reconcile the down-set with engine reality (lazy health check).
+
+        A recovered host simply rejoins the candidate set; its pool
+        starts empty (the outage drained it) and refills via prewarm.
+        """
+        for index in tuple(self._down):
+            if not self.hosts[index].engine.is_down:
+                self._down.discard(index)
+
+    def _note_host_down(self, index: int) -> None:
+        """Record an outage and drain the dead host's pool metadata.
+
+        Without the drain, the scheduler would keep routing "warm"
+        requests at containers that no longer exist.
+        """
+        if index in self._down:
+            return
+        self._down.add(index)
+        self.stats.hosts_lost += 1
+        self.hosts[index].drain_dead()
+
     # -- placement ----------------------------------------------------------
     def _load_key(self, index: int) -> Tuple[float, float, int]:
         host = self.hosts[index]
@@ -112,39 +146,92 @@ class ClusterHotC(RuntimeProvider):
             index,
         )
 
-    def _pick_host(self, config: ContainerConfig) -> Tuple[int, bool]:
-        """Returns ``(host index, found_warm)``."""
+    def _pick_host(
+        self, config: ContainerConfig, excluded: frozenset = frozenset()
+    ) -> Tuple[int, bool]:
+        """Returns ``(host index, found_warm)`` among routable hosts.
+
+        Hosts in ``excluded`` (already failed for this request) or in
+        the down-set are skipped; with every host ruled out the request
+        cannot be served and :class:`RuntimeUnavailableError` is raised.
+        """
+        candidates = [
+            index
+            for index in range(len(self.hosts))
+            if index not in excluded and index not in self._down
+        ]
+        if not candidates:
+            raise RuntimeUnavailableError(
+                f"no routable host left ({len(self.hosts)} total, "
+                f"{len(self._down)} down, {len(excluded)} failed)"
+            )
         if self.placement == "round-robin":
-            index = self._rr_next % len(self.hosts)
-            self._rr_next += 1
+            # Advance past unroutable hosts; with all hosts healthy this
+            # is the plain one-step advance.
+            while True:
+                index = self._rr_next % len(self.hosts)
+                self._rr_next += 1
+                if index in candidates:
+                    break
             key = self.hosts[index].key_of(config)
             return index, self.hosts[index].pool.num_available(key) > 0
 
         warm_hosts = []
-        for index, host in enumerate(self.hosts):
+        for index in candidates:
+            host = self.hosts[index]
             key = host.key_of(config)
             if host.pool.num_available(key) > 0:
                 warm_hosts.append(index)
         if warm_hosts:
             return min(warm_hosts, key=self._load_key), True
-        return min(range(len(self.hosts)), key=self._load_key), False
+        return min(candidates, key=self._load_key), False
 
     # -- provider protocol --------------------------------------------------
     def acquire(self, config: ContainerConfig) -> Generator:
-        index, warm = self._pick_host(config)
-        if warm:
-            self.stats.reuse_routed += 1
-        else:
-            self.stats.cold_routed += 1
-        self._inflight[index] += 1
-        container, cold = yield from self.hosts[index].acquire(config)
-        self._by_container[container.container_id] = index
-        return container, cold
+        """Process: route to the best host, failing over on host errors.
+
+        A :class:`HostDownError` marks the host down (and drains its
+        pool metadata); any other acquire failure merely excludes the
+        host for this request.  Either way the request is re-routed to
+        the next-best host until one serves it or none is left.
+        """
+        self._refresh_health()
+        excluded: set = set()
+        while True:
+            index, warm = self._pick_host(config, frozenset(excluded))
+            if warm:
+                self.stats.reuse_routed += 1
+            else:
+                self.stats.cold_routed += 1
+            self._inflight[index] += 1
+            try:
+                container, cold = yield from self.hosts[index].acquire(config)
+            except HostDownError:
+                self._inflight[index] -= 1
+                self._note_host_down(index)
+                excluded.add(index)
+            except ContainerError:
+                self._inflight[index] -= 1
+                excluded.add(index)
+                if len(excluded) + len(self._down - excluded) >= len(self.hosts):
+                    raise  # nothing left to fail over to
+            else:
+                self._by_container[container.container_id] = index
+                return container, cold
+            self.stats.failovers += 1
 
     def release(self, container: Container) -> Generator:
         index = self._by_container.pop(container.container_id)
         self._inflight[index] -= 1
         yield from self.hosts[index].release(container)
+
+    def discard(self, container: Container) -> None:
+        """Drop a mid-request casualty: bookkeeping only, no cleanup I/O."""
+        index = self._by_container.pop(container.container_id, None)
+        if index is None:
+            return
+        self._inflight[index] -= 1
+        self.hosts[index].discard(container)
 
     def on_tick(self, now: float) -> None:
         for host in self.hosts:

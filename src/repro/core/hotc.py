@@ -22,14 +22,25 @@ from typing import Dict, Generator, Optional, Tuple
 
 from repro.containers.container import Container, ContainerConfig
 from repro.containers.engine import ContainerEngine
+from repro.core.breaker import CircuitBreaker
 from repro.core.cleanup import CleanupWorker
 from repro.core.keys import KeyPolicy, RuntimeKey, runtime_key
 from repro.core.pool import ContainerRuntimePool, PoolLimits
 from repro.core.predictor.combined import CombinedPredictor
 from repro.core.predictor.controller import AdaptivePoolController
 from repro.faas.platform import RuntimeProvider
+from repro.faults.errors import (
+    BootFailure,
+    RuntimeUnavailableError,
+    TransientEngineError,
+)
+from repro.sim.engine import AnyOf
 
 __all__ = ["HotC", "HotCConfig"]
+
+#: Boot failures HotC retries on the same host (host outages are not
+#: retryable locally; the cluster scheduler fails over instead).
+_RETRYABLE = (BootFailure, TransientEngineError)
 
 
 @dataclass(frozen=True)
@@ -60,12 +71,41 @@ class HotCConfig:
     #: miss, reuse an idle container whose *relaxed* key matches and
     #: apply the configuration delta.  ``None`` disables the fallback.
     fallback_key_policy: Optional[KeyPolicy] = None
+    #: Extra boot attempts after a retryable boot failure (0 = one shot).
+    boot_retries: int = 2
+    #: Exponential backoff between boot attempts: the n-th retry waits
+    #: ``base * factor**(n-1)`` ms, +/- ``jitter`` fraction when the
+    #: engine has a jitter RNG.
+    boot_backoff_base_ms: float = 50.0
+    boot_backoff_factor: float = 2.0
+    boot_backoff_jitter: float = 0.1
+    #: Boot deadline; when a boot exceeds it, one hedged fallback boot
+    #: races the straggler (first to finish wins, the loser is pooled).
+    #: ``None`` disables hedging and keeps the boot inline.
+    boot_timeout_ms: Optional[float] = None
+    #: Per-key circuit breaker: open after this many consecutive boot
+    #: failures and fail fast (also pausing prewarm) until the cooldown
+    #: elapses; a half-open probe then decides.  <= 0 disables it.
+    breaker_threshold: int = 3
+    breaker_cooldown_ms: float = 5_000.0
 
     def __post_init__(self) -> None:
         if self.fallback_key_policy is self.key_policy:
             raise ValueError(
                 "fallback_key_policy must differ from key_policy"
             )
+        if self.boot_retries < 0:
+            raise ValueError("boot_retries must be >= 0")
+        if self.boot_backoff_base_ms < 0:
+            raise ValueError("boot_backoff_base_ms must be >= 0")
+        if self.boot_backoff_factor < 1.0:
+            raise ValueError("boot_backoff_factor must be >= 1")
+        if not 0.0 <= self.boot_backoff_jitter < 1.0:
+            raise ValueError("boot_backoff_jitter must be in [0, 1)")
+        if self.boot_timeout_ms is not None and self.boot_timeout_ms <= 0:
+            raise ValueError("boot_timeout_ms must be > 0 (or None)")
+        if self.breaker_cooldown_ms <= 0:
+            raise ValueError("breaker_cooldown_ms must be > 0")
 
     def make_predictor(self) -> CombinedPredictor:
         """A fresh predictor configured per this config."""
@@ -103,6 +143,11 @@ class HotC(RuntimeProvider):
         self._control_running = False
         #: Bumped on every control-loop start so stale loops exit.
         self._control_generation = 0
+        #: Per-key boot circuit breakers (created on first cold boot).
+        self._breakers: Dict[RuntimeKey, CircuitBreaker] = {}
+        #: Set by shutdown(): released/landing containers are retired
+        #: instead of recycled, and no new prewarms are spawned.
+        self._draining = False
         #: Prune per-key side-indexes when a key's last container leaves.
         self.pool.on_key_empty = self._forget_key
         #: Partial-key matching: relaxed key -> full keys seen under it.
@@ -133,30 +178,41 @@ class HotC(RuntimeProvider):
         With ``fallback_key_policy`` set, a full-key miss first tries an
         idle container of a *similar* configuration (same relaxed key)
         and applies the config delta — cheaper than any cold boot.
+
+        The cold-boot path is failure-hardened: boots are retried with
+        exponential backoff on retryable failures, optionally hedged
+        past ``boot_timeout_ms``, and refused outright while the key's
+        circuit breaker is open.  If anything raises, the demand bump
+        taken at entry is rolled back so ``_busy`` (and with it the
+        predictor's demand signal) never leaks.
         """
         key = self.key_of(config)
         self._config_for_key.setdefault(key, config)
         self._index_relaxed(key)
         self._bump_busy(key, +1)
-
-        container = self._pool_acquire_healthy(key)
-        if container is None and self.config.fallback_key_policy is not None:
-            container = yield from self._acquire_similar(key, config)
-        if container is not None:
-            yield from self._journal(key, container, "busy")
-            return container, False
-
-        # The boot counts against the cap while in flight so concurrent
-        # cold boots cannot collectively overshoot ``max_containers``.
-        self._note_pending(key, +1)
         try:
-            yield from self._make_room()
-            container = yield from self.engine.boot_container(config)
-        finally:
-            self._note_pending(key, -1)
-        self.pool.register(container, key, now=self.sim.now, available=False)
-        yield from self._journal(key, container, "busy")
-        return container, True
+            container = self._pool_acquire_healthy(key)
+            if container is None and self.config.fallback_key_policy is not None:
+                container = yield from self._acquire_similar(key, config)
+            if container is not None:
+                yield from self._journal(key, container, "busy")
+                return container, False
+
+            breaker = self._breaker_for(key)
+            if not breaker.allow(self.sim.now):
+                self.engine.stats.breaker_fastfails += 1
+                raise RuntimeUnavailableError(
+                    f"circuit breaker open for runtime key {key}"
+                )
+            container = yield from self._boot_with_retry(key, config, breaker)
+            self.pool.register(container, key, now=self.sim.now, available=False)
+            yield from self._journal(key, container, "busy")
+            return container, True
+        except BaseException:
+            # Roll back the demand bump: a failed acquire must not keep
+            # inflating ``_busy``/``_peak`` forever.
+            self._bump_busy(key, -1)
+            raise
 
     def _pool_acquire_healthy(self, key: RuntimeKey) -> Optional[Container]:
         """Pool lookup that discards entries whose container has died.
@@ -213,6 +269,11 @@ class HotC(RuntimeProvider):
                 continue
             # Apply the configuration delta; the runtime stays hot.
             yield self.sim.timeout(self.engine.latency.container_reconfigure())
+            if not container.is_reusable:
+                # Died while being reconfigured (crash injection): the
+                # corpse must not be re-registered, let alone handed out.
+                self.pool.discard_dead(container)
+                continue
             self.pool.remove(container)
             container.config = config
             self.pool.register(container, key, now=self.sim.now, available=False)
@@ -227,13 +288,158 @@ class HotC(RuntimeProvider):
             (str(key), container.container_id), state
         )
 
+    # -- failure-hardened boot path --------------------------------------------
+    def _breaker_for(self, key: RuntimeKey) -> CircuitBreaker:
+        """The key's circuit breaker (created on first use)."""
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                threshold=self.config.breaker_threshold,
+                cooldown_ms=self.config.breaker_cooldown_ms,
+            )
+            self._breakers[key] = breaker
+        return breaker
+
+    def _backoff_ms(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), with jitter."""
+        delay = self.config.boot_backoff_base_ms * (
+            self.config.boot_backoff_factor ** (attempt - 1)
+        )
+        rng = self.engine.latency.rng
+        if rng is not None and self.config.boot_backoff_jitter > 0:
+            spread = self.config.boot_backoff_jitter
+            delay *= 1.0 + spread * (2.0 * float(rng.random()) - 1.0)
+        return delay
+
+    def _boot_with_retry(
+        self, key: RuntimeKey, config: ContainerConfig, breaker: CircuitBreaker
+    ) -> Generator:
+        """Process: boot with bounded retry + backoff under the breaker.
+
+        Retries only same-host-retryable failures; host outages
+        propagate immediately so the cluster scheduler can fail over.
+        """
+        attempt = 0
+        while True:
+            try:
+                container = yield from self._boot_guarded(key, config)
+            except _RETRYABLE:
+                if breaker.record_failure(self.sim.now):
+                    self.engine.stats.breaker_opens += 1
+                attempt += 1
+                if attempt > self.config.boot_retries or not breaker.allow(
+                    self.sim.now
+                ):
+                    raise
+                self.engine.stats.boot_retries += 1
+                yield self.sim.timeout(self._backoff_ms(attempt))
+            else:
+                breaker.record_success()
+                return container
+
+    def _boot_once(
+        self, key: RuntimeKey, config: ContainerConfig, warm_runtime: bool = False
+    ) -> Generator:
+        """Process: one capacity-guarded boot attempt.
+
+        The boot counts against the cap while in flight so concurrent
+        cold boots cannot collectively overshoot ``max_containers`` —
+        and the pending count is released even when the boot raises.
+        """
+        self._note_pending(key, +1)
+        try:
+            yield from self._make_room()
+            container = yield from self.engine.boot_container(
+                config, warm_runtime=warm_runtime
+            )
+        finally:
+            self._note_pending(key, -1)
+        return container
+
+    def _boot_guarded(self, key: RuntimeKey, config: ContainerConfig) -> Generator:
+        """Process: one boot attempt, hedged past ``boot_timeout_ms``.
+
+        Without a timeout configured the boot runs inline (identical to
+        the unhardened path).  With one, a straggling primary boot is
+        raced by a single hedged boot; the first to finish serves the
+        request and the loser lands in the pool as a warm spare.
+        """
+        if self.config.boot_timeout_ms is None:
+            container = yield from self._boot_once(key, config)
+            return container
+        primary = self.sim.process(
+            self._boot_once(key, config), name=f"boot:{key}"
+        )
+        deadline = self.sim.timeout(self.config.boot_timeout_ms)
+        try:
+            index, value = yield AnyOf([primary, deadline])
+        finally:
+            deadline.cancel()
+        if index == 0:
+            return value
+        # The primary exceeded the deadline: hedge once and race.
+        self.engine.stats.hedged_boots += 1
+        hedge = self.sim.process(
+            self._boot_once(key, config), name=f"hedge:{key}"
+        )
+        racers = [primary, hedge]
+        last_error: Optional[BaseException] = None
+        while racers:
+            try:
+                index, value = yield AnyOf(racers)
+            except Exception as error:  # a racer failed; keep the rest
+                last_error = error
+                racers = [p for p in racers if not p.triggered]
+                continue
+            winner = racers[index]
+            for loser in racers:
+                if loser is not winner:
+                    self._absorb_boot(key, loser)
+            return value
+        raise last_error
+
+    def _absorb_boot(self, key: RuntimeKey, process) -> None:
+        """Land a losing hedged boot: pool it warm, or retire it.
+
+        Failures are absorbed silently (they were already counted when
+        raised); a successful late boot joins the pool as an available
+        warm container unless the pool is full or draining.
+        """
+
+        def _land(event) -> None:
+            if not event.ok or event.value is None:
+                return
+            container = event.value
+            if (
+                self._draining
+                or self.pool.total_live >= self.config.limits.max_containers
+            ):
+                self.sim.process(
+                    self.cleanup.retire(container),
+                    name=f"retire-late-boot:{container.container_id}",
+                )
+            else:
+                self.pool.register(
+                    container, key, now=self.sim.now, available=True
+                )
+
+        process.add_callback(_land)
+
     def release(self, container: Container) -> Generator:
-        """Process: clean and recycle (runs off the critical path)."""
+        """Process: clean and recycle (runs off the critical path).
+
+        Containers that died while busy, or that come back during a
+        drain, are retired instead of recycled.
+        """
         key = self.key_of(container.config)
         self._bump_busy(key, -1)
-        if not self.pool.contains(container):
-            # Retired while busy should not happen (busy entries are
-            # never eviction candidates); guard anyway.
+        if not container.is_reusable or not self.pool.contains(container):
+            # Dead (killed out from under us), or retired while busy —
+            # either way it must not rejoin the pool.
+            yield from self.cleanup.retire(container)
+            return
+        if self._draining:
+            # Shutdown mid-burst: busy containers retire on release.
             yield from self.cleanup.retire(container)
             return
         yield from self.cleanup.clean_and_recycle(container)
@@ -242,9 +448,48 @@ class HotC(RuntimeProvider):
         # live container when memory crosses the threshold.
         yield from self._relieve_pressure()
 
+    def discard(self, container: Container) -> None:
+        """Drop a busy container that died mid-request (crash/outage).
+
+        Rolls back the demand bump and forgets the pool entry; a
+        container somehow still live is retired asynchronously.
+        """
+        key = self.key_of(container.config)
+        self._bump_busy(key, -1)
+        if self.pool.contains(container):
+            self.pool.remove(container)
+        if container.is_live:
+            self.sim.process(
+                self.cleanup.retire(container),
+                name=f"discard:{container.container_id}",
+            )
+
+    def drain_dead(self) -> int:
+        """Purge pool metadata of containers that are no longer live.
+
+        Called by the cluster scheduler when it detects a host outage:
+        the dead host's pool entries must not keep attracting reuse
+        routing.  Returns the number of entries dropped.
+        """
+        removed = 0
+        for entry in self.pool.entries():
+            if not entry.container.is_live:
+                self.pool.remove(entry.container)
+                removed += 1
+        return removed
+
     def shutdown(self) -> Generator:
-        """Process: stop the control loop and drain every pooled container."""
+        """Process: stop control, drain the pool, absorb in-flight boots.
+
+        Safe mid-burst: the control loop's pending tick exits without
+        running, prewarm boots still in flight are retired on landing
+        instead of joining the pool, and busy containers are retired
+        when their requests release them.
+        """
+        self._draining = True
         self._control_running = False
+        # A stale loop waiting on its tick exits on the generation check.
+        self._control_generation += 1
         for key in tuple(self.pool.keys()):
             for entry in self.pool.available_entries(key):
                 yield from self.cleanup.retire(entry.container)
@@ -373,22 +618,40 @@ class HotC(RuntimeProvider):
                 )
 
     def _spawn_prewarm(self, key: RuntimeKey) -> None:
+        if self._draining:
+            return
+        breaker = self._breaker_for(key)
+        if breaker.is_open(self.sim.now):
+            # Boots of this type keep failing: prewarming would only
+            # burn capacity on doomed boots.
+            return
         config = self._config_for_key[key]
         self._note_pending(key, +1)
 
         def _boot() -> Generator:
             try:
-                yield from self._make_room()
-                # Prewarm boots also warm the language runtime: the pool
-                # holds *hot* runtimes, not just created containers.
-                container = yield from self.engine.boot_container(
-                    config, warm_runtime=True
-                )
-                self.pool.register(
-                    container, key, now=self.sim.now, available=True
-                )
+                try:
+                    yield from self._make_room()
+                    # Prewarm boots also warm the language runtime: the
+                    # pool holds *hot* runtimes, not created containers.
+                    container = yield from self.engine.boot_container(
+                        config, warm_runtime=True
+                    )
+                except _RETRYABLE:
+                    # Prewarm failures feed the breaker but are not
+                    # retried — the next control tick decides again.
+                    if breaker.record_failure(self.sim.now):
+                        self.engine.stats.breaker_opens += 1
+                    return
+                except Exception:
+                    return  # host down mid-prewarm: nothing to pool
             finally:
                 self._note_pending(key, -1)
+            if self._draining or not container.is_reusable:
+                yield from self.cleanup.retire(container)
+                return
+            self.pool.register(container, key, now=self.sim.now, available=True)
+            breaker.record_success()
 
         self.sim.process(_boot(), name=f"prewarm:{key}")
 

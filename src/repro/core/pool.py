@@ -355,6 +355,48 @@ class ContainerRuntimePool:
             )
         )
 
+    def entries(self) -> Tuple[PoolEntry, ...]:
+        """Snapshot of every pooled entry (busy and available).
+
+        Returned as a tuple so callers can remove entries while
+        iterating — HotC's dead-container drain does exactly that.
+        """
+        return tuple(self._by_container.values())
+
+    def check_consistency(self) -> None:
+        """Recount everything from the entry tables and compare.
+
+        Raises ``AssertionError`` on any mismatch between the
+        incrementally maintained counters and ground truth — the chaos
+        tests call this to prove fault paths never corrupt bookkeeping.
+        """
+        recount: Dict[RuntimeKey, List[int]] = {}
+        for key, siblings in self._entries.items():
+            counts = recount.setdefault(key, [0, 0])
+            for entry in siblings.values():
+                assert entry.in_pool, f"removed entry still indexed: {entry}"
+                assert (
+                    self._by_container.get(entry.container.container_id)
+                    is entry
+                ), f"entry missing from by-container index: {entry}"
+                counts[1] += 1
+                if entry.available:
+                    counts[0] += 1
+        assert recount == self._counts, (
+            f"per-key counters drifted: cached={self._counts} "
+            f"actual={recount}"
+        )
+        total_avail = sum(c[0] for c in recount.values())
+        assert total_avail == self._total_available, (
+            f"total_available drifted: cached={self._total_available} "
+            f"actual={total_avail}"
+        )
+        total = sum(c[1] for c in recount.values())
+        assert total == len(self._by_container), (
+            f"by-container index drifted: indexed={len(self._by_container)} "
+            f"actual={total}"
+        )
+
     # -- heap maintenance ---------------------------------------------------
     def _make_available(self, entry: PoolEntry) -> None:
         # The avail heap only goes stale via remove(), so compaction is

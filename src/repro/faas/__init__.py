@@ -12,7 +12,7 @@ Container acquisition is pluggable through the
 middleware and all baseline keep-alive policies implement it.
 """
 
-from repro.faas.tracing import RequestTrace, TraceCollector
+from repro.faas.tracing import RequestOutcome, RequestTrace, TraceCollector
 from repro.faas.function import FunctionSpec
 from repro.faas.platform import (
     ColdBootProvider,
@@ -29,6 +29,7 @@ __all__ = [
     "FunctionSpec",
     "Gateway",
     "ReactiveAutoscaler",
+    "RequestOutcome",
     "RequestTrace",
     "RuntimeProvider",
     "TraceCollector",

@@ -46,6 +46,15 @@ class RuntimeProvider(abc.ABC):
     def release(self, container: Container) -> Generator:
         """Process: give the container back (clean, keep, or destroy)."""
 
+    def discard(self, container: Container) -> None:
+        """Drop a container that died mid-request (crash or host outage).
+
+        Unlike :meth:`release` this is a plain call: the container is
+        already gone, so there is no cleanup latency to model — only
+        bookkeeping (demand accounting, pool metadata) to roll back.
+        The default is a no-op for providers without such bookkeeping.
+        """
+
     def on_tick(self, now: float) -> None:
         """Optional periodic hook (pool maintenance, prediction)."""
 
@@ -107,6 +116,7 @@ class FaasPlatform:
         jitter_sigma: float = 0.06,
         gateway_concurrency: int = 1024,
         gateway_instances: int = 1,
+        request_retries: int = 1,
     ) -> None:
         if gateway_instances < 1:
             raise ValueError("gateway_instances must be >= 1")
@@ -132,6 +142,7 @@ class FaasPlatform:
                 self.engine,
                 self.provider,
                 concurrency=gateway_concurrency,
+                request_retries=request_retries,
             )
             for _ in range(gateway_instances)
         ]

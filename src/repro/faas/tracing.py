@@ -15,12 +15,29 @@ observable, plus the cold-start decomposition coming out of the engine.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RequestTrace", "TraceCollector"]
+__all__ = ["RequestOutcome", "RequestTrace", "TraceCollector"]
+
+
+class RequestOutcome(enum.Enum):
+    """Terminal disposition of a request.
+
+    Every trace leaves the watchdog with one of the three terminal
+    outcomes; ``PENDING`` survives only while the request is in flight.
+    """
+
+    PENDING = "pending"
+    SUCCESS = "success"
+    #: Succeeded, but only after at least one request-level retry.
+    RETRIED = "retried"
+    #: All attempts (original + retries) failed; an error response was
+    #: returned to the client.
+    FAILED = "failed"
 
 
 @dataclass
@@ -42,6 +59,12 @@ class RequestTrace:
     runtime_init_ms: float = 0.0
     app_init_ms: float = 0.0
     exec_ms: float = 0.0
+    #: Terminal disposition (stamped by the watchdog).
+    outcome: RequestOutcome = RequestOutcome.PENDING
+    #: Request-level retries this request consumed.
+    retries: int = 0
+    #: The final error, for failed requests ("ExcType: message").
+    error: str = ""
 
     # -- derived segments (all ms) ----------------------------------------
     @property
@@ -144,6 +167,29 @@ class TraceCollector:
             key: float(np.mean([t.segments()[key] for t in complete]))
             for key in keys
         }
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Traces per terminal outcome value (``{"success": 42, ...}``)."""
+        counts: Dict[str, int] = {}
+        for trace in self._traces:
+            counts[trace.outcome.value] = counts.get(trace.outcome.value, 0) + 1
+        return counts
+
+    def failed_count(self) -> int:
+        """Requests that exhausted their retries."""
+        return sum(
+            1 for t in self._traces if t.outcome is RequestOutcome.FAILED
+        )
+
+    def retry_total(self) -> int:
+        """Request-level retries consumed across all traces."""
+        return sum(t.retries for t in self._traces)
+
+    def all_terminal(self) -> bool:
+        """Whether every collected trace reached a terminal outcome."""
+        return all(
+            t.outcome is not RequestOutcome.PENDING for t in self._traces
+        )
 
     def filter(self, function: Optional[str] = None) -> "TraceCollector":
         """A new collector restricted to one function."""

@@ -10,15 +10,25 @@ receives the forwarded request, obtains a runtime container from the
 provider (this is where cold start lands, making segment 2→3 dominate),
 runs the handler, and emits the response.  Cleanup is handed back to the
 provider asynchronously so it never blocks the response.
+
+Failure handling: a container-level failure (boot failure the provider
+could not recover, host outage, mid-execution crash) is retried at the
+request level up to ``max_retries`` times — the dead container is
+discarded through the provider so its bookkeeping rolls back, then the
+whole acquire/execute attempt repeats.  When retries are exhausted the
+request terminates with :class:`~repro.faas.tracing.RequestOutcome.FAILED`
+and an error response travels back to the client like any other
+response; the exception never escapes the watchdog.
 """
 
 from __future__ import annotations
 
 from typing import Generator
 
+from repro.containers.container import ContainerError
 from repro.containers.engine import ContainerEngine
 from repro.faas.function import FunctionSpec
-from repro.faas.tracing import RequestTrace
+from repro.faas.tracing import RequestOutcome, RequestTrace
 
 __all__ = ["Watchdog"]
 
@@ -26,10 +36,19 @@ __all__ = ["Watchdog"]
 class Watchdog:
     """Executes requests for functions against a container engine."""
 
-    def __init__(self, sim, engine: ContainerEngine, provider) -> None:
+    def __init__(
+        self,
+        sim,
+        engine: ContainerEngine,
+        provider,
+        max_retries: int = 1,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         self.sim = sim
         self.engine = engine
         self.provider = provider
+        self.max_retries = max_retries
 
     def handle(self, spec: FunctionSpec, trace: RequestTrace) -> Generator:
         """Process: moments (2)..(5) of the request pipeline."""
@@ -39,14 +58,30 @@ class Watchdog:
         # fork/exec of the handler process + stdin pipe setup.
         yield self.sim.timeout(latency.faas_stage("watchdog_fork"))
 
-        container, cold_boot = yield from self.provider.acquire(
-            spec.container_config()
-        )
-        # Multi-host providers place containers on their own engines; run
-        # the handler on the engine that owns the container.
-        resolve = getattr(self.provider, "engine_for", None)
-        engine = resolve(container) if resolve is not None else self.engine
-        result = yield from engine.execute(container, spec.exec_spec())
+        attempts = 0
+        while True:
+            container = None
+            try:
+                container, cold_boot = yield from self.provider.acquire(
+                    spec.container_config()
+                )
+                # Multi-host providers place containers on their own
+                # engines; run the handler on the engine that owns it.
+                resolve = getattr(self.provider, "engine_for", None)
+                engine = resolve(container) if resolve is not None else self.engine
+                result = yield from engine.execute(container, spec.exec_spec())
+            except ContainerError as error:
+                if container is not None:
+                    # The acquired container died under us: roll back the
+                    # provider's bookkeeping before trying again.
+                    self.provider.discard(container)
+                if attempts >= self.max_retries:
+                    trace = yield from self._fail(trace, attempts, error, latency)
+                    return trace
+                attempts += 1
+                self.engine.stats.request_retries += 1
+                continue
+            break
 
         trace.t4_function_stop = self.sim.now
         # Moment (3) is when business logic begins: everything before the
@@ -57,6 +92,10 @@ class Watchdog:
         trace.runtime_init_ms = result.runtime_init_ms
         trace.app_init_ms = result.app_init_ms
         trace.exec_ms = result.exec_ms
+        trace.retries = attempts
+        trace.outcome = (
+            RequestOutcome.RETRIED if attempts else RequestOutcome.SUCCESS
+        )
 
         # Read stdout + wrap the HTTP response.
         yield self.sim.timeout(latency.faas_stage("watchdog_pipe"))
@@ -67,4 +106,16 @@ class Watchdog:
             self.provider.release(container),
             name=f"release:{container.container_id}",
         )
+        return trace
+
+    def _fail(self, trace, attempts, error, latency) -> Generator:
+        """Process: terminate the request with an error response."""
+        self.engine.stats.requests_failed += 1
+        trace.t3_function_start = trace.t4_function_stop = self.sim.now
+        trace.retries = attempts
+        trace.outcome = RequestOutcome.FAILED
+        trace.error = f"{type(error).__name__}: {error}"
+        # The error response still travels the watchdog->client path.
+        yield self.sim.timeout(latency.faas_stage("watchdog_pipe"))
+        trace.t5_watchdog_out = self.sim.now
         return trace

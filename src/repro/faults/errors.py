@@ -1,0 +1,59 @@
+"""Failure taxonomy of the fault-injection subsystem.
+
+All injected faults derive from :class:`InjectedFault`, itself a
+:class:`~repro.containers.container.ContainerError`, so every existing
+``except ContainerError`` site already treats an injected fault like a
+real engine failure.  The middleware distinguishes three recovery
+classes:
+
+* **retryable on the same host** — :class:`BootFailure`,
+  :class:`TransientEngineError`: a fresh boot attempt may succeed, so
+  HotC retries with exponential backoff (and the per-key circuit
+  breaker counts the failures).
+* **host-level** — :class:`HostDownError`: retrying on the same host is
+  pointless; the cluster scheduler fails over to the next-best host.
+* **request-level** — :class:`ExecCrash`: the container died mid
+  execution; the watchdog discards it and retries the whole request.
+
+:class:`RuntimeUnavailableError` is *not* injected: it is raised by the
+middleware itself when a circuit breaker is open (fail fast instead of
+queueing boot attempts behind a failing runtime type).
+"""
+
+from __future__ import annotations
+
+from repro.containers.container import ContainerError
+
+__all__ = [
+    "BootFailure",
+    "ExecCrash",
+    "HostDownError",
+    "InjectedFault",
+    "RuntimeUnavailableError",
+    "TransientEngineError",
+]
+
+
+class InjectedFault(ContainerError):
+    """Base class of every failure produced by a :class:`FaultPlan`."""
+
+
+class BootFailure(InjectedFault):
+    """A container boot failed outright (image corrupt, runc error)."""
+
+
+class TransientEngineError(InjectedFault):
+    """A one-off engine hiccup (daemon restart, API timeout); retryable."""
+
+
+class ExecCrash(InjectedFault):
+    """The container died mid-execution (OOM kill, segfault)."""
+
+
+class HostDownError(InjectedFault):
+    """The whole backend host is unreachable (outage in progress)."""
+
+
+class RuntimeUnavailableError(ContainerError):
+    """Fail-fast refusal: the circuit breaker for this runtime key is
+    open (or no healthy host is left to route to)."""

@@ -1,0 +1,286 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` is the single source of truth for everything that
+goes wrong in a run: *probabilistic* faults (a rate per decision point,
+drawn from a named RNG stream per host) and *scheduled* faults (a fixed
+``(time, kind, host)`` list executed by simulator callbacks).  Two plans
+built from the same seed produce bit-identical injection schedules and
+per-decision draws, so every chaos run is reproducible.
+
+Usage::
+
+    plan = FaultPlan.random(seed=7, duration_ms=60_000, hosts=("host-0",))
+    injectors = plan.install(platform.sim, [platform.engine])
+    platform.run(until=120_000)
+    print(plan.stats)          # what was actually injected
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+from typing import Dict, Generator, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.rng import derive_seed
+
+__all__ = ["FaultKind", "FaultPlan", "FaultSpec", "FaultStats", "ScheduledFault"]
+
+
+class FaultKind(enum.Enum):
+    """Every failure mode the subsystem can inject."""
+
+    BOOT_FAILURE = "boot_failure"
+    BOOT_STRAGGLER = "boot_straggler"
+    TRANSIENT_ERROR = "transient_error"
+    EXEC_CRASH = "exec_crash"
+    POOL_DEATH = "pool_death"
+    HOST_OUTAGE = "host_outage"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Probabilistic fault rates, applied per decision point.
+
+    ``boot_*`` and ``transient_error_rate`` are evaluated once per boot
+    attempt; ``exec_crash_rate`` once per execution.  A rate of 0
+    removes that decision entirely (no RNG draw is consumed), so a
+    zero-rate spec leaves the simulation bit-identical to one with no
+    injector attached.
+    """
+
+    boot_failure_rate: float = 0.0
+    boot_straggler_rate: float = 0.0
+    #: Extra delay a straggling boot pays before proceeding.
+    boot_straggler_ms: float = 10_000.0
+    transient_error_rate: float = 0.0
+    exec_crash_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "boot_failure_rate",
+            "boot_straggler_rate",
+            "transient_error_rate",
+            "exec_crash_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.boot_straggler_ms < 0:
+            raise ValueError("boot_straggler_ms must be >= 0")
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this spec injects nothing probabilistically."""
+        return (
+            self.boot_failure_rate == 0.0
+            and self.boot_straggler_rate == 0.0
+            and self.transient_error_rate == 0.0
+            and self.exec_crash_rate == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class ScheduledFault:
+    """One fault pinned to an absolute simulation time.
+
+    ``POOL_DEATH`` kills ``count`` idle pooled containers on ``host``;
+    ``HOST_OUTAGE`` takes ``host`` down for ``duration_ms`` (idle
+    containers die instantly, in-flight boots and executions fail with
+    :class:`~repro.faults.errors.HostDownError` when they complete).
+    """
+
+    at_ms: float
+    kind: FaultKind
+    host: str = ""
+    duration_ms: float = 0.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_ms < 0:
+            raise ValueError("at_ms must be >= 0")
+        if self.kind not in (FaultKind.POOL_DEATH, FaultKind.HOST_OUTAGE):
+            raise ValueError(
+                f"only POOL_DEATH and HOST_OUTAGE can be scheduled, got {self.kind}"
+            )
+        if self.kind is FaultKind.HOST_OUTAGE and self.duration_ms <= 0:
+            raise ValueError("HOST_OUTAGE needs duration_ms > 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+
+@dataclass
+class FaultStats:
+    """Counts of faults actually injected (one instance per plan)."""
+
+    boot_failures: int = 0
+    boot_stragglers: int = 0
+    transient_errors: int = 0
+    exec_crashes: int = 0
+    pool_deaths: int = 0
+    host_outages: int = 0
+
+    @property
+    def total(self) -> int:
+        """All injected faults."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> Dict[str, int]:
+        """Counter name → count (report input)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class FaultPlan:
+    """A seeded set of probabilistic rates plus scheduled faults.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; every injector stream and every scheduled-fault
+        target choice is derived from it.
+    spec:
+        Probabilistic rates (defaults to all-zero: no probabilistic
+        faults).
+    scheduled:
+        :class:`ScheduledFault` entries, stored sorted by time so the
+        schedule is order-independent of construction.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        spec: Optional[FaultSpec] = None,
+        scheduled: Iterable[ScheduledFault] = (),
+    ) -> None:
+        self.seed = int(seed)
+        self.spec = spec or FaultSpec()
+        self.scheduled: Tuple[ScheduledFault, ...] = tuple(
+            sorted(scheduled, key=lambda f: (f.at_ms, f.host, f.kind.value))
+        )
+        #: Injected-fault counters, shared by every injector of the plan.
+        self.stats = FaultStats()
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: attaches injectors that never fire."""
+        return cls(seed=0)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        duration_ms: float,
+        hosts: Sequence[str] = ("host-0",),
+        spec: Optional[FaultSpec] = None,
+        pool_deaths: int = 3,
+        outages: int = 1,
+        outage_ms: float = 5_000.0,
+    ) -> "FaultPlan":
+        """A randomized-but-deterministic plan for chaos runs.
+
+        Scheduled pool deaths and host outages are drawn uniformly over
+        ``[0, duration_ms)`` (outages over the first 80% so recovery is
+        observable); the same ``seed`` always yields the identical
+        schedule.  ``spec`` defaults to a moderate probabilistic mix.
+        """
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be > 0")
+        if not hosts:
+            raise ValueError("need at least one host name")
+        rng = np.random.default_rng(derive_seed(seed, "fault-plan"))
+        scheduled = []
+        for _ in range(pool_deaths):
+            scheduled.append(
+                ScheduledFault(
+                    at_ms=float(rng.uniform(0.0, duration_ms)),
+                    kind=FaultKind.POOL_DEATH,
+                    host=str(hosts[int(rng.integers(len(hosts)))]),
+                )
+            )
+        for _ in range(outages):
+            scheduled.append(
+                ScheduledFault(
+                    at_ms=float(rng.uniform(0.0, duration_ms * 0.8)),
+                    kind=FaultKind.HOST_OUTAGE,
+                    host=str(hosts[int(rng.integers(len(hosts)))]),
+                    duration_ms=float(outage_ms),
+                )
+            )
+        if spec is None:
+            spec = FaultSpec(
+                boot_failure_rate=0.10,
+                boot_straggler_rate=0.05,
+                boot_straggler_ms=2_000.0,
+                transient_error_rate=0.05,
+                exec_crash_rate=0.05,
+            )
+        return cls(seed=seed, spec=spec, scheduled=tuple(scheduled))
+
+    # -- installation ---------------------------------------------------------
+    def install(self, sim, engines) -> Dict[str, "FaultInjector"]:
+        """Attach one injector per engine and arm the scheduled faults.
+
+        Scheduled entries naming an unknown host target the first
+        engine.  Returns the injectors by engine name.
+        """
+        from repro.faults.injector import FaultInjector
+
+        engines = list(engines)
+        if not engines:
+            raise ValueError("install() needs at least one engine")
+        by_name = {engine.name: engine for engine in engines}
+        injectors: Dict[str, FaultInjector] = {}
+        for engine in engines:
+            injector = FaultInjector(
+                spec=self.spec,
+                rng=np.random.default_rng(
+                    derive_seed(self.seed, f"faults:{engine.name}")
+                ),
+                stats=self.stats,
+            )
+            engine.attach_fault_injector(injector)
+            injectors[engine.name] = injector
+        victim_rng = np.random.default_rng(
+            derive_seed(self.seed, "faults:scheduled")
+        )
+        for fault in self.scheduled:
+            engine = by_name.get(fault.host, engines[0])
+            delay = max(0.0, fault.at_ms - sim.now)
+            if fault.kind is FaultKind.POOL_DEATH:
+                sim.schedule(delay, self._kill_idle, engine, fault.count, victim_rng)
+            else:  # HOST_OUTAGE
+                injector = injectors[engine.name]
+                sim.schedule(delay, self._begin_outage, engine, injector)
+                sim.schedule(delay + fault.duration_ms, self._end_outage, injector)
+        return injectors
+
+    # -- scheduled-fault executors (simulator callbacks) ----------------------
+    def _kill_idle(self, engine, count: int, rng: np.random.Generator) -> None:
+        candidates = sorted(
+            (c for c in engine.live_containers() if c.is_reusable),
+            key=lambda c: c.container_id,
+        )
+        for _ in range(min(count, len(candidates))):
+            victim = candidates.pop(int(rng.integers(len(candidates))))
+            engine.kill_container(victim)
+            self.stats.pool_deaths += 1
+
+    def _begin_outage(self, engine, injector) -> None:
+        injector.down = True
+        self.stats.host_outages += 1
+        # Idle containers die with the host; busy ones crash when their
+        # in-flight execution (or boot) reaches its completion check.
+        for container in engine.live_containers():
+            if container.is_reusable:
+                engine.kill_container(container)
+
+    def _end_outage(self, injector) -> None:
+        injector.down = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultPlan seed={self.seed} scheduled={len(self.scheduled)} "
+            f"spec_zero={self.spec.is_zero}>"
+        )

@@ -16,7 +16,7 @@ from repro.metrics.errors import (
 )
 from repro.metrics.monitor import ResourceMonitor
 from repro.metrics.billing import BillingModel, CostReport
-from repro.metrics.report import Figure, Series, Table, format_table
+from repro.metrics.report import Figure, Series, Table, failure_table, format_table
 
 __all__ = [
     "BillingModel",
@@ -27,6 +27,7 @@ __all__ = [
     "Series",
     "Table",
     "empirical_cdf",
+    "failure_table",
     "format_table",
     "mean_absolute_error",
     "mean_absolute_percentage_error",

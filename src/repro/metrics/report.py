@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["Figure", "Series", "Table", "format_table"]
+__all__ = ["Figure", "Series", "Table", "failure_table", "format_table"]
 
 Number = Union[int, float]
 
@@ -136,6 +136,60 @@ class Figure:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+
+def failure_table(
+    fault_stats=None,
+    engine_stats: Sequence = (),
+    cluster_stats=None,
+    traces=None,
+    name: str = "failures",
+) -> Table:
+    """Injected vs. observed vs. recovered failure counters as a Table.
+
+    Duck-typed so any combination of sources works: ``fault_stats`` is a
+    :class:`~repro.faults.plan.FaultStats` (what the plan injected),
+    ``engine_stats`` an iterable of
+    :class:`~repro.containers.engine.EngineStats` (what each engine saw
+    and what the middleware did about it), ``cluster_stats`` a
+    :class:`~repro.core.cluster.ClusterStats` (failovers), and
+    ``traces`` a :class:`~repro.faas.tracing.TraceCollector` (terminal
+    request outcomes).  Missing sources contribute zero rows.
+    """
+
+    def engine_sum(attr: str) -> int:
+        return sum(int(getattr(s, attr, 0)) for s in engine_stats)
+
+    rows: List[Tuple[Union[str, Number], ...]] = []
+    if fault_stats is not None:
+        for kind, count in sorted(fault_stats.as_dict().items()):
+            rows.append(("injected", kind, int(count)))
+    for attr in ("boot_failures", "transient_errors", "exec_crashes"):
+        rows.append(("observed", attr, engine_sum(attr)))
+    for attr in (
+        "boot_retries",
+        "hedged_boots",
+        "breaker_opens",
+        "breaker_fastfails",
+        "request_retries",
+        "requests_failed",
+    ):
+        rows.append(("recovery", attr, engine_sum(attr)))
+    if cluster_stats is not None:
+        rows.append(
+            ("recovery", "failovers", int(getattr(cluster_stats, "failovers", 0)))
+        )
+        rows.append(
+            ("recovery", "hosts_lost", int(getattr(cluster_stats, "hosts_lost", 0)))
+        )
+    if traces is not None:
+        for outcome, count in sorted(traces.outcome_counts().items()):
+            rows.append(("outcome", outcome, int(count)))
+    return Table(
+        name=name,
+        columns=("class", "counter", "count"),
+        rows=tuple(rows),
+    )
 
 
 def _format_cell(value: Union[str, Number]) -> str:

@@ -1,0 +1,34 @@
+"""Repo-wide pytest configuration: the chaos-test opt-in gate.
+
+Tests marked ``@pytest.mark.chaos`` are multi-second randomized soaks;
+they are skipped by default so the tier-1 loop stays fast, and enabled
+with ``--chaos`` or ``REPRO_CHAOS=1`` (CI sets the latter).
+"""
+
+import os
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help="run chaos fault-injection soak tests",
+    )
+
+
+def _chaos_enabled(config) -> bool:
+    return bool(
+        config.getoption("--chaos") or os.environ.get("REPRO_CHAOS")
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if _chaos_enabled(config):
+        return
+    skip = pytest.mark.skip(reason="chaos soak; enable with --chaos or REPRO_CHAOS=1")
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip)
