@@ -7,7 +7,6 @@ for short series.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.predictor.combined import CombinedPredictor
 from repro.experiments.fig10_prediction import demand_series

@@ -6,7 +6,6 @@ the steady stream from one warm host and spread only the genuinely
 concurrent cold boots.
 """
 
-import pytest
 
 from repro.core import make_cluster_platform
 from repro.faas.function import FunctionSpec

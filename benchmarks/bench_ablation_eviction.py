@@ -7,7 +7,6 @@ paper's simple default, and largest-first optimises memory rather than
 hit ratio.
 """
 
-import pytest
 
 from repro.core.hotc import HotC, HotCConfig
 from repro.core.pool import PoolLimits

@@ -7,7 +7,6 @@ of the cold start, while the runtime-initialisation part they cannot
 touch is exactly what HotC removes.
 """
 
-import pytest
 
 from repro.containers import (
     ContainerConfig,

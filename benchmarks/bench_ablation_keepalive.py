@@ -7,7 +7,6 @@ shows the cliff: windows shorter than the inter-arrival gap pay every
 cold start; longer ones pay idle capacity instead.
 """
 
-import pytest
 
 from repro.analysis import keep_alive_sensitivity
 

@@ -11,7 +11,6 @@ With a workload of many env-var variants over one image:
   aggressive end of the spectrum).
 """
 
-import pytest
 
 from repro.core.hotc import HotC, HotCConfig
 from repro.core.keys import KeyPolicy

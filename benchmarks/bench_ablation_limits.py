@@ -5,7 +5,6 @@ threshold on a small host, verifying both guards work and quantifying
 the reuse lost to tighter limits.
 """
 
-import pytest
 
 from repro.core.hotc import HotC, HotCConfig
 from repro.core.pool import PoolLimits

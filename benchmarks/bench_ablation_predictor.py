@@ -10,7 +10,6 @@ The combined predictor should cut the later-burst cold starts that the
 other two configurations cannot anticipate.
 """
 
-import pytest
 
 from repro.core.hotc import HotC, HotCConfig
 from repro.faas.platform import FaasPlatform

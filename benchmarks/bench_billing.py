@@ -6,7 +6,6 @@ pings carry their own fees.  This bench prices a steady workload under
 four policies with a Lambda-style billing model.
 """
 
-import pytest
 
 from repro.core import (
     FixedKeepAliveProvider,

@@ -5,7 +5,6 @@ Fig 11: replay the diurnal trace (burst, decline, night rise) against
 all four providers and compare cold starts, latency, and boot churn.
 """
 
-import pytest
 
 from repro.core import (
     FixedKeepAliveProvider,

@@ -13,7 +13,6 @@ container boots (a resource-waste proxy).
 Run:  python examples/adaptive_pool_tuning.py
 """
 
-import numpy as np
 
 from repro.core import (
     CombinedPredictor,

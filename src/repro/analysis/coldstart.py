@@ -14,14 +14,11 @@ figure-ready structures:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 
-from repro.containers.container import ContainerConfig
 from repro.containers.engine import ContainerEngine
-from repro.containers.network import NetworkConfig
-from repro.containers.registry import Registry
 from repro.core.hotc import HotC
 from repro.faas.platform import FaasPlatform
 from repro.hardware.profiles import HostProfile, T430_SERVER

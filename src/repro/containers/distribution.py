@@ -22,7 +22,7 @@ HotC targets.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Generator, Optional, Set
+from typing import Dict, Generator, Set
 
 from repro.containers.image import Image
 

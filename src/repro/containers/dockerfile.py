@@ -14,8 +14,8 @@ continuations with ``\\`` and multi-stage builds (``FROM ... AS name``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 __all__ = [
     "Dockerfile",

@@ -22,7 +22,7 @@ the container last ran a *different* app).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple
 
 import numpy as np
@@ -39,6 +39,7 @@ from repro.containers.registry import Registry
 from repro.containers.volume import VolumeStore
 from repro.hardware.calibration import LatencyModel
 from repro.hardware.profiles import HostProfile, T430_SERVER
+from repro.obs.events import EventKind
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 
@@ -127,6 +128,8 @@ class ContainerEngine:
         self.pull_strategy = pull_strategy
         #: Optional fault injector (``FaultPlan.install`` attaches one).
         self.fault_injector = None
+        #: Optional observatory; ``None`` keeps every hook inert.
+        self.obs = None
         self._containers: Dict[str, Container] = {}
         self._local_images: set[str] = set()
         #: Lazy pulls defer bytes; the first exec per image pays them.
@@ -168,6 +171,15 @@ class ContainerEngine:
         ``None`` to detach it again.
         """
         self.fault_injector = injector
+
+    # -- observability hooks -------------------------------------------------
+    def attach_observatory(self, observatory) -> None:
+        """Install a :class:`~repro.obs.Observatory` (``None`` detaches).
+
+        Boot start/end events and boot-duration histograms are recorded
+        from then on; detached, every hook costs one ``is None`` check.
+        """
+        self.obs = observatory
 
     @property
     def is_down(self) -> bool:
@@ -226,6 +238,55 @@ class ContainerEngine:
         uses: the init cost is paid here, off any request's critical
         path, instead of on the first exec.
         """
+        obs = self.obs
+        if obs is None:
+            return (yield from self._boot_container(config, warm_runtime))
+        started = self.sim.now
+        obs.emit(
+            EventKind.BOOT_START,
+            t=started,
+            host=self.name,
+            key=config.image,
+            warm_runtime=warm_runtime,
+        )
+        try:
+            container = yield from self._boot_container(config, warm_runtime)
+        except Exception as error:
+            obs.emit(
+                EventKind.BOOT_END,
+                t=self.sim.now,
+                host=self.name,
+                key=config.image,
+                ok=False,
+                error=type(error).__name__,
+            )
+            obs.counter(
+                "boot_failures_total",
+                help="Boots that raised instead of returning a container",
+                host=self.name,
+            ).inc()
+            raise
+        obs.emit(
+            EventKind.BOOT_END,
+            t=self.sim.now,
+            host=self.name,
+            key=config.image,
+            ok=True,
+            container=container.container_id,
+        )
+        obs.counter(
+            "boots_total", help="Completed container boots", host=self.name
+        ).inc()
+        obs.histogram(
+            "boot_duration_ms",
+            help="Wall time of a full cold boot",
+            host=self.name,
+        ).observe(self.sim.now - started)
+        return container
+
+    def _boot_container(
+        self, config: ContainerConfig, warm_runtime: bool
+    ) -> Generator:
         if config.network.peer is not None:
             peer = self.get(config.network.peer)
             if not peer.is_live:

@@ -10,7 +10,7 @@ vocabulary and per-container network state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from repro.hardware.calibration import NETWORK_SETUP_MS

@@ -16,7 +16,7 @@ capacity.  The breaker fails such requests fast instead:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 __all__ = ["CircuitBreaker"]
 
@@ -26,7 +26,12 @@ HALF_OPEN = "half-open"
 
 
 class CircuitBreaker:
-    """Consecutive-failure breaker with a timed half-open probe."""
+    """Consecutive-failure breaker with a timed half-open probe.
+
+    ``on_transition(old, new)`` (settable after construction) fires on
+    every state change — the observability layer wires breaker events
+    through it without the breaker knowing about registries.
+    """
 
     def __init__(self, threshold: int = 3, cooldown_ms: float = 5_000.0) -> None:
         if cooldown_ms <= 0:
@@ -34,9 +39,18 @@ class CircuitBreaker:
         self.threshold = int(threshold)
         self.cooldown_ms = float(cooldown_ms)
         self.state = CLOSED
+        self.on_transition: Optional[Callable[[str, str], None]] = None
         self._consecutive_failures = 0
         self._opened_at: Optional[float] = None
         self._probing = False
+
+    def _set_state(self, new: str) -> None:
+        old = self.state
+        if old == new:
+            return
+        self.state = new
+        if self.on_transition is not None:
+            self.on_transition(old, new)
 
     def is_open(self, now: float) -> bool:
         """Non-mutating check: would an attempt at ``now`` be refused?
@@ -61,7 +75,7 @@ class CircuitBreaker:
         if self.state == OPEN:
             if now - self._opened_at < self.cooldown_ms:
                 return False
-            self.state = HALF_OPEN
+            self._set_state(HALF_OPEN)
             self._probing = False
         if self.state == HALF_OPEN:
             if self._probing:
@@ -72,7 +86,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """A boot succeeded: close the breaker and reset counters."""
-        self.state = CLOSED
+        self._set_state(CLOSED)
         self._consecutive_failures = 0
         self._opened_at = None
         self._probing = False
@@ -84,13 +98,13 @@ class CircuitBreaker:
             return False
         if self.state == HALF_OPEN:
             # The probe failed: straight back to open, fresh cooldown.
-            self.state = OPEN
+            self._set_state(OPEN)
             self._opened_at = now
             self._probing = False
             return True
         self._consecutive_failures += 1
         if self.state == CLOSED and self._consecutive_failures >= self.threshold:
-            self.state = OPEN
+            self._set_state(OPEN)
             self._opened_at = now
             return True
         return False

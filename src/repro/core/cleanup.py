@@ -15,6 +15,7 @@ from typing import Generator
 from repro.containers.container import Container
 from repro.containers.engine import ContainerEngine
 from repro.core.pool import ContainerRuntimePool
+from repro.obs.events import EventKind
 
 __all__ = ["CleanupWorker"]
 
@@ -32,12 +33,29 @@ class CleanupWorker:
         self.engine = engine
         self.pool = pool
         self.cleaned = 0
+        #: Optional observatory; ``None`` keeps the hooks inert.
+        self.obs = None
 
     def clean_and_recycle(self, container: Container) -> Generator:
         """Process: Algorithm 2 — wipe volume, remount, mark available."""
+        started = self.sim.now
         yield from self.engine.clean_container(container)
         self.pool.release(container, now=self.sim.now)
         self.cleaned += 1
+        if self.obs is not None:
+            self.obs.emit(
+                EventKind.CLEANUP,
+                t=self.sim.now,
+                host=self.engine.name,
+                key=container.config.image,
+                container=container.container_id,
+                duration_ms=self.sim.now - started,
+            )
+            self.obs.counter(
+                "cleanups_total",
+                help="Algorithm 2 runs (volume wipe + recycle)",
+                host=self.engine.name,
+            ).inc()
         return container
 
     def retire(self, container: Container) -> Generator:

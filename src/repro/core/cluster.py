@@ -29,6 +29,7 @@ from repro.containers.engine import ContainerEngine
 from repro.core.hotc import HotC, HotCConfig
 from repro.faas.platform import RuntimeProvider
 from repro.faults.errors import HostDownError, RuntimeUnavailableError
+from repro.obs.events import EventKind
 
 __all__ = ["ClusterHotC", "ClusterStats", "make_cluster_platform"]
 
@@ -82,6 +83,18 @@ class ClusterHotC(RuntimeProvider):
         self._rr_next = 0
         #: Host indexes currently believed down (outage in progress).
         self._down: set = set()
+        #: Optional observatory; ``None`` keeps the hooks inert.
+        self.obs = None
+
+    def attach_observatory(self, observatory) -> None:
+        """Wire one shared observatory through every host.
+
+        Per-host series stay distinguishable via the ``host`` label each
+        hook stamps; the cluster itself records failover events.
+        """
+        self.obs = observatory
+        for host in self.hosts:
+            host.attach_observatory(observatory)
 
     # -- introspection ----------------------------------------------------
     @property
@@ -210,15 +223,30 @@ class ClusterHotC(RuntimeProvider):
                 self._inflight[index] -= 1
                 self._note_host_down(index)
                 excluded.add(index)
-            except ContainerError:
+                reason = "host_down"
+            except ContainerError as error:
                 self._inflight[index] -= 1
                 excluded.add(index)
                 if len(excluded) + len(self._down - excluded) >= len(self.hosts):
                     raise  # nothing left to fail over to
+                reason = type(error).__name__
             else:
                 self._by_container[container.container_id] = index
                 return container, cold
             self.stats.failovers += 1
+            if self.obs is not None:
+                host = self.hosts[index].engine.name
+                self.obs.emit(
+                    EventKind.FAILOVER,
+                    t=self.hosts[index].sim.now,
+                    host=host,
+                    reason=reason,
+                )
+                self.obs.counter(
+                    "failovers_total",
+                    help="Requests re-routed off a failed host",
+                    host=host,
+                ).inc()
 
     def release(self, container: Container) -> Generator:
         index = self._by_container.pop(container.container_id)

@@ -18,7 +18,7 @@ HotC sits between clients and backend hosts as a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, Optional
 
 from repro.containers.container import Container, ContainerConfig
 from repro.containers.engine import ContainerEngine
@@ -29,6 +29,7 @@ from repro.core.pool import ContainerRuntimePool, PoolLimits
 from repro.core.predictor.combined import CombinedPredictor
 from repro.core.predictor.controller import AdaptivePoolController
 from repro.faas.platform import RuntimeProvider
+from repro.obs.events import EventKind
 from repro.faults.errors import (
     BootFailure,
     RuntimeUnavailableError,
@@ -88,6 +89,10 @@ class HotCConfig:
     #: elapses; a half-open probe then decides.  <= 0 disables it.
     breaker_threshold: int = 3
     breaker_cooldown_ms: float = 5_000.0
+    #: Sliding-window length of each key's residual Markov chain; a
+    #: long-running gateway must not grow predictor state without bound.
+    #: ``None`` keeps every residual (the pre-window batch behaviour).
+    markov_window: Optional[int] = 512
 
     def __post_init__(self) -> None:
         if self.fallback_key_policy is self.key_policy:
@@ -106,6 +111,8 @@ class HotCConfig:
             raise ValueError("boot_timeout_ms must be > 0 (or None)")
         if self.breaker_cooldown_ms <= 0:
             raise ValueError("breaker_cooldown_ms must be > 0")
+        if self.markov_window is not None and self.markov_window < 2:
+            raise ValueError("markov_window must be >= 2 (or None)")
 
     def make_predictor(self) -> CombinedPredictor:
         """A fresh predictor configured per this config."""
@@ -115,6 +122,7 @@ class HotCConfig:
             n_states=self.n_states,
             init=self.init,
             min_history=min_history,
+            markov_window=self.markov_window,
         )
 
 
@@ -157,6 +165,8 @@ class HotC(RuntimeProvider):
         #: Optional replicated metadata store (future work); when set,
         #: acquire journals the pool transition before returning.
         self.metadata_store = None
+        #: Optional observatory; ``None`` keeps every hook inert.
+        self.obs = None
 
     # -- the provider protocol ------------------------------------------------
     def key_of(self, config: ContainerConfig) -> RuntimeKey:
@@ -171,6 +181,19 @@ class HotC(RuntimeProvider):
         Section VII.
         """
         self.metadata_store = store
+
+    def attach_observatory(self, observatory) -> None:
+        """Wire the telemetry layer through this host (``None`` detaches).
+
+        Attaches the observatory to the engine (boot events), the pool
+        (hit/miss, labelled with this host's name) and the cleanup
+        worker, and records eviction/prewarm/breaker/control-tick events
+        from the middleware itself.
+        """
+        self.obs = observatory
+        self.engine.attach_observatory(observatory)
+        self.pool.attach_observatory(observatory, host=self.engine.name)
+        self.cleanup.obs = observatory
 
     def acquire(self, config: ContainerConfig) -> Generator:
         """Process: Algorithm 1 — reuse when available, else cold boot.
@@ -297,8 +320,48 @@ class HotC(RuntimeProvider):
                 threshold=self.config.breaker_threshold,
                 cooldown_ms=self.config.breaker_cooldown_ms,
             )
+            breaker.on_transition = self._breaker_transition_hook(key)
             self._breakers[key] = breaker
         return breaker
+
+    def _breaker_transition_hook(self, key: RuntimeKey):
+        """Per-key callback recording breaker state changes."""
+
+        def hook(old: str, new: str) -> None:
+            if self.obs is None:
+                return
+            self.obs.emit(
+                EventKind.BREAKER,
+                t=self.sim.now,
+                host=self.engine.name,
+                key=str(key),
+                **{"from": old, "to": new},
+            )
+            self.obs.counter(
+                "breaker_transitions_total",
+                help="Circuit-breaker state changes by target state",
+                host=self.engine.name,
+                to=new,
+            ).inc()
+
+        return hook
+
+    def _emit_evict(self, entry, reason: str) -> None:
+        """Record one pool eviction (caller checked ``obs`` is set)."""
+        self.obs.emit(
+            EventKind.POOL_EVICT,
+            t=self.sim.now,
+            host=self.engine.name,
+            key=str(entry.key),
+            container=entry.container.container_id,
+            reason=reason,
+        )
+        self.obs.counter(
+            "pool_evictions_total",
+            help="Idle containers evicted, by reason",
+            host=self.engine.name,
+            reason=reason,
+        ).inc()
 
     def _backoff_ms(self, attempt: int) -> float:
         """Backoff before retry ``attempt`` (1-based), with jitter."""
@@ -536,6 +599,8 @@ class HotC(RuntimeProvider):
             if victim is None:
                 break
             self.pool.stats.evictions_capacity += 1
+            if self.obs is not None:
+                self._emit_evict(victim, "capacity")
             yield from self.cleanup.retire(victim.container)
 
     def _relieve_pressure(self) -> Generator:
@@ -547,6 +612,8 @@ class HotC(RuntimeProvider):
             if victim is None:
                 break
             self.pool.stats.evictions_pressure += 1
+            if self.obs is not None:
+                self._emit_evict(victim, "pressure")
             yield from self.cleanup.retire(victim.container)
 
     # -- adaptive control loop ------------------------------------------------
@@ -581,17 +648,61 @@ class HotC(RuntimeProvider):
 
     def control_tick(self) -> None:
         """One prediction + resize step (public for tests/experiments)."""
+        obs = self.obs
         for key in tuple(self._config_for_key):
             demand = self._peak.get(key, 0)
             self._peak[key] = self._busy.get(key, 0)
-            self.controller.observe(key, demand)
+            prev_forecast = None
+            if obs is not None:
+                forecasts = self.controller.forecast_history(key)
+                # The forecast made on the previous tick predicted *this*
+                # interval's demand: the pair is the realized accuracy.
+                prev_forecast = forecasts[-1] if forecasts else None
+            forecast = self.controller.observe(key, demand)
+            target = None
             if self.config.prewarm:
-                target = self.controller.target_upper(
-                    key,
-                    quantile=self.config.target_quantile,
-                    horizon=self.config.target_horizon,
+                target = max(
+                    self.controller.target_upper(
+                        key,
+                        quantile=self.config.target_quantile,
+                        horizon=self.config.target_horizon,
+                    ),
+                    self.controller.target(key),
                 )
-                self._resize_key(key, max(target, self.controller.target(key)))
+                self._resize_key(key, target)
+            if obs is not None:
+                host = self.engine.name
+                data = {"demand": demand, "forecast": forecast}
+                if prev_forecast is not None:
+                    data["prev_forecast"] = prev_forecast
+                if target is not None:
+                    data["target"] = target
+                obs.emit(
+                    EventKind.CONTROL_TICK,
+                    t=self.sim.now,
+                    host=host,
+                    key=str(key),
+                    **data,
+                )
+                obs.gauge(
+                    "pool_available",
+                    help="Idle pooled containers",
+                    host=host,
+                    key=str(key),
+                ).set(self.pool.num_available(key))
+                obs.gauge(
+                    "pool_total",
+                    help="Pooled containers, busy and idle",
+                    host=host,
+                    key=str(key),
+                ).set(self.pool.num_total(key))
+                if forecast is not None:
+                    obs.gauge(
+                        "demand_forecast",
+                        help="Latest combined ES+Markov demand forecast",
+                        host=host,
+                        key=str(key),
+                    ).set(forecast)
 
     def _resize_key(self, key: RuntimeKey, target: int) -> None:
         """Move the pool toward ``target`` containers of type ``key``."""
@@ -607,6 +718,8 @@ class HotC(RuntimeProvider):
             # that the next tick would rebuild.
             surplus = min(total - target, max(1, total // 2))
             for entry in self.pool.available_entries(key)[:surplus]:
+                if self.obs is not None:
+                    self._emit_evict(entry, "scale_down")
                 # Claim the victim synchronously: once the retire process
                 # is merely *scheduled*, an acquire landing before it
                 # runs must not be handed a container about to be
@@ -627,6 +740,18 @@ class HotC(RuntimeProvider):
             return
         config = self._config_for_key[key]
         self._note_pending(key, +1)
+        if self.obs is not None:
+            self.obs.emit(
+                EventKind.PREWARM,
+                t=self.sim.now,
+                host=self.engine.name,
+                key=str(key),
+            )
+            self.obs.counter(
+                "prewarms_total",
+                help="Predictive pre-boots requested by the control loop",
+                host=self.engine.name,
+            ).inc()
 
         def _boot() -> Generator:
             try:

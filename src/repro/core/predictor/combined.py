@@ -22,12 +22,12 @@ Until enough residuals exist to estimate transitions
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.core.predictor.exponential import ExponentialSmoothing
-from repro.core.predictor.markov import MarkovChain
+from repro.core.predictor.markov import DEFAULT_WINDOW, MarkovChain
 
 __all__ = ["CombinedPredictor"]
 
@@ -49,6 +49,9 @@ class CombinedPredictor:
     clamp_min:
         Lower bound applied to the corrected forecast (container counts
         cannot be negative).
+    markov_window:
+        Sliding-window length of the residual chain (``None`` keeps all
+        residuals; see :class:`MarkovChain`).
     """
 
     def __init__(
@@ -58,11 +61,14 @@ class CombinedPredictor:
         init: str = "auto",
         min_history: int = 6,
         clamp_min: Optional[float] = 0.0,
+        markov_window: Optional[int] = DEFAULT_WINDOW,
     ) -> None:
         if min_history < 2:
             raise ValueError("min_history must be >= 2")
         self.smoother = ExponentialSmoothing(alpha=alpha, init=init)
-        self.residual_chain = MarkovChain(n_states=n_states)
+        self.residual_chain = MarkovChain(
+            n_states=n_states, window=markov_window
+        )
         self.min_history = min_history
         self.clamp_min = clamp_min
         self._last_forecast: Optional[float] = None

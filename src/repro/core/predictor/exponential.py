@@ -5,23 +5,28 @@
 The paper chooses ``alpha = 0.8`` (high sensitivity, suited to the
 volatile serverless series) and initialises with the *average of the
 first five observations* when the series is short (< 20 points), else
-the first observation — Section IV-C(2).  ``init="auto"`` implements
-that rule; ``"first"`` and ``"mean5"`` force either behaviour for the
-Fig 10b sensitivity study.
+the first observation — Section IV-C(2).  In a streaming setting the
+series is always "short" when the initial value is chosen, so
+``init="auto"`` is the mean-of-first-five rule; ``"first"`` and
+``"mean5"`` force either behaviour for the Fig 10b sensitivity study.
+
+The mean-based init holds the level at the *running mean* while the
+first five observations accumulate — after five points the level is
+exactly their average, and only then does the Eq. 1 recursion take
+over.  (Replaying early observations through the recursion on top of a
+mean that already contains them would double-count them; the smoother
+deliberately does not do that.)
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 __all__ = ["ExponentialSmoothing"]
 
 _INIT_POLICIES = ("auto", "first", "mean5")
-
-#: Series length below which the paper says the initial value matters.
-_SHORT_SERIES = 20
 
 #: How many leading observations the mean-based init averages.
 _INIT_WINDOW = 5
@@ -45,55 +50,39 @@ class ExponentialSmoothing:
         self.alpha = alpha
         self.init = init
         self._level: Optional[float] = None
-        self._observations: List[float] = []
+        self._count = 0
 
     @property
     def n_observations(self) -> int:
         """How many points have been fed in."""
-        return len(self._observations)
+        return self._count
 
     @property
     def forecast(self) -> Optional[float]:
         """Current one-step-ahead forecast (None before any data)."""
         return self._level
 
-    def _initial_level(self) -> float:
-        """Initial smoothed value per the configured policy."""
-        observations = self._observations
-        use_mean = self.init == "mean5" or (
-            self.init == "auto" and len(observations) < _SHORT_SERIES
-        )
-        if use_mean:
-            window = observations[:_INIT_WINDOW]
-            return float(np.mean(window))
-        return observations[0]
-
     def update(self, observation: float) -> float:
         """Feed one observation; returns the new one-step forecast.
 
-        With a mean-based init, the level is re-derived from scratch
-        while the first :data:`_INIT_WINDOW` observations accumulate so
-        the initial value really is their average (the paper's rule),
-        after which the cheap streaming recursion takes over.
+        With a mean-based init the level tracks the running mean of the
+        first :data:`_INIT_WINDOW` observations — after five points it
+        is exactly their average (the paper's rule) — and the Eq. 1
+        recursion takes over from the sixth point on.  State is O(1):
+        only the level and a count are kept.
         """
         if not np.isfinite(observation):
             raise ValueError(f"observation must be finite, got {observation}")
-        self._observations.append(float(observation))
-        if self._level is None and len(self._observations) == 1:
-            self._level = self._initial_level()
-            if self.init == "first" or (
-                self.init == "auto" and len(self._observations) >= _SHORT_SERIES
-            ):
-                # With a first-observation init the recursion starts now.
-                return self._level
+        observation = float(observation)
+        self._count += 1
+        if self.init != "first" and self._count <= _INIT_WINDOW:
+            if self._level is None:
+                self._level = observation
+            else:
+                self._level += (observation - self._level) / self._count
             return self._level
-        if len(self._observations) <= _INIT_WINDOW and self.init in ("mean5", "auto"):
-            # Re-derive: init = mean(first window), then replay recursion
-            # over the points after the window start.
-            level = self._initial_level()
-            for value in self._observations[1:]:
-                level = self.alpha * value + (1 - self.alpha) * level
-            self._level = level
+        if self._level is None:
+            self._level = observation
             return self._level
         self._level = self.alpha * observation + (1 - self.alpha) * self._level
         return self._level

@@ -8,78 +8,167 @@ next value as the midpoint of the most probable next state.
 Implementation notes
 --------------------
 * States are equal-width bins spanning the observed data range; bounds
-  update as new data arrives (``refit``).
+  update as new data arrives.
+* History is a bounded sliding window (default 512 observations): a
+  long-running gateway must not grow per-key predictor state without
+  limit, and old demand regimes should age out of the transition
+  estimates.  ``window=None`` keeps everything (batch/ablation use).
+* Transition counts are maintained *incrementally*: each update adds
+  the new lag-k transitions and subtracts the evicted ones for every
+  lag the caller has asked about, so a control tick is O(lags) instead
+  of O(window).  Only when the observed range changes (new min/max
+  enters, or the old extreme leaves the window) are the bin edges —
+  and with them the cached states and counts — rebuilt, which costs
+  one O(window) vectorised pass.
 * Rows of the transition matrix with no observed departures fall back
   to "stay in place" (identity row), the conservative choice for a
   sparse history.
-* Transition counting is vectorised with NumPy (guide: prefer array
-  ops over Python loops).
+
+The streaming bookkeeping is exactly equivalent to refitting from
+scratch on the retained window: ``MarkovChain(window=w)`` fed a series
+point-by-point matches ``MarkovChain(window=w).fit(series[-w:])`` after
+every point (the equivalence test in ``tests/core/test_markov.py``
+asserts this for all lags).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 
 __all__ = ["MarkovChain"]
 
+#: Default sliding-window length (observations retained per chain).
+DEFAULT_WINDOW = 512
+
 
 class MarkovChain:
     """Region-state Markov predictor over a scalar series."""
 
-    def __init__(self, n_states: int = 4) -> None:
+    def __init__(
+        self, n_states: int = 4, window: Optional[int] = DEFAULT_WINDOW
+    ) -> None:
         if n_states < 2:
             raise ValueError(f"n_states must be >= 2, got {n_states}")
+        if window is not None and window < 2:
+            raise ValueError(f"window must be >= 2 (or None), got {window}")
         self.n_states = n_states
-        self._values: List[float] = []
+        self.window = window
+        self._values: Deque[float] = deque()
+        #: Bin index of each stored value under the current edges.
+        self._states: Deque[int] = deque()
         self._edges: Optional[np.ndarray] = None
+        self._lo = 0.0
+        self._hi = 0.0
+        #: Per-lag raw transition-count matrices, built lazily on the
+        #: first ``transition_matrix(k)`` call and then kept in sync.
+        self._counts: Dict[int, np.ndarray] = {}
+        #: State-occupancy counts of the stored series.
+        self._occupancy = np.zeros(n_states, dtype=float)
 
     # -- data -------------------------------------------------------------
     def update(self, value: float) -> None:
-        """Append one observation and refit the state bounds."""
+        """Append one observation, evicting past the window bound."""
         if not np.isfinite(value):
             raise ValueError(f"value must be finite, got {value}")
-        self._values.append(float(value))
-        self._refit()
+        value = float(value)
+        range_dirty = False
+        if self.window is not None and len(self._values) == self.window:
+            evicted = self._values.popleft()
+            if self._edges is not None:
+                # Remove the transitions that depart from the evicted
+                # head before its state leaves the deque.
+                for k, counts in self._counts.items():
+                    if len(self._states) > k:
+                        counts[self._states[0], self._states[k]] -= 1.0
+                self._occupancy[self._states[0]] -= 1.0
+                self._states.popleft()
+            # Exact equality is safe: _lo/_hi were taken from stored
+            # values, so an extreme leaving the window compares equal.
+            if evicted == self._lo or evicted == self._hi:
+                range_dirty = True
+        self._values.append(value)
+        if len(self._values) < 2:
+            self._edges = None
+            return
+        if (
+            self._edges is None
+            or range_dirty
+            or value < self._lo
+            or value > self._hi
+        ):
+            self._rebuild()
+            return
+        state = self._state_index(value)
+        for k, counts in self._counts.items():
+            if len(self._states) >= k:
+                counts[self._states[-k], state] += 1.0
+        self._states.append(state)
+        self._occupancy[state] += 1.0
 
     def fit(self, values) -> "MarkovChain":
-        """Replace the history with ``values`` and refit."""
+        """Replace the history with ``values`` (truncated to the window)."""
         array = np.asarray(values, dtype=float)
         if not np.all(np.isfinite(array)):
             raise ValueError("values must be finite")
-        self._values = [float(v) for v in array]
-        self._refit()
+        if self.window is not None:
+            array = array[-self.window :]
+        self._values = deque(float(v) for v in array)
+        self._rebuild()
         return self
 
     @property
     def n_observations(self) -> int:
-        """Number of stored observations."""
+        """Number of observations currently retained."""
         return len(self._values)
 
-    def _refit(self) -> None:
+    def _rebuild(self) -> None:
+        """Recompute edges, cached states and counts from the window."""
+        self._counts.clear()
+        self._states.clear()
+        self._occupancy = np.zeros(self.n_states, dtype=float)
         if len(self._values) < 2:
             self._edges = None
             return
-        low = min(self._values)
-        high = max(self._values)
-        if high == low:
+        values = np.fromiter(self._values, dtype=float, count=len(self._values))
+        self._lo = float(values.min())
+        self._hi = float(values.max())
+        high = self._hi
+        if high == self._lo:
             # Degenerate constant series: one tiny bin around the value.
-            high = low + 1.0
-        self._edges = np.linspace(low, high, self.n_states + 1)
+            high = self._lo + 1.0
+        self._edges = np.linspace(self._lo, high, self.n_states + 1)
+        states = np.clip(
+            np.searchsorted(self._edges, values, side="right") - 1,
+            0,
+            self.n_states - 1,
+        )
+        self._states = deque(int(s) for s in states)
+        self._occupancy = np.bincount(
+            states, minlength=self.n_states
+        ).astype(float)
+
+    def _state_index(self, value: float) -> int:
+        index = int(np.searchsorted(self._edges, value, side="right")) - 1
+        if index < 0:
+            return 0
+        if index >= self.n_states:
+            return self.n_states - 1
+        return index
 
     # -- states -------------------------------------------------------------
     @property
     def ready(self) -> bool:
-        """Whether bounds exist (>= 2 distinct observations)."""
+        """Whether bounds exist (>= 2 retained observations)."""
         return self._edges is not None
 
     def state_of(self, value: float) -> int:
         """Region-state index of ``value`` (clipped to the known range)."""
         if self._edges is None:
             raise RuntimeError("MarkovChain needs at least 2 observations")
-        index = int(np.searchsorted(self._edges, value, side="right")) - 1
-        return int(np.clip(index, 0, self.n_states - 1))
+        return self._state_index(value)
 
     def state_bounds(self, state: int) -> Tuple[float, float]:
         """``[R_i1, R_i2]`` interval of a state."""
@@ -99,22 +188,30 @@ class MarkovChain:
         """Empirical state-occupancy distribution of the stored series."""
         if self._edges is None:
             raise RuntimeError("MarkovChain needs at least 2 observations")
-        values = np.asarray(self._values)
-        states = np.clip(
-            np.searchsorted(self._edges, values, side="right") - 1,
-            0,
-            self.n_states - 1,
-        )
-        counts = np.bincount(states, minlength=self.n_states).astype(float)
-        return counts / counts.sum()
+        return self._occupancy / self._occupancy.sum()
+
+    def _counts_for_lag(self, k: int) -> np.ndarray:
+        counts = self._counts.get(k)
+        if counts is None:
+            counts = np.zeros((self.n_states, self.n_states), dtype=float)
+            if len(self._states) > k:
+                states = np.fromiter(
+                    self._states, dtype=np.int64, count=len(self._states)
+                )
+                np.add.at(counts, (states[:-k], states[k:]), 1.0)
+            self._counts[k] = counts
+        return counts
 
     def transition_matrix(self, k: int = 1, empty_rows: str = "identity") -> np.ndarray:
         """The k-step transition probability matrix (Eq. 2).
 
         ``P[i, j]`` estimates the probability of moving from state ``i``
         to state ``j`` in ``k`` steps, counted directly from the stored
-        series at lag ``k``.  Rows without observed departures have no
-        data; ``empty_rows`` picks the fallback:
+        series at lag ``k``.  Counts come from the incrementally
+        maintained per-lag cache — the first call for a lag pays one
+        vectorised pass, later calls are O(n_states²) copies.  Rows
+        without observed departures have no data; ``empty_rows`` picks
+        the fallback:
 
         * ``"identity"`` — stay in place (conservative point forecasts);
         * ``"marginal"`` — the empirical state-occupancy distribution
@@ -128,17 +225,7 @@ class MarkovChain:
             raise ValueError(f"unknown empty_rows policy {empty_rows!r}")
         if self._edges is None:
             raise RuntimeError("MarkovChain needs at least 2 observations")
-        values = np.asarray(self._values)
-        states = np.clip(
-            np.searchsorted(self._edges, values, side="right") - 1,
-            0,
-            self.n_states - 1,
-        )
-        matrix = np.zeros((self.n_states, self.n_states), dtype=float)
-        if len(states) > k:
-            sources = states[:-k]
-            targets = states[k:]
-            np.add.at(matrix, (sources, targets), 1.0)
+        matrix = self._counts_for_lag(k).copy()
         row_sums = matrix.sum(axis=1)
         empty = row_sums == 0
         if empty.any():

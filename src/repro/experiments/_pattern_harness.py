@@ -7,7 +7,7 @@ pattern, once with the default cold-boot provider and once with HotC.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 from repro.core.hotc import HotC, HotCConfig
 from repro.faas.platform import FaasPlatform

@@ -63,10 +63,11 @@ def run_fig01(
     platform.run()
     platform.shutdown()
 
+    answered = platform.traces.latencies()
     rtt_jitter = np.random.default_rng(seed + 1).normal(
-        0.0, 8.0, size=len(platform.traces)
+        0.0, 8.0, size=answered.size
     )
-    serverless = platform.traces.latencies() + client_rtt_ms + rtt_jitter
+    serverless = answered + client_rtt_ms + rtt_jitter
 
     # The local-function baseline: same handler cost, no platform at all.
     local_rng = np.random.default_rng(seed + 2)

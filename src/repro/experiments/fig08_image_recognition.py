@@ -14,7 +14,6 @@ runs pay only (code inject + exec).
 
 from __future__ import annotations
 
-from typing import Dict
 
 import numpy as np
 

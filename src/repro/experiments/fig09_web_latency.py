@@ -60,11 +60,12 @@ def run_fig09(seed: int = 0, requests: int = 40, interval_ms: float = 2_000.0) -
 
     figure = Figure(figure_id="fig09", title="QR web application latency")
     for label, traces in (("default", default_traces), ("hotc", hotc_traces)):
+        latencies = traces.latencies()  # answered requests only
         figure.add_series(
             Series.from_arrays(
                 f"{label}-latency",
-                np.arange(1, len(traces) + 1),
-                traces.latencies(),
+                np.arange(1, len(latencies) + 1),
+                latencies,
                 x_label="request #",
                 y_label="latency (ms)",
             )
@@ -83,6 +84,11 @@ def run_fig09(seed: int = 0, requests: int = 40, interval_ms: float = 2_000.0) -
                     "cold starts",
                     int(default_traces.cold_count()),
                     int(hotc_traces.cold_count()),
+                ),
+                (
+                    "failed requests",
+                    int(default_traces.failed_count()),
+                    int(hotc_traces.failed_count()),
                 ),
                 (
                     "steady-state latency (ms)",

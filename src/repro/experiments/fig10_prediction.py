@@ -13,7 +13,6 @@ An extra Markov-only arm is included as the ablation DESIGN.md lists.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -57,13 +57,16 @@ def run_fig13(
                 round(hotc.mean_latency(), 1),
                 default.total_cold(),
                 hotc.total_cold(),
+                default.total_failed(),
+                hotc.total_failed(),
             )
         )
     figure.add_table(
         Table(
             name="fig13-summary",
             columns=("direction", "default mean (ms)", "hotc mean (ms)",
-                     "cold: default", "cold: hotc"),
+                     "cold: default", "cold: hotc",
+                     "failed: default", "failed: hotc"),
             rows=tuple(rows),
         )
     )

@@ -104,4 +104,9 @@ def run_fig14(
         "paper: ~9% reduction at the first burst, up to 73% at later bursts; "
         f"measured {first}% first, {best}% best"
     )
+    figure.note(
+        "failed requests (excluded from latency means): "
+        f"default {burst_default.total_failed()}, "
+        f"hotc {burst_hotc.total_failed()}"
+    )
     return figure

@@ -6,7 +6,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.metrics.report import Figure
 

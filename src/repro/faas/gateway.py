@@ -16,6 +16,7 @@ from repro.containers.engine import ContainerEngine
 from repro.faas.function import FunctionSpec
 from repro.faas.tracing import RequestTrace
 from repro.faas.watchdog import Watchdog
+from repro.obs.events import EventKind
 
 __all__ = ["Gateway"]
 
@@ -40,6 +41,13 @@ class Gateway:
         )
         self._slots = sim.resource(concurrency, name="gateway")
         self.inflight_peak = 0
+        #: Optional observatory; ``None`` keeps the hooks inert.
+        self.obs = None
+
+    def attach_observatory(self, observatory) -> None:
+        """Record request outcomes and end-to-end latency histograms."""
+        self.obs = observatory
+        self.watchdog.attach_observatory(observatory)
 
     @property
     def inflight(self) -> int:
@@ -69,4 +77,29 @@ class Gateway:
 
         yield self.sim.timeout(latency.faas_stage("gateway_to_client"))
         trace.t6_client_recv = self.sim.now
+        if self.obs is not None:
+            outcome = trace.outcome.value
+            host = self.engine.name
+            self.obs.emit(
+                EventKind.REQUEST_DONE,
+                t=trace.t6_client_recv,
+                host=host,
+                key=spec.name,
+                outcome=outcome,
+                cold_start=trace.cold_start,
+                retries=trace.retries,
+            )
+            self.obs.counter(
+                "requests_total",
+                help="Requests by terminal outcome",
+                host=host,
+                function=spec.name,
+                outcome=outcome,
+            ).inc()
+            self.obs.histogram(
+                "request_latency_ms",
+                help="End-to-end client latency (moments 0 to 6)",
+                host=host,
+                function=spec.name,
+            ).observe(trace.t6_client_recv - trace.t0_client_send)
         return trace

@@ -13,7 +13,6 @@ import abc
 import itertools
 from typing import Dict, Generator, Optional, Tuple
 
-import numpy as np
 
 from repro.containers.container import Container, ContainerConfig
 from repro.containers.engine import ContainerEngine
@@ -155,6 +154,21 @@ class FaasPlatform:
     def gateway(self) -> Gateway:
         """The first gateway instance (compatibility accessor)."""
         return self.gateways[0]
+
+    # -- observability -----------------------------------------------------
+    def attach_observatory(self, observatory) -> None:
+        """Wire one observatory through the whole platform.
+
+        Attaches to the engine, every gateway (and its watchdog) and —
+        when the provider supports it (HotC, ClusterHotC) — the provider
+        and everything underneath.  Pass ``None`` to detach everywhere.
+        """
+        self.engine.attach_observatory(observatory)
+        for gateway in self.gateways:
+            gateway.attach_observatory(observatory)
+        attach = getattr(self.provider, "attach_observatory", None)
+        if attach is not None:
+            attach(observatory)
 
     # -- deployment -------------------------------------------------------
     def deploy(self, spec: FunctionSpec) -> None:

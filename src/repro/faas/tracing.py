@@ -16,7 +16,7 @@ observable, plus the cold-start decomposition coming out of the engine.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -140,9 +140,31 @@ class TraceCollector:
         """All traces in completion order."""
         return tuple(self._traces)
 
-    def latencies(self) -> np.ndarray:
-        """End-to-end latencies (ms) in completion order."""
-        return np.array([t.total_latency for t in self._traces], dtype=float)
+    def _included(self, include_failed: bool) -> List[RequestTrace]:
+        """Traces that belong in latency statistics.
+
+        Failed requests carry error-path timings (often NaN ``t6`` or a
+        truncated pipeline), so by default only traces that returned a
+        real response to the client — SUCCESS and RETRIED — enter the
+        latency series the figures average.  Failure *counts* are always
+        reported separately (:meth:`failed_count`, :meth:`outcome_counts`).
+        """
+        if include_failed:
+            return self._traces
+        return [
+            t
+            for t in self._traces
+            if t.outcome is not RequestOutcome.FAILED
+        ]
+
+    def latencies(self, include_failed: bool = False) -> np.ndarray:
+        """End-to-end latencies (ms) of answered requests, in completion
+        order.  Pass ``include_failed=True`` to keep FAILED traces in the
+        series (their error-path latencies then skew any mean)."""
+        return np.array(
+            [t.total_latency for t in self._included(include_failed)],
+            dtype=float,
+        )
 
     def cold_flags(self) -> np.ndarray:
         """Boolean array: which requests were cold."""
@@ -152,14 +174,18 @@ class TraceCollector:
         """Number of cold-started requests."""
         return int(self.cold_flags().sum())
 
-    def mean_latency(self) -> float:
-        """Mean end-to-end latency (ms); NaN when empty."""
-        latencies = self.latencies()
+    def mean_latency(self, include_failed: bool = False) -> float:
+        """Mean end-to-end latency (ms) of answered requests; NaN when
+        empty.  ``include_failed=True`` restores the raw all-traces mean."""
+        latencies = self.latencies(include_failed=include_failed)
         return float(latencies.mean()) if latencies.size else float("nan")
 
-    def mean_segments(self) -> Dict[str, float]:
-        """Average of each pipeline segment across complete traces."""
-        complete = [t for t in self._traces if t.complete]
+    def mean_segments(self, include_failed: bool = False) -> Dict[str, float]:
+        """Average of each pipeline segment across complete traces of
+        answered requests (``include_failed=True`` keeps FAILED ones)."""
+        complete = [
+            t for t in self._included(include_failed) if t.complete
+        ]
         if not complete:
             return {}
         keys = complete[0].segments().keys()

@@ -49,6 +49,12 @@ class Watchdog:
         self.engine = engine
         self.provider = provider
         self.max_retries = max_retries
+        #: Optional observatory; ``None`` keeps the hooks inert.
+        self.obs = None
+
+    def attach_observatory(self, observatory) -> None:
+        """Record retry and failure counters (``None`` detaches)."""
+        self.obs = observatory
 
     def handle(self, spec: FunctionSpec, trace: RequestTrace) -> Generator:
         """Process: moments (2)..(5) of the request pipeline."""
@@ -80,6 +86,13 @@ class Watchdog:
                     return trace
                 attempts += 1
                 self.engine.stats.request_retries += 1
+                if self.obs is not None:
+                    self.obs.counter(
+                        "request_retries_total",
+                        help="Request-level retries after container failures",
+                        host=self.engine.name,
+                        function=spec.name,
+                    ).inc()
                 continue
             break
 
@@ -111,6 +124,13 @@ class Watchdog:
     def _fail(self, trace, attempts, error, latency) -> Generator:
         """Process: terminate the request with an error response."""
         self.engine.stats.requests_failed += 1
+        if self.obs is not None:
+            self.obs.counter(
+                "requests_failed_total",
+                help="Requests that exhausted retries",
+                host=self.engine.name,
+                function=trace.function,
+            ).inc()
         trace.t3_function_start = trace.t4_function_stop = self.sim.now
         trace.retries = attempts
         trace.outcome = RequestOutcome.FAILED

@@ -18,8 +18,8 @@ Usage::
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, fields
-from typing import Dict, Generator, Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 

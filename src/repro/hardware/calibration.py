@@ -27,7 +27,7 @@ scale them via ``container_op_scale`` / ``compute_scale``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Mapping, Optional
 
 import numpy as np

@@ -13,6 +13,7 @@ from repro.metrics.errors import (
     mean_absolute_percentage_error,
     relative_errors,
     root_mean_square_error,
+    symmetric_mean_absolute_percentage_error,
 )
 from repro.metrics.monitor import ResourceMonitor
 from repro.metrics.billing import BillingModel, CostReport
@@ -35,5 +36,6 @@ __all__ = [
     "relative_errors",
     "root_mean_square_error",
     "summarize_latencies",
+    "symmetric_mean_absolute_percentage_error",
     "tail_ratio",
 ]

@@ -9,6 +9,7 @@ __all__ = [
     "mean_absolute_percentage_error",
     "relative_errors",
     "root_mean_square_error",
+    "symmetric_mean_absolute_percentage_error",
 ]
 
 
@@ -52,3 +53,20 @@ def root_mean_square_error(actual, predicted) -> float:
     """Root mean squared error."""
     a, p = _paired(actual, predicted)
     return float(np.sqrt(np.mean((p - a) ** 2)))
+
+
+def symmetric_mean_absolute_percentage_error(actual, predicted) -> float:
+    """sMAPE as a fraction in [0, 1]: mean of |p-a| / (|a| + |p|).
+
+    Pairs where both sides are zero contribute zero error (a perfect
+    forecast of no demand), avoiding the 0/0 singularity of the naive
+    formula.  Unlike MAPE this is bounded and treats over- and
+    under-forecasts symmetrically, which suits bursty demand series
+    where actuals regularly touch zero.
+    """
+    a, p = _paired(actual, predicted)
+    denom = np.abs(a) + np.abs(p)
+    out = np.zeros_like(denom)
+    nonzero = denom > 0
+    out[nonzero] = np.abs(p - a)[nonzero] / denom[nonzero]
+    return float(np.mean(out))

@@ -23,16 +23,7 @@ Example
 from __future__ import annotations
 
 from collections import deque
-from typing import (
-    Any,
-    Callable,
-    Deque,
-    Generator,
-    Iterable,
-    List,
-    Optional,
-    Tuple,
-)
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 from repro.sim.events import Event, EventQueue, ScheduledEvent
 

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.containers.image import Image, WELL_KNOWN_BASES, make_base_image
+from repro.containers.image import WELL_KNOWN_BASES, make_base_image
 from repro.containers.network import NetworkConfig
 from repro.containers.registry import Registry
 from repro.faas.function import FunctionSpec

@@ -12,7 +12,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.faas.tracing import RequestTrace
+from repro.faas.tracing import RequestOutcome, RequestTrace
 from repro.workloads.patterns import RequestPattern
 
 __all__ = ["RoundResult", "WorkloadGenerator", "WorkloadResult"]
@@ -29,13 +29,24 @@ class RoundResult:
     traces: Tuple[RequestTrace, ...]
 
     @property
+    def answered(self) -> Tuple[RequestTrace, ...]:
+        """Traces that returned a real response (not FAILED)."""
+        return tuple(
+            t for t in self.traces if t.outcome is not RequestOutcome.FAILED
+        )
+
+    @property
     def latencies(self) -> np.ndarray:
-        """End-to-end latencies of the round's requests."""
-        return np.array([t.total_latency for t in self.traces], dtype=float)
+        """End-to-end latencies of the round's answered requests.
+
+        Failed requests carry error-path timings, so they are excluded
+        here and counted separately by :attr:`failed_count`.
+        """
+        return np.array([t.total_latency for t in self.answered], dtype=float)
 
     @property
     def mean_latency(self) -> float:
-        """Mean latency (NaN for an empty round)."""
+        """Mean latency of answered requests (NaN for an empty round)."""
         values = self.latencies
         return float(values.mean()) if values.size else float("nan")
 
@@ -43,6 +54,13 @@ class RoundResult:
     def cold_count(self) -> int:
         """Cold starts in this round."""
         return sum(1 for t in self.traces if t.cold_start)
+
+    @property
+    def failed_count(self) -> int:
+        """Requests of this round that exhausted their retries."""
+        return sum(
+            1 for t in self.traces if t.outcome is RequestOutcome.FAILED
+        )
 
 
 @dataclass
@@ -61,13 +79,19 @@ class WorkloadResult:
         """Number of completed requests."""
         return len(self.all_traces)
 
-    def latencies(self) -> np.ndarray:
-        """Flat latency array across all rounds."""
-        return np.array([t.total_latency for t in self.all_traces], dtype=float)
+    def latencies(self, include_failed: bool = False) -> np.ndarray:
+        """Flat latency array across all rounds (answered requests only
+        by default; ``include_failed=True`` keeps FAILED traces)."""
+        traces = (
+            self.all_traces
+            if include_failed
+            else tuple(t for r in self.rounds for t in r.answered)
+        )
+        return np.array([t.total_latency for t in traces], dtype=float)
 
-    def mean_latency(self) -> float:
+    def mean_latency(self, include_failed: bool = False) -> float:
         """Mean end-to-end latency over the whole workload."""
-        values = self.latencies()
+        values = self.latencies(include_failed=include_failed)
         return float(values.mean()) if values.size else float("nan")
 
     def mean_latency_per_round(self) -> np.ndarray:
@@ -85,6 +109,14 @@ class WorkloadResult:
     def total_cold(self) -> int:
         """Cold starts across the workload."""
         return int(self.cold_counts_per_round().sum())
+
+    def failed_counts_per_round(self) -> np.ndarray:
+        """Failed requests per round."""
+        return np.array([r.failed_count for r in self.rounds], dtype=int)
+
+    def total_failed(self) -> int:
+        """Failed requests across the workload."""
+        return int(self.failed_counts_per_round().sum())
 
 
 class WorkloadGenerator:

@@ -16,7 +16,7 @@ patterns are the paper's abstractions of segments of this trace.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

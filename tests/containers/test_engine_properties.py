@@ -8,15 +8,7 @@ and the lifecycle FSM is always respected.
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.containers import (
-    ContainerConfig,
-    ContainerEngine,
-    ContainerError,
-    ContainerState,
-    ExecSpec,
-    Registry,
-    make_base_image,
-)
+from repro.containers import ContainerConfig, ContainerEngine, ContainerError, ExecSpec, Registry, make_base_image
 from repro.sim import Simulator
 
 

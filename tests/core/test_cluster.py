@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ClusterHotC, HotCConfig, make_cluster_platform
+from repro.core import ClusterHotC, make_cluster_platform
 from repro.containers import ContainerEngine
 from repro.faas import FunctionSpec
 from repro.sim import Simulator

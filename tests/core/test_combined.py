@@ -119,3 +119,31 @@ class TestAdaptivePoolController:
         controller.observe("k", 1.0)
         controller.observe("k", 0.0)  # denominator guarded by max(.,1)
         assert controller.relative_errors("k")[0] == pytest.approx(1.0)
+
+
+class TestMarkovWindowPlumbing:
+    def test_default_window_is_bounded(self):
+        predictor = CombinedPredictor()
+        assert predictor.residual_chain.window == 512
+
+    def test_window_reaches_residual_chain(self):
+        predictor = CombinedPredictor(markov_window=16)
+        assert predictor.residual_chain.window == 16
+        for value in range(100):
+            predictor.update(float(value))
+        # One residual per update after the first forecast exists.
+        assert predictor.residual_chain.n_observations == 16
+
+    def test_none_window_unbounded(self):
+        predictor = CombinedPredictor(markov_window=None)
+        for value in range(100):
+            predictor.update(float(value))
+        assert predictor.residual_chain.n_observations == 99
+
+    def test_hotc_config_plumbs_window(self):
+        from repro.core.hotc import HotCConfig
+
+        predictor = HotCConfig(markov_window=32).make_predictor()
+        assert predictor.residual_chain.window == 32
+        with pytest.raises(ValueError):
+            HotCConfig(markov_window=1)

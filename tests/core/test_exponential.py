@@ -35,15 +35,33 @@ class TestRecursion:
         assert es.update(5.0) == pytest.approx(0.8 * 5 + 0.2 * level)
 
     def test_mean5_init_is_mean_of_first_five(self):
+        """After five points the level IS their mean — nothing else."""
         values = [10.0, 20.0, 30.0, 40.0, 50.0]
         es = ExponentialSmoothing(alpha=0.8, init="mean5")
         for value in values:
             forecast = es.update(value)
-        # init = mean(values) = 30; replay recursion over values[1:].
-        level = 30.0
-        for value in values[1:]:
-            level = 0.8 * value + 0.2 * level
-        assert forecast == pytest.approx(level)
+        assert forecast == pytest.approx(30.0)
+
+    def test_mean5_recursion_starts_after_init_window(self):
+        """Regression: early points must not be replayed through the
+        recursion on top of a mean that already contains them.
+
+        With obs [10, 0, 0, 0, 0] the fixed level after five points is
+        the mean 2.0; the old double-counting replay drove it to ~0.003.
+        """
+        es = ExponentialSmoothing(alpha=0.8, init="mean5")
+        for value in (10.0, 0.0, 0.0, 0.0, 0.0):
+            level = es.update(value)
+        assert level == pytest.approx(2.0)
+        # The sixth point is the first to go through Eq. 1.
+        assert es.update(12.0) == pytest.approx(0.8 * 12.0 + 0.2 * 2.0)
+
+    def test_running_mean_during_init_window(self):
+        """While the window fills, the forecast is the running mean."""
+        es = ExponentialSmoothing(alpha=0.8, init="mean5")
+        assert es.update(4.0) == pytest.approx(4.0)
+        assert es.update(8.0) == pytest.approx(6.0)
+        assert es.update(6.0) == pytest.approx(6.0)
 
     def test_auto_uses_mean_for_short_series(self):
         a = ExponentialSmoothing(alpha=0.5, init="auto")

@@ -1,6 +1,5 @@
 """Tests for the risk-aware k-step forecast (pool-sizing extension)."""
 
-import numpy as np
 import pytest
 
 from repro.core import CombinedPredictor, MarkovChain

@@ -143,3 +143,93 @@ class TestPredictionProperties:
         if high == low:
             high = low + 1.0
         assert low - 1e-9 <= prediction <= high + 1e-9
+
+
+class TestSlidingWindow:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MarkovChain(window=1)
+        with pytest.raises(ValueError):
+            MarkovChain(window=0)
+        MarkovChain(window=2)  # minimum legal
+        MarkovChain(window=None)  # unbounded
+
+    def test_retention_is_bounded(self):
+        chain = MarkovChain(n_states=3, window=8)
+        for value in range(50):
+            chain.update(float(value))
+        assert chain.n_observations == 8
+
+    def test_fit_truncates_to_window(self):
+        chain = MarkovChain(n_states=3, window=5).fit(np.arange(20.0))
+        assert chain.n_observations == 5
+        # Only the tail [15..19] remains observable through the bounds.
+        assert chain.state_bounds(0)[0] == pytest.approx(15.0)
+        assert chain.state_bounds(2)[1] == pytest.approx(19.0)
+
+    def test_none_window_keeps_everything(self):
+        chain = MarkovChain(n_states=3, window=None)
+        for value in range(1000):
+            chain.update(float(value))
+        assert chain.n_observations == 1000
+
+    def test_old_regime_ages_out(self):
+        """A demand spike falls out of the transition estimates once it
+        leaves the window — the point of bounding the history."""
+        chain = MarkovChain(n_states=2, window=4)
+        for value in (100.0, 0.0, 0.0, 0.0):
+            chain.update(value)
+        assert chain.state_bounds(1)[1] == pytest.approx(100.0)
+        chain.update(1.0)  # pushes the spike out of the window
+        assert chain.state_bounds(1)[1] == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-50, max_value=50, allow_nan=False),
+            min_size=2,
+            max_size=80,
+        ),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=4, max_value=16),
+    )
+    def test_streaming_equals_batch_refit(self, values, n_states, window):
+        """The docstring's equivalence guarantee: streaming updates with
+        eviction match a from-scratch fit of the retained window, for
+        every prefix and every lag."""
+        streamed = MarkovChain(n_states=n_states, window=window)
+        for index, value in enumerate(values):
+            streamed.update(value)
+            prefix = values[: index + 1]
+            batch = MarkovChain(n_states=n_states, window=window).fit(
+                prefix[-window:]
+            )
+            assert streamed.n_observations == batch.n_observations
+            if not batch.ready:
+                assert not streamed.ready
+                continue
+            np.testing.assert_allclose(
+                streamed.state_marginal(), batch.state_marginal()
+            )
+            for lag in range(1, min(4, streamed.n_observations)):
+                np.testing.assert_allclose(
+                    streamed.transition_matrix(lag),
+                    batch.transition_matrix(lag),
+                    err_msg=f"lag {lag} after {index + 1} points",
+                )
+
+    def test_incremental_counts_survive_lazy_lag_creation(self):
+        """Asking for a new lag after evictions must still count only
+        the retained window."""
+        chain = MarkovChain(n_states=2, window=6)
+        rng = np.random.default_rng(7)
+        series = list(rng.random(30) * 10)
+        for value in series[:10]:
+            chain.update(value)
+        chain.transition_matrix(1)  # materialise the lag-1 cache early
+        for value in series[10:]:
+            chain.update(value)
+        batch = MarkovChain(n_states=2, window=6).fit(series[-6:])
+        for lag in (1, 2, 3):
+            np.testing.assert_allclose(
+                chain.transition_matrix(lag), batch.transition_matrix(lag)
+            )

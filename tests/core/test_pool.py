@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.containers import Container, ContainerConfig
-from repro.core import KeyPolicy, PoolLimits, runtime_key
+from repro.core import PoolLimits, runtime_key
 from repro.core.pool import (
     AVAILABLE,
     NOT_AVAILABLE,

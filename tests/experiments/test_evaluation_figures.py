@@ -3,7 +3,6 @@
 These use reduced parameters; the benchmarks run the full versions.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.faas import RequestTrace, TraceCollector
+from repro.faas import RequestOutcome, RequestTrace, TraceCollector
 
 
 def make_trace(request_id=0, base=0.0, exec_ms=10.0, cold=False, function="f"):
@@ -83,3 +83,54 @@ class TestTraceCollector:
         collector.add(make_trace(2, function="a"))
         assert len(collector.filter("a")) == 2
         assert len(collector.filter()) == 3
+
+
+class TestFailedTraceExclusion:
+    """Regression: FAILED traces must not contaminate latency stats."""
+
+    @staticmethod
+    def _mixed_collector():
+        collector = TraceCollector()
+        success = make_trace(0, exec_ms=10)
+        success.outcome = RequestOutcome.SUCCESS
+        collector.add(success)
+        failed = make_trace(1, exec_ms=10_000)  # error-path latency
+        failed.outcome = RequestOutcome.FAILED
+        failed.error = "ContainerCrash: boom"
+        collector.add(failed)
+        retried = make_trace(2, exec_ms=30)
+        retried.outcome = RequestOutcome.RETRIED
+        collector.add(retried)
+        return collector
+
+    def test_latencies_default_excludes_failed(self):
+        collector = self._mixed_collector()
+        assert collector.latencies().size == 2
+        assert collector.latencies(include_failed=True).size == 3
+
+    def test_mean_latency_unpolluted(self):
+        collector = self._mixed_collector()
+        clean = collector.mean_latency()
+        raw = collector.mean_latency(include_failed=True)
+        assert clean < 100 < raw  # the 10s failure no longer skews it
+
+    def test_retried_traces_stay_in(self):
+        """RETRIED returned a real response — it belongs in the series."""
+        collector = self._mixed_collector()
+        assert collector.latencies().max() > make_trace(0).total_latency
+
+    def test_mean_segments_excludes_failed(self):
+        collector = self._mixed_collector()
+        assert collector.mean_segments()["function_exec"] == pytest.approx(20)
+        assert collector.mean_segments(include_failed=True)[
+            "function_exec"
+        ] == pytest.approx((10 + 10_000 + 30) / 3)
+
+    def test_failed_counted_separately(self):
+        collector = self._mixed_collector()
+        assert collector.failed_count() == 1
+        assert collector.outcome_counts() == {
+            "success": 1,
+            "failed": 1,
+            "retried": 1,
+        }

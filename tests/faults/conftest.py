@@ -1,9 +1,41 @@
 """Shared fixtures for fault-injection tests."""
 
+import json
+import os
+
 import pytest
 
 from repro.containers import Registry, make_base_image
 from repro.faas import FunctionSpec
+
+
+@pytest.fixture
+def chaos_report(request):
+    """Append one JSONL record per soak when ``REPRO_CHAOS_REPORT`` is
+    set to a file path (CI uploads the file as a workflow artifact).
+
+    Usage: ``chaos_report(seed=seed, plan=plan, platform=platform)``.
+    A no-op when the environment variable is unset, so local runs write
+    nothing.
+    """
+    path = os.environ.get("REPRO_CHAOS_REPORT", "")
+
+    def write(seed, plan, platform, **extra):
+        if not path:
+            return
+        record = {
+            "test": request.node.nodeid,
+            "seed": seed,
+            "injected": plan.stats.as_dict(),
+            "outcomes": platform.traces.outcome_counts(),
+            "requests": len(platform.traces),
+            "retries": platform.traces.retry_total(),
+        }
+        record.update(extra)
+        with open(path, "a", encoding="utf-8") as fp:
+            fp.write(json.dumps(record, sort_keys=True) + "\n")
+
+    return write
 
 
 @pytest.fixture

@@ -101,7 +101,7 @@ def drain_and_shutdown(platform, provider, stop_loops):
 @pytest.mark.chaos
 @pytest.mark.parametrize("seed", SEEDS)
 class TestSingleHostChaos:
-    def test_soak(self, registry, fn_python, fn_go, seed):
+    def test_soak(self, registry, fn_python, fn_go, seed, chaos_report):
         platform = FaasPlatform(
             registry,
             seed=seed,
@@ -132,6 +132,13 @@ class TestSingleHostChaos:
         # Recovery machinery actually engaged.
         stats = platform.engine.stats
         assert stats.boot_retries + stats.request_retries > 0
+        chaos_report(
+            seed=seed,
+            plan=plan,
+            platform=platform,
+            boots=stats.boots,
+            kills=stats.kills,
+        )
 
     def test_soak_reproducible(self, registry, fn_python, fn_go, seed):
         """Same seed, same storm: outcome counters must match exactly."""
@@ -171,7 +178,7 @@ class TestSingleHostChaos:
 @pytest.mark.chaos
 @pytest.mark.parametrize("seed", SEEDS)
 class TestClusterChaos:
-    def test_soak(self, registry, fn_python, fn_go, seed):
+    def test_soak(self, registry, fn_python, fn_go, seed, chaos_report):
         platform = make_cluster_platform(
             registry,
             n_hosts=3,
@@ -208,3 +215,10 @@ class TestClusterChaos:
             assert host.engine.live_count == 0
         if cluster.stats.hosts_lost:
             assert cluster.stats.failovers >= 1
+        chaos_report(
+            seed=seed,
+            plan=plan,
+            platform=platform,
+            hosts_lost=cluster.stats.hosts_lost,
+            failovers=cluster.stats.failovers,
+        )

@@ -1,6 +1,5 @@
 """FaultPlan: seeded reproducibility and scheduled-fault execution."""
 
-import numpy as np
 import pytest
 
 from repro.core import HotC, HotCConfig

@@ -1,11 +1,10 @@
 """HotC's hardened boot path: retry, backoff, hedging, breaker, drain."""
 
-import pytest
 
 from repro.containers import ContainerError
 from repro.core import HotC, HotCConfig, PoolLimits
 from repro.faas import FaasPlatform, RequestOutcome
-from repro.faults import FaultInjector, RuntimeUnavailableError
+from repro.faults import FaultInjector
 
 
 def make_platform(registry, config=None, **platform_kwargs):

@@ -3,14 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hardware import (
-    LANGUAGE_RUNTIMES,
-    LatencyModel,
-    NETWORK_SETUP_MS,
-    RASPBERRY_PI3,
-    T430_SERVER,
-    network_setup_ms,
-)
+from repro.hardware import LANGUAGE_RUNTIMES, LatencyModel, RASPBERRY_PI3, T430_SERVER, network_setup_ms
 
 
 @pytest.fixture

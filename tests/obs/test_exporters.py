@@ -1,0 +1,128 @@
+"""Unit tests for the Prometheus/JSONL/Chrome-trace exporters."""
+
+import json
+
+import pytest
+
+from repro.faas import RequestOutcome, RequestTrace
+from repro.obs import (
+    EventKind,
+    Observatory,
+    Snapshotter,
+    chrome_trace,
+    prometheus_text,
+)
+from repro.sim import Simulator
+
+
+def make_trace(request_id=0, base=0.0, failed=False):
+    trace = RequestTrace(
+        request_id=request_id, function="f", t0_client_send=base
+    )
+    trace.t1_gateway_in = base + 1
+    trace.t2_watchdog_in = base + 2
+    trace.t3_function_start = base + 10
+    trace.t4_function_stop = base + 20
+    trace.t5_watchdog_out = base + 21
+    trace.t6_client_recv = base + 22
+    trace.runtime_init_ms = 6.0
+    trace.app_init_ms = 2.0
+    trace.container_id = "host-0/c000001"
+    trace.outcome = RequestOutcome.FAILED if failed else RequestOutcome.SUCCESS
+    return trace
+
+
+class TestSnapshotter:
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            Snapshotter(Simulator(), Observatory(), period_ms=0.0)
+
+    def test_periodic_snapshots_at_sim_time(self):
+        sim = Simulator()
+        obs = Observatory()
+        snapshotter = Snapshotter(sim, obs, period_ms=100.0)
+        counter = obs.counter("c")
+
+        def work():
+            for _ in range(5):
+                yield sim.timeout(60.0)
+                counter.inc()
+
+        snapshotter.start()
+        sim.process(work())
+        sim.run(until=350.0)
+        snapshotter.stop()
+        times = [record["t"] for record in snapshotter.records]
+        # Immediate snapshot at start, every 100 ms, final one at stop.
+        assert times == [0.0, 100.0, 200.0, 300.0, 350.0]
+        final = snapshotter.records[-1]["metrics"]["counters"][0]
+        assert final["value"] == 5.0
+
+    def test_stop_is_idempotent_and_restartable(self):
+        sim = Simulator()
+        snapshotter = Snapshotter(sim, Observatory(), period_ms=50.0)
+        snapshotter.start()
+        snapshotter.start()  # no double loop
+        sim.run(until=120.0)
+        snapshotter.stop(final_snapshot=False)
+        count_after_stop = len(snapshotter.records)
+        sim.run(until=400.0)  # stale loop must not keep snapshotting
+        assert len(snapshotter.records) == count_after_stop
+
+    def test_jsonl_render(self, tmp_path):
+        sim = Simulator()
+        snapshotter = Snapshotter(sim, Observatory())
+        snapshotter.snap()
+        path = tmp_path / "snaps.jsonl"
+        snapshotter.write(path)
+        lines = path.read_text().strip().split("\n")
+        assert json.loads(lines[0])["t"] == 0.0
+
+
+class TestChromeTrace:
+    def test_document_shape(self):
+        obs = Observatory()
+        obs.emit(EventKind.PREWARM, t=5.0, host="host-0", key="k")
+        document = chrome_trace([make_trace()], events=obs.events)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i"}
+        # µs conversion and non-negative durations.
+        request = next(e for e in events if e["name"] == "request")
+        assert request["ts"] == pytest.approx(0.0)
+        assert request["dur"] == pytest.approx(22_000.0)
+        assert all(e["dur"] >= 0 for e in events if e["ph"] == "X")
+        # Host process metadata row.
+        meta = next(e for e in events if e["ph"] == "M")
+        assert meta["args"]["name"] == "host-0"
+        # The whole document must be JSON-serialisable.
+        json.dumps(document)
+
+    def test_init_decomposition_spans(self):
+        events = chrome_trace([make_trace()])["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert {"runtime_init", "app_init", "init", "exec"} <= names
+        app = next(e for e in events if e["name"] == "app_init")
+        runtime = next(e for e in events if e["name"] == "runtime_init")
+        # Anchored back-to-back against t3 (=10 ms).
+        assert app["ts"] + app["dur"] == pytest.approx(10_000.0)
+        assert runtime["ts"] + runtime["dur"] == pytest.approx(app["ts"])
+
+    def test_include_failed_flag(self):
+        traces = [make_trace(0), make_trace(1, failed=True)]
+        kept = chrome_trace(traces, include_failed=False)["traceEvents"]
+        assert {e["tid"] for e in kept if e["ph"] == "X"} == {0}
+        both = chrome_trace(traces)["traceEvents"]
+        assert {e["tid"] for e in both if e["ph"] == "X"} == {0, 1}
+
+
+class TestPrometheusText:
+    def test_round_trip_through_observatory(self):
+        obs = Observatory()
+        obs.counter("requests_total", host="h0", outcome="success").inc(3)
+        text = prometheus_text(obs.registry)
+        assert (
+            'requests_total{host="h0",outcome="success"} 3' in text
+        )
+        assert text.endswith("\n")

@@ -1,6 +1,5 @@
 """Tests for the workload generator driving a real platform."""
 
-import numpy as np
 import pytest
 
 from repro.core import HotC
