@@ -26,7 +26,8 @@ def cmd_experiments(args) -> int:
     from repro.experiments import run_all
 
     only = args.figures or None
-    for figure in run_all(only=only, seed=args.seed).values():
+    figures = run_all(only=only, seed=args.seed, jobs=args.jobs)
+    for figure in figures.values():
         print(figure.render())
         print()
     return 0
@@ -109,6 +110,12 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments", help="run figure reproductions"
     )
     experiments.add_argument("figures", nargs="*", help="e.g. fig08 fig14")
+    experiments.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (output identical to serial)",
+    )
     experiments.set_defaults(func=cmd_experiments)
 
     apps = commands.add_parser("apps", help="list the application catalog")

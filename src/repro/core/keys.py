@@ -45,6 +45,16 @@ class RuntimeKey:
     policy: KeyPolicy
     fields: Tuple
 
+    def __post_init__(self) -> None:
+        # Keys index every pool/predictor dict on the acquire/release
+        # hot path, and the generated dataclass hash would re-hash the
+        # whole field tuple (including the enum policy, whose __hash__
+        # is Python-level) on every lookup.  Hash once at construction.
+        object.__setattr__(self, "_hash", hash((self.policy, self.fields)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __str__(self) -> str:
         parts = "|".join(str(field) for field in self.fields)
         return f"{self.policy.value}:{parts}"

@@ -17,32 +17,44 @@ Pool internals (hot-path design)
 Every operation the request path touches is indexed so bookkeeping
 stays off the critical path:
 
-* **acquire** pops from a per-key min-heap ordered by registration
-  sequence number, reproducing the seed semantics (earliest-registered
-  available entry first) in O(log a) instead of an O(n) list scan.
+* **acquire** pops the tail of a per-key list of available entries kept
+  sorted descending by registration sequence number — O(1) for the
+  earliest-registered entry, reproducing the seed semantics instead of
+  an O(n) scan.  **release** re-inserts the entry's pre-built
+  ``(-seq, entry)`` item with one C-level ``bisect.insort``.
 * **eviction_candidate** peeks a pool-wide heap ordered by the active
   strategy's sort key with the container id as tie-breaker, O(log n)
-  amortised instead of scanning every live container.
+  amortised instead of scanning every live container.  Eviction-heap
+  pushes are *deferred*: release only flags the entry into a pending
+  list (deduplicated, bounded by pool size), and the sort tuples are
+  built and pushed when a candidate is actually requested — the
+  acquire/release cycle carries no eviction bookkeeping at all.
 * **num_available / num_total / total_available / snapshot / state_of**
   read incrementally maintained per-key ``(available, total)``
-  counters; nothing recounts.
+  counters; nothing recounts.  Each entry carries direct references to
+  its key's counter list and availability list, so the hot path does at
+  most one key-dict probe.
 
-Heaps use *lazy deletion*: each availability flip bumps the entry's
-``stamp`` and pushes a fresh heap copy; copies whose stamp no longer
-matches (or whose entry left the pool) are skipped and discarded when
-they surface, and the heaps are compacted once stale copies outnumber
-live ones.  An entry's eviction sort fields (``added_at``,
+The eviction heap uses *lazy deletion*: leaving availability (acquire
+or removal) bumps the entry's ``stamp``; heap copies whose stamp no
+longer matches (or whose entry left the pool) are skipped and discarded
+when they surface, and the heap is compacted once stale copies
+outnumber live ones.  An entry's eviction sort fields (``added_at``,
 ``last_used_at``, memory size) are frozen while it is available, so a
-pushed copy can never be mis-ordered.  Determinism guarantee: acquire
-order depends only on registration order, and eviction ties break on
-container id — identical to the original list-scanning implementation,
-so seeded benchmarks reproduce bit-for-bit.
+deferred-pushed copy is ordered exactly as an eager one.  Determinism
+guarantee: acquire order depends only on registration order, and the
+eviction candidate is the minimum over every live available entry
+(independent of push timing) with ties broken on container id —
+identical to the original list-scanning implementation, so seeded
+benchmarks reproduce bit-for-bit.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from bisect import insort
+from dataclasses import dataclass, field
+from heapq import heappush
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.containers.container import Container
@@ -71,7 +83,8 @@ _EVICTION_STRATEGIES = ("oldest", "lru", "largest")
 _COMPACT_MIN = 64
 
 
-@dataclass
+
+@dataclass(slots=True)
 class PoolEntry:
     """One pooled container and its bookkeeping."""
 
@@ -82,10 +95,23 @@ class PoolEntry:
     last_used_at: float
     #: Registration order; acquire hands out the smallest available seq.
     seq: int = 0
-    #: Bumped on every availability flip; stale heap copies are skipped.
+    #: Bumped when the entry leaves availability (acquire/remove); stale
+    #: eviction-heap copies carry an older stamp and are skipped.
     stamp: int = 0
     #: False once the entry has been removed from the pool.
     in_pool: bool = True
+    #: Direct references to this key's ``[available, total]`` counter
+    #: list and availability list, set at registration — acquire/release
+    #: update them without re-probing the key-indexed dicts.
+    counts: Optional[List[int]] = field(default=None, repr=False)
+    avail_list: Optional[List[Tuple]] = field(default=None, repr=False)
+    #: The entry's reusable ``(-seq, entry)`` availability-list item; at
+    #: most one copy is ever live, so release re-inserts the same tuple
+    #: instead of building a fresh one.
+    avail_item: Optional[Tuple] = field(default=None, repr=False)
+    #: True while the entry sits in the pool's deferred eviction-push
+    #: list (dedup flag; cleared when the list is flushed).
+    evict_pending: bool = field(default=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -158,10 +184,20 @@ class ContainerRuntimePool:
         #: Per-key ``[available, total]`` counters (never recounted).
         self._counts: Dict[RuntimeKey, List[int]] = {}
         self._total_available = 0
-        #: Per-key min-heaps of ``(seq, stamp, entry)`` available copies.
-        self._avail_heaps: Dict[RuntimeKey, List[Tuple]] = {}
+        #: Per-key ``(-seq, entry)`` lists of available entries, sorted
+        #: descending by registration seq: acquire pops the tail (the
+        #: earliest-registered entry) in O(1), release re-inserts with
+        #: one C-level ``bisect.insort``.
+        self._avail_lists: Dict[RuntimeKey, List[Tuple]] = {}
         #: Pool-wide eviction heap of the active strategy's sort tuples.
         self._evict_heap: List[Tuple] = []
+        #: Entries not yet pushed to the eviction heap (deduplicated via
+        #: ``PoolEntry.evict_pending``, so it is bounded by pool size).
+        #: release/register only set a flag and append (O(1)); the heap
+        #: tuples — strategy sort key, container-id tie-breaker — are
+        #: built and pushed lazily by :meth:`eviction_candidate`, keeping
+        #: the acquire/release cycle free of eviction bookkeeping.
+        self._evict_pending: List[PoolEntry] = []
         self._seq = 0
         if eviction == "oldest":
             self._evict_primary = lambda e: e.added_at
@@ -205,16 +241,15 @@ class ContainerRuntimePool:
         "First" means earliest-registered, as in the original list scan.
         Returns ``None`` on miss — the caller then cold-boots.
         """
-        heap = self._avail_heaps.get(key)
-        while heap:
-            _, stamp, entry = heap[0]
-            heapq.heappop(heap)
-            if not (entry.in_pool and entry.available and entry.stamp == stamp):
-                continue  # stale lazy-deletion copy
+        avail = self._avail_lists.get(key)
+        while avail:
+            entry = avail.pop()[1]
+            if not (entry.available and entry.in_pool):
+                continue  # stale copy left by remove()-while-available
             entry.available = False
             entry.stamp += 1
             entry.last_used_at = now
-            self._counts[key][0] -= 1
+            entry.counts[0] -= 1
             self._total_available -= 1
             self.stats.hits += 1
             if self.obs is not None:
@@ -264,21 +299,40 @@ class ContainerRuntimePool:
         self._seq += 1
         self._entries.setdefault(key, {})[container.container_id] = entry
         self._by_container[container.container_id] = entry
-        self._counts.setdefault(key, [0, 0])[1] += 1
+        counts = self._counts.setdefault(key, [0, 0])
+        counts[1] += 1
+        entry.counts = counts
+        entry.avail_list = self._avail_lists.setdefault(key, [])
+        entry.avail_item = (-entry.seq, entry)
         self.stats.registered += 1
         if available:
             self._make_available(entry)
         return entry
 
     def release(self, container: Container, now: float) -> None:
-        """Mark a busy container available again (Algorithm 2's ++)."""
-        entry = self._entry_of(container)
+        """Mark a busy container available again (Algorithm 2's ++).
+
+        This is the hot half of every warm invocation, so the body of
+        :meth:`_make_available` is inlined here.
+        """
+        try:
+            entry = self._by_container[container.container_id]
+        except KeyError:
+            raise KeyError(
+                f"container {container.container_id} is not in the pool"
+            ) from None
         if entry.available:
             raise ValueError(
                 f"container {container.container_id} is already available"
             )
         entry.last_used_at = now
-        self._make_available(entry)
+        entry.available = True
+        entry.counts[0] += 1
+        self._total_available += 1
+        insort(entry.avail_list, entry.avail_item)
+        if not entry.evict_pending:
+            entry.evict_pending = True
+            self._evict_pending.append(entry)
 
     def remove(self, container: Container) -> PoolEntry:
         """Forget a container (being stopped/evicted)."""
@@ -297,7 +351,7 @@ class ContainerRuntimePool:
         if key_emptied:
             del self._entries[entry.key]
             del self._counts[entry.key]
-            self._avail_heaps.pop(entry.key, None)
+            self._avail_lists.pop(entry.key, None)
         self.stats.retired += 1
         if not key_emptied:
             self._maybe_compact_avail(entry.key)
@@ -366,8 +420,12 @@ class ContainerRuntimePool:
         ``lru``: smallest ``last_used_at``.
         ``largest``: biggest configured memory limit.
         Busy containers are never evicted.  Ties break on container id
-        so eviction is deterministic.
+        so eviction is deterministic: the candidate is the minimum over
+        every live available entry under the strategy's sort key, which
+        is independent of when its heap copy was pushed — so the
+        deferred flush below cannot change the selection.
         """
+        self._flush_pending_evictions()
         heap = self._evict_heap
         while heap:
             item = heap[0]
@@ -435,15 +493,36 @@ class ContainerRuntimePool:
     # -- heap maintenance ---------------------------------------------------
     def _make_available(self, entry: PoolEntry) -> None:
         # The avail heap only goes stale via remove(), so compaction is
-        # checked there; the evict heap goes stale on every acquire and
-        # is growth-checked on each push.
+        # checked there.  Eviction bookkeeping is deferred: release only
+        # records an (entry, stamp) pair; building the strategy sort
+        # tuple (primary-key lambda, container-id string tie-breaker)
+        # and the O(log n) heap push happen lazily in
+        # eviction_candidate, which is called orders of magnitude less
+        # often than release on the request hot path.
         entry.available = True
-        entry.stamp += 1
-        self._counts[entry.key][0] += 1
+        entry.counts[0] += 1
         self._total_available += 1
-        heap = self._avail_heaps.setdefault(entry.key, [])
-        heapq.heappush(heap, (entry.seq, entry.stamp, entry))
-        heapq.heappush(self._evict_heap, self._evict_item(entry))
+        insort(entry.avail_list, entry.avail_item)
+        if not entry.evict_pending:
+            entry.evict_pending = True
+            self._evict_pending.append(entry)
+
+    def _flush_pending_evictions(self) -> None:
+        # The heap copy is built with the entry's flush-time stamp and
+        # sort fields; those are frozen while the entry stays available,
+        # so the copy is ordered exactly as an eager release-time push
+        # would have been.  Entries acquired or removed since their
+        # release are simply skipped — their next release re-queues them.
+        pending = self._evict_pending
+        if not pending:
+            return
+        heap = self._evict_heap
+        push = heappush
+        for entry in pending:
+            entry.evict_pending = False
+            if entry.in_pool and entry.available:
+                push(heap, self._evict_item(entry))
+        pending.clear()
         self._maybe_compact_evictions()
 
     def _evict_item(self, entry: PoolEntry) -> Tuple:
@@ -467,11 +546,14 @@ class ContainerRuntimePool:
         ]
 
     def _maybe_compact_avail(self, key: RuntimeKey) -> None:
-        heap = self._avail_heaps.get(key)
-        if heap and len(heap) > _COMPACT_MIN and len(heap) > 2 * self._counts[key][0]:
-            live = self._live_copies(heap)
-            heapq.heapify(live)
-            self._avail_heaps[key] = live
+        avail = self._avail_lists.get(key)
+        if avail and len(avail) > _COMPACT_MIN and len(avail) > 2 * self._counts[key][0]:
+            # In place, not rebound (every PoolEntry of this key holds a
+            # direct reference to this list); filtering preserves the
+            # descending-seq sort order.
+            avail[:] = [
+                item for item in avail if item[1].available and item[1].in_pool
+            ]
 
     def _maybe_compact_evictions(self) -> None:
         heap = self._evict_heap

@@ -1,17 +1,42 @@
-"""CLI entry point: print the reproduction of every paper figure."""
+"""CLI entry point: print the reproduction of every paper figure.
+
+``python -m repro.experiments`` prints all figures serially;
+``python -m repro.experiments --jobs 8`` runs them across worker
+processes and prints byte-identical output (figures are always printed
+in paper order, regardless of which worker finished first).
+"""
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from repro.experiments.runner import run_all
 
 
 def main(argv=None) -> int:
-    """Run ``python -m repro.experiments [figXX ...]``."""
-    argv = list(sys.argv[1:] if argv is None else argv)
-    only = argv or None
-    for figure_id, figure in run_all(only=only).items():
+    """Run ``python -m repro.experiments [--jobs N] [--seed S] [figXX ...]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="figXX",
+        help="subset of figures to run (default: all, in paper order)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial; output is identical)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
+    args = parser.parse_args(argv)
+    only = args.figures or None
+    for figure_id, figure in run_all(only=only, seed=args.seed, jobs=args.jobs).items():
         print(figure.render())
         print()
     return 0

@@ -6,6 +6,14 @@ objects (timeouts, other processes, composite events, resource requests).
 A process is itself an event that fires when its generator returns, so
 processes compose.
 
+The hot loop (``Simulator.run``) is written for throughput: it binds the
+heap and ``heappop`` to locals, skips the per-step method-call overhead
+of ``step()``, recycles executed entries through the queue's free list,
+and never formats an event name (see :mod:`repro.sim.events` and
+DESIGN.md §9).  The seed implementation is preserved verbatim in
+:mod:`repro.sim.naive` as an executable baseline; golden traces under
+``tests/sim/`` pin that both engines fire events in bit-identical order.
+
 Example
 -------
 >>> sim = Simulator()
@@ -14,6 +22,7 @@ Example
 ...     return "done"
 >>> proc = sim.process(worker(sim))
 >>> sim.run()
+5.0
 >>> proc.value
 'done'
 >>> sim.now
@@ -22,10 +31,12 @@ Example
 
 from __future__ import annotations
 
+import math
 from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
-from repro.sim.events import Event, EventQueue, ScheduledEvent
+from repro.sim.events import _FREE_MAX, Event, EventQueue, PENDING, ScheduledEvent
 
 __all__ = [
     "AllOf",
@@ -40,6 +51,8 @@ __all__ = [
 
 ProcessGenerator = Generator[Event, Any, Any]
 
+_INF = math.inf
+
 
 class Interrupt(Exception):
     """Raised inside a process generator when it is interrupted."""
@@ -50,23 +63,70 @@ class Interrupt(Exception):
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` milliseconds after creation."""
+    """An event that fires ``delay`` milliseconds after creation.
 
-    __slots__ = ("delay", "_entry",)
+    The constructor is the hottest allocation site in the repo, so it
+    writes the :class:`Event` slots directly (no ``super().__init__``),
+    stores its name lazily as ``("timeout", delay)``, and schedules a
+    recyclable queue entry — with no args tuple at all when ``value`` is
+    ``None``, the overwhelmingly common case.
+    """
+
+    __slots__ = ("delay", "_entry")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"timeout delay must be >= 0, got {delay}")
-        super().__init__(name=f"timeout({delay})")
+        # One chained compare rejects negatives, inf, and NaN (every
+        # comparison against NaN is False), so non-finite delays can
+        # never corrupt the heap ordering.
+        if not (0.0 <= delay < _INF):
+            raise ValueError(
+                f"timeout delay must be finite and >= 0, got {delay}"
+            )
+        # Pristine timeouts carry no watcher list; Event.add_callback
+        # promotes () to a real list on first registration.
+        self.callbacks = ()
+        self._value = PENDING
+        self._ok = True
+        self._fired = False
+        self._name = ("timeout", delay)
         self.delay = delay
-        self._entry: ScheduledEvent = sim._queue.push(
-            sim.now + delay, self.succeed, (value,)
-        )
+        # Inlined EventQueue.push (the single hottest call site in the
+        # repo): ``time`` is finite by construction, so the NaN guard is
+        # unnecessary, and the entry is recyclable by definition.
+        queue = sim._queue
+        time = sim._now + delay
+        seq = queue._seq
+        queue._seq = seq + 1
+        free = queue._free
+        if free:
+            entry = free.pop()
+            entry.time = time
+            entry.priority = 0
+            entry.seq = seq
+            entry.callback = self
+            entry.args = (value,) if value is not None else ()
+            entry.cancelled = False
+            entry.queue = queue
+        else:
+            entry = ScheduledEvent(
+                time, 0, seq, self,
+                (value,) if value is not None else (), queue, False,
+            )
+        heappush(queue._heap, (time, 0, seq, entry))
+        self._entry: Optional[ScheduledEvent] = entry
+
+    #: Firing the entry calls the timeout itself — no per-timeout bound
+    #: method allocation for the overwhelmingly common case.
+    __call__ = Event.succeed
 
     def cancel(self) -> None:
-        """Cancel the pending timeout (no-op once fired)."""
-        if not self.triggered:
-            self._entry.cancel()
+        """Cancel the pending timeout (no-op once fired or cancelled)."""
+        entry = self._entry
+        if entry is not None and not self.triggered:
+            # Drop our handle first: the cancelled entry may be recycled
+            # by the queue, and a second cancel() must not touch it.
+            self._entry = None
+            entry.cancel()
 
 
 class Process(Event):
@@ -80,7 +140,7 @@ class Process(Event):
     * ``return value`` — finishes the process; waiters receive ``value``.
     """
 
-    __slots__ = ("_sim", "_generator", "_waiting_on")
+    __slots__ = ("_sim", "_generator", "_waiting_on", "_on_event_cb", "_wake_cb")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
         if not hasattr(generator, "send"):
@@ -92,8 +152,12 @@ class Process(Event):
         self._sim = sim
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # One bound method for the process's whole life instead of a
+        # fresh ``self._on_event``/``self._wake`` allocation per wait.
+        self._on_event_cb = self._on_event
+        self._wake_cb = self._wake
         # Start the process at the current simulation instant.
-        sim._queue.push(sim.now, self._resume, (None, None))
+        sim._queue.push(sim._now, self._resume, (None, None), 0, False)
 
     @property
     def is_alive(self) -> bool:
@@ -109,33 +173,35 @@ class Process(Event):
         if self.triggered:
             raise RuntimeError(f"cannot interrupt finished process {self!r}")
         self._sim._queue.push(
-            self._sim.now, self._resume, (None, Interrupt(cause)), priority=-1
+            self._sim._now, self._resume, (None, Interrupt(cause)), -1, False
         )
 
     # -- engine internals ------------------------------------------------
     def _wait_for(self, event: Event) -> None:
         self._waiting_on = event
-        event.add_callback(self._on_event)
+        event.add_callback(self._on_event_cb)
 
     def _on_event(self, event: Event) -> None:
         if self._waiting_on is not event:
             # Stale callback after an interrupt re-armed the process.
             return
         self._waiting_on = None
-        if event.ok:
-            self._resume(event.value, None)
+        if event._ok:
+            self._resume(event._value, None)
         else:
-            self._resume(None, event.value)
+            self._resume(None, event._value)
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
-        if self.triggered:
+        if self._fired:
             return
         abandoned = self._waiting_on
-        if isinstance(abandoned, Timeout) and not abandoned.triggered:
-            # An interrupt is pre-empting a pending sleep: drop the orphan
-            # timer so it cannot keep the simulation alive artificially.
-            abandoned.cancel()
-        self._waiting_on = None
+        if abandoned is not None:
+            if type(abandoned) is Timeout and not abandoned._fired:
+                # An interrupt is pre-empting a pending sleep: drop the
+                # orphan timer so it cannot keep the simulation alive
+                # artificially.
+                abandoned.cancel()
+            self._waiting_on = None
         try:
             if exc is not None:
                 target = self._generator.throw(exc)
@@ -147,7 +213,30 @@ class Process(Event):
         except BaseException as error:  # noqa: BLE001 - propagate to waiters
             self.fail(error)
             return
-        if not isinstance(target, Event):
+        self._wait_on_target(target)
+
+    def _wait_on_target(self, target: Any) -> None:
+        """Suspend on whatever the generator just yielded.
+
+        The ``type(target) is Timeout`` arm is the direct-wake fast path:
+        a pristine timeout nobody else is watching rewires its queue
+        entry to resume this process straight from the drain loop,
+        skipping the generic succeed -> callback-dispatch -> _on_event
+        chain.  The ``(time, priority, seq)`` key is untouched, so firing
+        order is bit-identical; late ``add_callback()`` registrations are
+        replayed by :meth:`_wake` after the resume, preserving
+        registration order.
+        """
+        if type(target) is Timeout:
+            if not target._fired and not target.callbacks:
+                entry = target._entry
+                if entry is not None and entry.callback is target and not entry.cancelled:
+                    self._waiting_on = target
+                    entry.callback = self._wake_cb
+                    args = entry.args
+                    entry.args = (target, args[0]) if args else (target,)
+                    return
+        elif not isinstance(target, Event):
             self._generator.close()
             self.fail(
                 TypeError(
@@ -156,7 +245,45 @@ class Process(Event):
                 )
             )
             return
-        self._wait_for(target)
+        self._waiting_on = target
+        if target._fired:
+            self._on_event(target)
+        else:
+            callbacks = target.callbacks
+            if type(callbacks) is list:
+                callbacks.append(self._on_event_cb)
+            else:
+                target.callbacks = [self._on_event_cb]
+
+    def _wake(self, timeout: "Timeout", value: Any = None) -> None:
+        # Partner of the direct-wake fast path in _wait_on_target: fired
+        # straight from the drain loop in place of Timeout.succeed().
+        # The resume guards are skipped deliberately — a rewired entry
+        # can only fire while this (unfinished) process is waiting on
+        # exactly this timeout.
+        timeout._fired = True
+        timeout._value = value
+        timeout._entry = None
+        self._waiting_on = None
+        callbacks = timeout.callbacks
+        if callbacks:
+            # Rare: someone add_callback()ed the timeout after the
+            # rewire; take the generic resume and replay the watchers in
+            # registration order.
+            timeout.callbacks = ()
+            self._resume(value, None)
+            for callback in callbacks:
+                callback(timeout)
+            return
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate to waiters
+            self.fail(error)
+            return
+        self._wait_on_target(target)
 
 
 class AllOf(Event):
@@ -240,7 +367,7 @@ class Resource:
 
     def request(self) -> Event:
         """Ask for a slot; the returned event fires on grant."""
-        event = Event(name=f"request({self.name})")
+        event = Event(name=("request", self.name))
         if self._in_use < self.capacity:
             self._in_use += 1
             event.succeed(self)
@@ -257,7 +384,7 @@ class Resource:
             # Slot transfers directly to the waiter: _in_use stays put but
             # the grant must happen at the current instant via the queue so
             # the releasing process finishes its step first.
-            self.sim._queue.push(self.sim.now, waiter.succeed, (self,))
+            self.sim._queue.push(self.sim._now, waiter.succeed, (self,), 0, False)
         else:
             self._in_use -= 1
 
@@ -284,13 +411,13 @@ class Store:
         """Deposit ``item``; hands it straight to the oldest waiter."""
         if self._getters:
             getter = self._getters.popleft()
-            self.sim._queue.push(self.sim.now, getter.succeed, (item,))
+            self.sim._queue.push(self.sim._now, getter.succeed, (item,), 0, False)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
         """Event that fires with the next item (immediately if present)."""
-        event = Event(name=f"get({self.name})")
+        event = Event(name=("get", self.name))
         if self._items:
             event.succeed(self._items.popleft())
         else:
@@ -300,6 +427,8 @@ class Store:
 
 class Simulator:
     """The simulation kernel: clock + event queue + process spawner."""
+
+    __slots__ = ("_queue", "_now", "_step_count")
 
     def __init__(self) -> None:
         self._queue = EventQueue()
@@ -345,9 +474,13 @@ class Simulator:
         *args: Any,
         priority: int = 0,
     ) -> ScheduledEvent:
-        """Run ``callback(*args)`` after ``delay`` ms (plain callback API)."""
-        if delay < 0:
-            raise ValueError(f"delay must be >= 0, got {delay}")
+        """Run ``callback(*args)`` after ``delay`` ms (plain callback API).
+
+        The returned entry is pinned (never recycled), so holding it and
+        cancelling it later — even long after it fired — is always safe.
+        """
+        if not (0.0 <= delay < _INF):
+            raise ValueError(f"delay must be finite and >= 0, got {delay}")
         return self._queue.push(self._now + delay, callback, args, priority)
 
     # -- main loop --------------------------------------------------------
@@ -360,7 +493,9 @@ class Simulator:
             )
         self._now = entry.time
         self._step_count += 1
-        entry.callback(*entry.args)
+        callback, args = entry.callback, entry.args
+        self._queue.recycle(entry)
+        callback(*args)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains or the clock passes ``until``.
@@ -368,16 +503,77 @@ class Simulator:
         Returns the final simulated time.  With ``until`` set, the clock
         is advanced to exactly ``until`` even if the last event fired
         earlier, mirroring SimPy semantics.
+
+        This is the batched drain loop: heap access, ``heappop``, and the
+        free list are bound to locals, and each live entry is executed
+        inline instead of going through :meth:`step`'s pop/peek pair.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                break
-            self.step()
-        if until is not None:
-            self._now = max(self._now, until)
+        queue = self._queue
+        heap = queue._heap
+        free = queue._free
+        pop = heappop
+        steps = 0
+        try:
+            if until is None:
+                # Unbounded drain (the common case for full-figure runs):
+                # pop immediately — no peek, no per-event ``until`` test.
+                while heap:
+                    time, _, _, entry = pop(heap)
+                    if entry.cancelled:
+                        queue._ncancelled -= 1
+                        entry.queue = None
+                        if not entry.pinned and len(free) < _FREE_MAX:
+                            entry.callback = entry.args = None
+                            free.append(entry)
+                        continue
+                    if time < self._now:
+                        raise RuntimeError(
+                            f"event queue went backwards: {time} < {self._now}"
+                        )
+                    self._now = time
+                    steps += 1
+                    callback = entry.callback
+                    args = entry.args
+                    entry.queue = None
+                    if not entry.pinned and len(free) < _FREE_MAX:
+                        entry.callback = entry.args = None
+                        free.append(entry)
+                    callback(*args)
+            else:
+                # Bounded drain: peek before popping so entries past
+                # ``until`` stay queued for a later run() call.
+                while heap:
+                    item = heap[0]
+                    entry = item[3]
+                    if entry.cancelled:
+                        pop(heap)
+                        queue._ncancelled -= 1
+                        entry.queue = None
+                        if not entry.pinned and len(free) < _FREE_MAX:
+                            entry.callback = entry.args = None
+                            free.append(entry)
+                        continue
+                    time = item[0]
+                    if time > until:
+                        break
+                    if time < self._now:
+                        raise RuntimeError(
+                            f"event queue went backwards: {time} < {self._now}"
+                        )
+                    pop(heap)
+                    self._now = time
+                    steps += 1
+                    callback = entry.callback
+                    args = entry.args
+                    entry.queue = None
+                    if not entry.pinned and len(free) < _FREE_MAX:
+                        entry.callback = entry.args = None
+                        free.append(entry)
+                    callback(*args)
+        finally:
+            self._step_count += steps
+        if until is not None and until > self._now:
+            self._now = until
         return self._now

@@ -4,13 +4,44 @@ The queue orders scheduled callbacks by ``(time, priority, sequence)``.
 The monotonically increasing sequence number guarantees that two events
 scheduled for the same instant fire in insertion order, which makes every
 simulation in this repository bit-reproducible.
+
+Hot-path design (see DESIGN.md §9)
+----------------------------------
+The event loop is the invocation fast path of every experiment in this
+repo, so the queue is built to stay allocation-light and C-compared at
+millions of events per run:
+
+* **Lazy names** — an :class:`Event` stores its name as either a plain
+  string or a ``(kind, arg)`` tuple; the human-readable form is only
+  formatted in ``__repr__``/error paths, never per construction.
+* **Tuple-keyed heap** — the heap holds ``(time, priority, seq, entry)``
+  tuples, so every sift comparison is a C-level tuple compare (``seq``
+  is unique, so the ``entry`` object itself is never compared) instead
+  of a Python ``__lt__`` call per level.
+* **Free-listed entries** — executed (and compacted-away) non-pinned
+  :class:`ScheduledEvent` objects are recycled through a bounded free
+  list instead of being reallocated per push.  Entries handed to
+  external callers (``EventQueue.push`` default, ``Simulator.schedule``)
+  are *pinned* and never recycled, so a caller-held handle can never
+  alias a later entry.
+* **Lazy cancellation with compaction** — ``cancel()`` only flags the
+  entry; dead entries are skipped on pop, and once more than half of a
+  non-trivial heap is dead the heap is compacted in place in one
+  O(live) pass (in place, because the batched drain loop in
+  ``Simulator.run`` aliases the heap list).
+* **O(1) sizing** — ``__len__``/``__bool__`` read a maintained
+  dead-entry counter instead of scanning.
+
+None of this changes the ordering contract: ``(time, priority, seq)``
+with lazy deletion is observationally identical to the seed engine
+(:mod:`repro.sim.naive`), which the golden traces under ``tests/sim/``
+pin byte-for-byte.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 __all__ = ["Event", "EventQueue", "ScheduledEvent", "PENDING"]
 
@@ -27,6 +58,12 @@ class _Pending:
 #: Sentinel stored in :attr:`Event.value` until the event fires.
 PENDING = _Pending()
 
+#: Compact a heap only once it is at least this large *and* >50% dead.
+_COMPACT_MIN = 64
+
+#: Upper bound on recycled entries kept per queue.
+_FREE_MAX = 1_024
+
 
 class Event:
     """A one-shot occurrence that callbacks (and processes) can wait on.
@@ -35,18 +72,29 @@ class Event:
     *failed* with an exception.  Callbacks registered before the trigger
     run when the event fires; callbacks registered afterwards run
     immediately (so late waiters do not deadlock).
+
+    ``name`` may be given as a string or, on hot paths, as a lazy
+    ``(kind, arg)`` tuple that is only formatted when the name is read.
     """
 
-    __slots__ = ("callbacks", "_value", "_ok", "_fired", "name")
+    __slots__ = ("callbacks", "_value", "_ok", "_fired", "_name")
 
-    def __init__(self, name: str = "") -> None:
+    def __init__(self, name: Union[str, Tuple[str, Any]] = "") -> None:
         self.callbacks: List[Callable[[Event], None]] = []
         self._value: Any = PENDING
         self._ok: bool = True
         self._fired: bool = False
-        self.name = name
+        self._name = name
 
     # -- state ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The event's label; lazy ``(kind, arg)`` forms format here."""
+        name = self._name
+        if type(name) is tuple:
+            return f"{name[0]}({name[1]})"
+        return name
+
     @property
     def triggered(self) -> bool:
         """Whether the event has fired (successfully or not)."""
@@ -70,7 +118,14 @@ class Event:
         self._fired = True
         self._ok = True
         self._value = value
-        self._dispatch()
+        callbacks = self.callbacks
+        if callbacks:
+            # A fired event never collects callbacks again (late adders
+            # run immediately), so a shared empty tuple replaces the
+            # list instead of allocating a fresh one.
+            self.callbacks = ()
+            for callback in callbacks:
+                callback(self)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -90,16 +145,23 @@ class Event:
         if self._fired:
             callback(self)
         else:
-            self.callbacks.append(callback)
+            callbacks = self.callbacks
+            if type(callbacks) is list:
+                callbacks.append(callback)
+            else:
+                # Hot-path events (Timeout) start with a shared empty
+                # tuple instead of allocating a watcher list; the first
+                # registration promotes it.
+                self.callbacks = [callback]
 
     def _dispatch(self) -> None:
-        callbacks, self.callbacks = self.callbacks, []
+        callbacks, self.callbacks = self.callbacks, ()
         for callback in callbacks:
             callback(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "fired" if self._fired else "pending"
-        label = f" {self.name!r}" if self.name else ""
+        label = f" {self.name!r}" if self._name else ""
         return f"<{type(self).__name__}{label} {state}>"
 
 
@@ -108,10 +170,16 @@ class ScheduledEvent:
 
     Entries are totally ordered by ``(time, priority, seq)``; ``seq`` is
     assigned by the queue.  Cancelled entries stay in the heap but are
-    skipped on pop (lazy deletion).
+    skipped on pop (lazy deletion); the owning queue counts them and
+    compacts once most of the heap is dead.
+
+    ``pinned`` entries (the default for anything handed to an external
+    caller) are never recycled through the queue's free list, so a held
+    reference stays valid — and harmlessly inert — after the entry fires.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "queue", "pinned")
 
     def __init__(
         self,
@@ -120,6 +188,8 @@ class ScheduledEvent:
         seq: int,
         callback: Callable[..., None],
         args: Tuple[Any, ...] = (),
+        queue: Optional["EventQueue"] = None,
+        pinned: bool = True,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -127,17 +197,27 @@ class ScheduledEvent:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.queue = queue
+        self.pinned = pinned
 
     def cancel(self) -> None:
         """Prevent the callback from running when the entry is popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self.queue
+        if queue is not None:
+            queue._ncancelled += 1
+            queue._maybe_compact()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        # Kept for API compatibility; the queue's heap orders C-level
+        # ``(time, priority, seq, entry)`` tuples and never calls this.
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flag = " cancelled" if self.cancelled else ""
@@ -145,17 +225,28 @@ class ScheduledEvent:
 
 
 class EventQueue:
-    """Deterministic priority queue of :class:`ScheduledEvent` entries."""
+    """Deterministic priority queue of :class:`ScheduledEvent` entries.
+
+    The heap holds ``(time, priority, seq, entry)`` tuples so sift
+    comparisons never leave C; ``entry`` is the stable, cancellable
+    handle returned to callers.
+    """
+
+    __slots__ = ("_heap", "_seq", "_ncancelled", "_free")
 
     def __init__(self) -> None:
-        self._heap: List[ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._heap: List[Tuple[float, int, int, ScheduledEvent]] = []
+        self._seq = 0
+        #: Cancelled entries still buried in the heap.
+        self._ncancelled = 0
+        #: Recycled non-pinned entries awaiting reuse.
+        self._free: List[ScheduledEvent] = []
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._heap if not entry.cancelled)
+        return len(self._heap) - self._ncancelled
 
     def __bool__(self) -> bool:
-        return any(not entry.cancelled for entry in self._heap)
+        return len(self._heap) > self._ncancelled
 
     def push(
         self,
@@ -163,30 +254,86 @@ class EventQueue:
         callback: Callable[..., None],
         args: Tuple[Any, ...] = (),
         priority: int = 0,
+        pinned: bool = True,
     ) -> ScheduledEvent:
-        """Schedule ``callback(*args)`` at absolute ``time``."""
+        """Schedule ``callback(*args)`` at absolute ``time``.
+
+        Internal engine call sites pass ``pinned=False`` for entries no
+        external caller can hold, letting the queue recycle them.
+        """
         if time != time:  # NaN guard
             raise ValueError("event time must not be NaN")
-        entry = ScheduledEvent(time, priority, next(self._seq), callback, args)
-        heapq.heappush(self._heap, entry)
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            entry = free.pop()
+            entry.time = time
+            entry.priority = priority
+            entry.seq = seq
+            entry.callback = callback
+            entry.args = args
+            entry.cancelled = False
+            entry.queue = self
+            entry.pinned = pinned
+        else:
+            entry = ScheduledEvent(time, priority, seq, callback, args, self, pinned)
+        heapq.heappush(self._heap, (time, priority, seq, entry))
         return entry
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live entry, or ``None`` when empty."""
         self._drop_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def pop(self) -> ScheduledEvent:
-        """Remove and return the next live entry."""
+        """Remove and return the next live entry.
+
+        The returned entry is detached from the queue; :meth:`recycle`
+        may be called on it after its callback has been consumed.
+        """
         self._drop_cancelled()
         if not self._heap:
             raise IndexError("pop from empty EventQueue")
-        return heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)[3]
+        entry.queue = None
+        return entry
+
+    def recycle(self, entry: ScheduledEvent) -> None:
+        """Return an executed, detached, non-pinned entry to the free list."""
+        if not entry.pinned and len(self._free) < _FREE_MAX:
+            entry.callback = entry.args = None  # type: ignore[assignment]
+            self._free.append(entry)
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            entry = heapq.heappop(heap)[3]
+            self._ncancelled -= 1
+            entry.queue = None
+            self.recycle(entry)
+
+    def _maybe_compact(self) -> None:
+        # Lazy-cancellation compaction: one O(live) rebuild once more
+        # than half of a non-trivial heap is dead keeps pop cost at
+        # O(log live) without paying O(n) per cancel.
+        heap = self._heap
+        if len(heap) < _COMPACT_MIN or 2 * self._ncancelled <= len(heap):
+            return
+        live = []
+        for item in heap:
+            entry = item[3]
+            if entry.cancelled:
+                entry.queue = None
+                self.recycle(entry)
+            else:
+                live.append(item)
+        # In place, not rebound: the batched drain loop in Simulator.run
+        # holds a local alias to this list across callbacks.
+        heap[:] = live
+        heapq.heapify(heap)
+        self._ncancelled = 0
 
     def drain_times(self) -> Iterable[float]:
         """Yield times of remaining live entries (for debugging/tests)."""
-        return sorted(e.time for e in self._heap if not e.cancelled)
+        return sorted(item[0] for item in self._heap if not item[3].cancelled)

@@ -1,0 +1,333 @@
+"""The seed simulation engine, kept verbatim as an executable baseline.
+
+This module preserves the pre-optimisation event queue and process
+engine exactly as the seed shipped them: eager ``f"timeout({delay})"``
+name formatting per event, a fresh ``NaiveScheduledEvent`` allocation
+per push, tuple-building ``__lt__``, O(n) ``__len__``, and the
+peek-then-pop run loop.  ``benchmarks/bench_sim_hotpath.py`` drives the
+same workloads through this baseline and through :mod:`repro.sim` to
+produce honest before/after numbers on the same machine (the same
+pattern as :mod:`repro.core.naivepool` for the pool hot path), and the
+differential tests use it as an executable ordering spec.
+
+Nothing in the production tree may import this module on a hot path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = [
+    "NaiveEvent",
+    "NaiveEventQueue",
+    "NaiveProcess",
+    "NaiveScheduledEvent",
+    "NaiveSimulator",
+    "NaiveTimeout",
+]
+
+
+class _Pending:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PENDING>"
+
+
+_PENDING = _Pending()
+
+
+class NaiveEvent:
+    """Seed ``Event``: eager name string, same trigger semantics."""
+
+    __slots__ = ("callbacks", "_value", "_ok", "_fired", "name")
+
+    def __init__(self, name: str = "") -> None:
+        self.callbacks: List[Callable[["NaiveEvent"], None]] = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+        self._fired: bool = False
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        return self._fired
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def succeed(self, value: Any = None) -> "NaiveEvent":
+        """Fire successfully, delivering ``value`` to waiters."""
+        if self._fired:
+            raise RuntimeError(f"event {self!r} has already fired")
+        self._fired = True
+        self._ok = True
+        self._value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "NaiveEvent":
+        """Fire with an exception; waiters re-raise it."""
+        if self._fired:
+            raise RuntimeError(f"event {self!r} has already fired")
+        self._fired = True
+        self._ok = False
+        self._value = exception
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback: Callable[["NaiveEvent"], None]) -> None:
+        """Register ``callback``; runs now if already fired."""
+        if self._fired:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class NaiveScheduledEvent:
+    """Seed queue entry: fresh allocation per push, tuple ``__lt__``."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Flag the entry so the queue skips it on pop."""
+        self.cancelled = True
+
+    def __lt__(self, other: "NaiveScheduledEvent") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+
+class NaiveEventQueue:
+    """Seed queue: O(n) ``__len__``, no compaction, peek-then-pop."""
+
+    def __init__(self) -> None:
+        self._heap: List[NaiveScheduledEvent] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not entry.cancelled for entry in self._heap)
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        priority: int = 0,
+    ) -> NaiveScheduledEvent:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        entry = NaiveScheduledEvent(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live entry, or ``None`` when empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> NaiveScheduledEvent:
+        """Remove and return the next live entry."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+
+class NaiveTimeout(NaiveEvent):
+    """Seed ``Timeout``: eager f-string name, ``(value,)`` args tuple."""
+
+    __slots__ = ("delay", "_entry")
+
+    def __init__(self, sim: "NaiveSimulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(name=f"timeout({delay})")
+        self.delay = delay
+        self._entry: NaiveScheduledEvent = sim._queue.push(
+            sim.now + delay, self.succeed, (value,)
+        )
+
+    def cancel(self) -> None:
+        """Cancel the pending timeout (no-op once fired)."""
+        if not self.triggered:
+            self._entry.cancel()
+
+
+class NaiveProcess(NaiveEvent):
+    """Seed ``Process`` against the naive queue/timeout types."""
+
+    __slots__ = ("_sim", "_generator", "_waiting_on")
+
+    def __init__(self, sim: "NaiveSimulator", generator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                "process() expects a generator; did you forget to call "
+                "the generator function?"
+            )
+        super().__init__(name=name or getattr(generator, "__name__", "process"))
+        self._sim = sim
+        self._generator = generator
+        self._waiting_on: Optional[NaiveEvent] = None
+        sim._queue.push(sim.now, self._resume, (None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process now."""
+        from repro.sim.engine import Interrupt
+
+        if self.triggered:
+            raise RuntimeError(f"cannot interrupt finished process {self!r}")
+        self._sim._queue.push(
+            self._sim.now, self._resume, (None, Interrupt(cause)), priority=-1
+        )
+
+    def _wait_for(self, event: NaiveEvent) -> None:
+        self._waiting_on = event
+        event.add_callback(self._on_event)
+
+    def _on_event(self, event: NaiveEvent) -> None:
+        if self._waiting_on is not event:
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event.value)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        abandoned = self._waiting_on
+        if isinstance(abandoned, NaiveTimeout) and not abandoned.triggered:
+            abandoned.cancel()
+        self._waiting_on = None
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - propagate to waiters
+            self.fail(error)
+            return
+        if not isinstance(target, NaiveEvent):
+            self._generator.close()
+            self.fail(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; processes "
+                    "must yield Event instances"
+                )
+            )
+            return
+        self._wait_for(target)
+
+
+class NaiveSimulator:
+    """Seed ``Simulator``: peek-then-pop run loop, method-call steps."""
+
+    def __init__(self) -> None:
+        self._queue = NaiveEventQueue()
+        self._now = 0.0
+        self._step_count = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def steps(self) -> int:
+        return self._step_count
+
+    def timeout(self, delay: float, value: Any = None) -> NaiveTimeout:
+        """Event firing ``delay`` ms from now."""
+        return NaiveTimeout(self, delay, value)
+
+    def event(self, name: str = "") -> NaiveEvent:
+        """A bare event for manual triggering."""
+        return NaiveEvent(name=name)
+
+    def process(self, generator, name: str = "") -> NaiveProcess:
+        """Spawn a process from ``generator``."""
+        return NaiveProcess(self, generator, name=name)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+    ) -> NaiveScheduledEvent:
+        """Run ``callback(*args)`` after ``delay`` ms."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self._queue.push(self._now + delay, callback, args, priority)
+
+    def step(self) -> None:
+        """Execute the next queue entry, advancing the clock."""
+        entry = self._queue.pop()
+        if entry.time < self._now:
+            raise RuntimeError(
+                f"event queue went backwards: {entry.time} < {self._now}"
+            )
+        self._now = entry.time
+        self._step_count += 1
+        entry.callback(*entry.args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock passes ``until``."""
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

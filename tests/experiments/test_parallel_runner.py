@@ -1,0 +1,59 @@
+"""Parallel experiment runner: jobs=N must be indistinguishable from serial.
+
+The unit of work is one ``(figure, seed)`` pair run by the same
+top-level ``_run_task`` either in-process or in a spawned worker, so
+the figures — and the metrics merged into the caller's registry — must
+match figure-for-figure.  These tests spawn real worker processes.
+"""
+
+import pytest
+
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_matrix
+from repro.obs.registry import MetricsRegistry
+
+
+def _render_all(figures):
+    return {name: figure.render() for name, figure in figures.items()}
+
+
+class TestParallelMatchesSerial:
+    def test_run_all_jobs4_identical_to_serial(self):
+        serial = run_all(jobs=1)
+        parallel = run_all(jobs=4)
+        assert list(serial) == list(parallel) == list(ALL_EXPERIMENTS)
+        assert _render_all(serial) == _render_all(parallel)
+
+    def test_run_matrix_multi_seed_identical(self):
+        subset = ["fig02", "fig11"]
+        serial = run_matrix(seeds=(0, 1), only=subset, jobs=1)
+        parallel = run_matrix(seeds=(0, 1), only=subset, jobs=2)
+        assert list(serial) == list(parallel) == [0, 1]
+        for seed in serial:
+            assert _render_all(serial[seed]) == _render_all(parallel[seed])
+
+    def test_merged_registry_matches_serial(self):
+        subset = ["fig02", "fig10", "fig11"]
+        serial_registry = MetricsRegistry()
+        run_all(only=subset, jobs=1, registry=serial_registry)
+        parallel_registry = MetricsRegistry()
+        run_all(only=subset, jobs=2, registry=parallel_registry)
+
+        def counter_values(registry):
+            return {(c.name, c.labels): c.value for c in registry.counters()}
+
+        counters = counter_values(parallel_registry)
+        assert counters == counter_values(serial_registry)
+        assert len(counters) == len(subset)
+        assert all(value == 1 for value in counters.values())
+        # Per-figure wall-clock gauges exist in both modes (values differ).
+        assert len(parallel_registry.gauges()) == len(subset)
+
+
+class TestRunnerValidation:
+    def test_jobs_zero_rejected(self):
+        with pytest.raises(ValueError, match="jobs"):
+            run_all(jobs=0)
+
+    def test_unknown_figure_rejected_before_spawning(self):
+        with pytest.raises(KeyError, match="fig99"):
+            run_matrix(seeds=(0,), only=["fig99"], jobs=4)

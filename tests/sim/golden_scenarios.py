@@ -1,0 +1,174 @@
+"""Scenario scripts whose event traces are pinned as golden files.
+
+The simulation fast path (lazy event names, the ``ScheduledEvent``
+free-list, lazy cancellation compaction, the batched drain loop) is only
+allowed to change *how fast* events fire, never *in which order* or *at
+which instants*.  These scenarios exercise every ordering-sensitive
+feature of the engine — same-time ties, priorities, cancellations,
+interrupts, resource hand-off, store hand-off, composite events — and
+record a flat, JSON-serialisable trace.  The traces were captured from
+the pre-optimisation engine and committed under ``tests/sim/golden/``;
+``tests/sim/test_determinism_golden.py`` replays them against the
+current engine byte-for-byte.
+
+Regenerate (only when an ordering change is *intended*) with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sim/test_determinism_golden.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+#: Seeds pinned by the randomized seed-matrix scenario.
+SEED_MATRIX = (0, 1, 2, 3, 4)
+
+
+def scenario_mixed() -> List[list]:
+    """Scripted workload touching every ordering-sensitive engine path."""
+    from repro.sim import AllOf, AnyOf, Interrupt, Simulator
+
+    sim = Simulator()
+    trace: List[list] = []
+
+    def mark(tag: str) -> None:
+        trace.append([sim.now, tag])
+
+    resource = sim.resource(capacity=2, name="cpu")
+    store = sim.store(name="jobs")
+
+    def resource_worker(sim, name: str, hold: float):
+        yield resource.request()
+        mark(f"{name}:granted")
+        yield sim.timeout(hold)
+        resource.release()
+        mark(f"{name}:released")
+
+    def producer(sim):
+        for index in range(4):
+            yield sim.timeout(2.5)
+            store.put(f"job{index}")
+            mark(f"put:job{index}")
+
+    def consumer(sim, name: str):
+        while True:
+            item = yield store.get()
+            mark(f"{name}:got:{item}")
+            if item == "job3":
+                return item
+            yield sim.timeout(1.0)
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+            mark("sleeper:overslept")
+        except Interrupt as interrupt:
+            mark(f"sleeper:interrupted:{interrupt.cause}")
+            # Re-sleep after the interrupt to cover interrupt-then-wait.
+            yield sim.timeout(3.0)
+            mark("sleeper:done")
+
+    def composite(sim):
+        values = yield AllOf([sim.timeout(4.0, "a"), sim.timeout(1.5, "b")])
+        mark(f"all_of:{values}")
+        index, value = yield AnyOf([sim.timeout(9.0, "slow"), sim.timeout(0.5, "fast")])
+        mark(f"any_of:{index}:{value}")
+
+    # Same-time ties: five workers spawned at t=0 contend for 2 slots.
+    for index in range(5):
+        sim.process(resource_worker(sim, f"w{index}", hold=2.0 + index))
+    sim.process(producer(sim))
+    sim.process(consumer(sim, "c0"))
+    sim.process(consumer(sim, "c1"))
+    sleepy = sim.process(sleeper(sim))
+    sim.process(composite(sim))
+
+    # Plain callbacks with priorities at an identical instant.
+    sim.schedule(6.0, mark, "callback:low")
+    sim.schedule(6.0, mark, "callback:high", priority=-1)
+    sim.schedule(6.0, mark, "callback:mid", priority=0)
+
+    # A cancelled timeout and a cancelled schedule() entry must vanish.
+    doomed = sim.timeout(7.0, value="never")
+    doomed.add_callback(lambda e: mark("doomed:fired"))
+    entry = sim.schedule(8.0, mark, "doomed-callback")
+    sim.schedule(5.0, doomed.cancel)
+    sim.schedule(5.0, entry.cancel)
+    sim.schedule(10.0, sleepy.interrupt, "poke")
+
+    sim.run()
+    trace.append(["final", sim.now, sim.steps])
+    return trace
+
+
+def scenario_seeded(seed: int) -> List[list]:
+    """Randomized timeout/interrupt churn driven by the named RNG streams."""
+    from repro.sim import Interrupt, Simulator
+    from repro.sim.rng import RngRegistry
+
+    rngs = RngRegistry(seed=seed)
+    delays = rngs.stream("delays")
+    choices = rngs.stream("choices")
+
+    sim = Simulator()
+    trace: List[list] = []
+
+    def worker(sim, name: str):
+        for round_index in range(10):
+            try:
+                yield sim.timeout(float(delays.uniform(0.0, 5.0)))
+                trace.append([sim.now, f"{name}:tick{round_index}"])
+            except Interrupt:
+                trace.append([sim.now, f"{name}:interrupted{round_index}"])
+
+    workers = [sim.process(worker(sim, f"p{index}")) for index in range(8)]
+
+    def chaos(sim):
+        for _ in range(12):
+            yield sim.timeout(float(delays.uniform(0.5, 3.0)))
+            victim = workers[int(choices.integers(0, len(workers)))]
+            if victim.is_alive:
+                victim.interrupt("chaos")
+            # Half the time also schedule-and-cancel a decoy timeout so the
+            # heap carries dead entries through the run.
+            if choices.random() < 0.5:
+                sim.timeout(float(delays.uniform(0.0, 50.0))).cancel()
+
+    sim.process(chaos(sim))
+    sim.run()
+    trace.append(["final", sim.now, sim.steps])
+    return trace
+
+
+def scenario_observatory(seed: int = 3) -> List[dict]:
+    """A small instrumented platform run; golden is the full event log."""
+    from repro.core.hotc import HotC, HotCConfig
+    from repro.faas import FaasPlatform
+    from repro.obs import Observatory
+    from repro.workloads.apps import default_catalog, qr_encoder_app
+
+    observatory = Observatory()
+    platform = FaasPlatform(
+        default_catalog().make_registry(),
+        seed=seed,
+        provider_factory=lambda engine: HotC(
+            engine, HotCConfig(control_interval_ms=10_000.0)
+        ),
+        jitter_sigma=0.05,
+    )
+    platform.attach_observatory(observatory)
+    spec = qr_encoder_app(name="qr", language="python")
+    platform.deploy(spec)
+    platform.sim.process(platform.engine.ensure_image(spec.image))
+    platform.run()
+    platform.provider.start_control_loop()
+    for index in range(12):
+        platform.submit(spec.name, delay=index * 1_500.0)
+    platform.run(until=platform.sim.now + 12 * 1_500.0 + 60_000.0)
+    platform.provider.stop_control_loop()
+    platform.run()
+    platform.shutdown()
+    return [event.as_dict() for event in observatory.events]

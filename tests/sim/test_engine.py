@@ -23,6 +23,16 @@ class TestTimeoutAndRun:
         with pytest.raises(ValueError):
             sim.timeout(-1.0)
 
+    def test_non_finite_timeout_rejected(self):
+        sim = Simulator()
+        for delay in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                sim.timeout(delay)
+        # A rejected delay must not leave a half-scheduled event behind.
+        assert len(sim._queue) == 0
+        sim.run()
+        assert sim.now == 0.0
+
     def test_run_until_stops_clock_exactly(self):
         sim = Simulator()
         sim.schedule(100.0, lambda: None)
