@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Overload protection: admission control, deadlines, and shedding.
+
+A single host takes a 48-wide burst against a function that normally
+runs at a handful of concurrent requests.  Without a controller every
+request queues behind the gateway and the tail latency explodes; with
+`repro.admission` attached the AIMD limit bounds concurrency, the
+per-function queue is capped at 8, overflow is shed immediately with a
+fast error answer, and queued requests that can no longer make their
+2 s deadline are cut instead of served late.
+
+Run:  python examples/overload_protection.py
+"""
+
+from repro.admission import AdmissionConfig, AdmissionController, AIMDConfig
+from repro.core import HotC, HotCConfig, PoolLimits
+from repro.faas import FaasPlatform, FunctionSpec
+from repro.workloads import default_catalog
+
+BURST = 48
+
+
+def run(protected: bool):
+    registry = default_catalog().make_registry()
+    platform = FaasPlatform(
+        registry,
+        seed=7,
+        jitter_sigma=0.0,
+        provider_factory=lambda e: HotC(
+            e, HotCConfig(limits=PoolLimits(max_containers=8))
+        ),
+    )
+    platform.deploy(
+        FunctionSpec(
+            name="api",
+            image="python:3.6",
+            exec_ms=80.0,
+            deadline_ms=2_000.0,
+        )
+    )
+    ctrl = None
+    if protected:
+        ctrl = AdmissionController(
+            AdmissionConfig(
+                max_queue_depth=8,
+                aimd=AIMDConfig(initial_limit=4.0),
+            )
+        )
+        platform.attach_admission(ctrl)
+    platform.provider.start_control_loop()
+    for _ in range(BURST):
+        platform.submit("api", delay=1_000.0)
+    platform.run(until=60_000.0)
+    return platform, ctrl
+
+
+def main() -> None:
+    print(f"one host, {BURST} simultaneous requests, 2 s deadline\n")
+    for protected in (False, True):
+        platform, ctrl = run(protected)
+        traces = platform.traces
+        answered = len(traces) - traces.shed_count() - traces.deadline_count()
+        label = "with admission control" if protected else "unprotected"
+        print(f"--- {label} ---")
+        print(f"  answered               : {answered}/{len(traces)}")
+        print(f"  shed at the door       : {traces.shed_count()} "
+              f"{traces.shed_reasons() or ''}")
+        print(f"  cut at deadline (queue): {traces.deadline_count()}")
+        print(f"  mean answered latency  : {traces.mean_latency():.0f} ms")
+        print(f"  containers booted      : {platform.engine.stats.boots}")
+        if ctrl is not None:
+            print(f"  queue depth peak       : {ctrl.stats.queue_depth_peak}")
+            print(f"  AIMD limit at end      : {ctrl.limit('api')}")
+        print()
+    print(
+        "The unprotected gateway boots a container for every request in\n"
+        "the burst — 48 cold boots on a host sized for 8.  The protected\n"
+        "run admits only what the host can take, answers the overflow\n"
+        "instantly with a shed, keeps the queue bounded at its cap, and\n"
+        "cuts queued requests that can no longer make their deadline\n"
+        "instead of serving them late."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""AIMD adaptive concurrency: additive raise, multiplicative cut.
+
+One :class:`AIMDLimiter` per function tracks the admission concurrency
+limit.  Requests finishing inside their deadline accumulate as
+successes; deadline misses and shed bursts accumulate as congestion.
+The limit only moves on :meth:`tick` (driven from the platform's
+existing control-loop tick), so adjustment is deterministic and
+independent of request interleaving inside an interval:
+
+* congestion observed this interval → ``limit *= decrease`` (cut once
+  per interval, floored at ``min_limit``);
+* otherwise, any success this interval → ``limit += increase`` (capped
+  at ``max_limit``).
+
+The limit is a float internally so repeated cuts/raises compose
+smoothly; the *effective* limit used for admission is ``floor(limit)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AIMDConfig", "AIMDLimiter"]
+
+
+@dataclass(frozen=True)
+class AIMDConfig:
+    """Tunables of one AIMD controller."""
+
+    #: Starting concurrency limit for a fresh function.
+    initial_limit: float = 32.0
+    min_limit: float = 1.0
+    max_limit: float = 1_024.0
+    #: Additive raise per congestion-free interval with traffic.
+    increase: float = 1.0
+    #: Multiplicative cut factor on congestion (deadline miss / shed burst).
+    decrease: float = 0.5
+    #: Sheds in one interval at or above this count are a congestion
+    #: signal; below it they are absorbed (a lone queue-cap rejection
+    #: must not halve the limit).
+    shed_burst: int = 4
+
+    def __post_init__(self) -> None:
+        if self.min_limit < 1.0:
+            raise ValueError("min_limit must be >= 1")
+        if self.max_limit < self.min_limit:
+            raise ValueError("max_limit must be >= min_limit")
+        if not self.min_limit <= self.initial_limit <= self.max_limit:
+            raise ValueError("initial_limit must be within [min, max]")
+        if self.increase <= 0:
+            raise ValueError("increase must be > 0")
+        if not 0.0 < self.decrease < 1.0:
+            raise ValueError("decrease must be in (0, 1)")
+        if self.shed_burst < 1:
+            raise ValueError("shed_burst must be >= 1")
+
+
+class AIMDLimiter:
+    """Per-function adaptive concurrency limit."""
+
+    __slots__ = ("config", "limit", "successes", "misses", "sheds")
+
+    def __init__(self, config: AIMDConfig) -> None:
+        self.config = config
+        self.limit = float(config.initial_limit)
+        #: Interval accumulators, reset by :meth:`tick`.
+        self.successes = 0
+        self.misses = 0
+        self.sheds = 0
+
+    @property
+    def effective(self) -> int:
+        """The integer limit admission enforces (floor, >= 1)."""
+        return max(1, int(self.limit))
+
+    # -- feedback ---------------------------------------------------------
+    def record_success(self) -> None:
+        """A request finished within its deadline."""
+        self.successes += 1
+
+    def record_miss(self) -> None:
+        """A request blew its deadline (queued or executing)."""
+        self.misses += 1
+
+    def record_shed(self) -> None:
+        """A request was shed (queue full / brownout)."""
+        self.sheds += 1
+
+    # -- control ----------------------------------------------------------
+    @property
+    def congested(self) -> bool:
+        """Whether this interval's feedback signals congestion."""
+        return self.misses > 0 or self.sheds >= self.config.shed_burst
+
+    def tick(self) -> float:
+        """Apply one interval's feedback; returns the new limit."""
+        if self.congested:
+            self.limit = max(
+                self.config.min_limit, self.limit * self.config.decrease
+            )
+        elif self.successes > 0:
+            self.limit = min(
+                self.config.max_limit, self.limit + self.config.increase
+            )
+        self.successes = 0
+        self.misses = 0
+        self.sheds = 0
+        return self.limit

@@ -1,0 +1,422 @@
+"""The admission controller: bounded queues, deadlines, load shedding.
+
+HotC's pool limits protect the *host*; this layer protects the
+*request path*.  It sits in front of the gateway's proxy pipeline and
+gives every function:
+
+* a **concurrency limit** (AIMD-adaptive, see :mod:`repro.admission.aimd`)
+  — requests beyond it wait in a **bounded FIFO queue**;
+* a hard **queue-depth cap** — when the queue is full the request is
+  *shed* with :class:`~repro.faas.tracing.RequestOutcome.SHED` (the
+  429 of this platform) instead of parking forever;
+* **deadline enforcement** — a queued request whose absolute deadline
+  passes is woken, lazily removed from the queue, and terminated with
+  ``DEADLINE`` so no client waits unboundedly;
+* **brownout shedding** — while any registered host is browned out,
+  standard-QoS requests are shed up front so warm containers (and
+  critical traffic) survive the pressure.
+
+Everything is plain simulation bookkeeping: grants are scheduled
+through the simulator queue exactly like
+:class:`repro.sim.engine.Resource` releases, so runs are deterministic,
+and a platform with no controller attached takes zero extra simulation
+events (the hook is one ``is None`` check, the same contract as the
+observatory).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Generator, Optional
+
+from repro.admission.aimd import AIMDConfig, AIMDLimiter
+from repro.faas.function import FunctionSpec
+from repro.faas.tracing import RequestOutcome, RequestTrace
+from repro.obs.events import EventKind
+from repro.sim.engine import AnyOf
+
+__all__ = ["AdmissionConfig", "AdmissionController", "AdmissionStats"]
+
+_INF = math.inf
+
+#: Shed reasons stamped on traces and counted per reason.
+REASON_QUEUE_FULL = "queue_full"
+REASON_BROWNOUT = "brownout"
+REASON_SHUTDOWN = "shutdown"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tunables of the overload-protection layer."""
+
+    #: Hard cap on queued (not yet admitted) requests per function.
+    max_queue_depth: int = 64
+    #: Per-function AIMD concurrency controller settings.
+    aimd: AIMDConfig = field(default_factory=AIMDConfig)
+    #: Relative deadline applied when the function spec does not set
+    #: one; ``None`` leaves such requests deadline-free.
+    default_deadline_ms: Optional[float] = 30_000.0
+    #: Shed standard-QoS requests while any host is browned out.
+    brownout_shed_standard: bool = True
+    #: Brownout hysteresis: exit only below ``threshold - margin``.
+    brownout_exit_margin: float = 0.05
+    #: Factor applied to predictor pool targets while browned out.
+    brownout_target_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be > 0 (or None)")
+        if not 0.0 <= self.brownout_exit_margin < 1.0:
+            raise ValueError("brownout_exit_margin must be in [0, 1)")
+        if not 0.0 < self.brownout_target_factor <= 1.0:
+            raise ValueError("brownout_target_factor must be in (0, 1]")
+
+
+@dataclass
+class AdmissionStats:
+    """Global counters for one controller."""
+
+    admitted: int = 0
+    #: Subset of ``admitted`` that waited in the queue first.
+    admitted_queued: int = 0
+    #: Sheds by reason.
+    shed: Dict[str, int] = field(default_factory=dict)
+    #: Deadline misses while queued for admission.
+    deadline_misses: int = 0
+    #: Highest queue depth ever observed (across functions).
+    queue_depth_peak: int = 0
+
+    @property
+    def shed_total(self) -> int:
+        """All shed requests, every reason."""
+        return sum(self.shed.values())
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dict form for reports."""
+        return {
+            "admitted": self.admitted,
+            "admitted_queued": self.admitted_queued,
+            "shed": dict(sorted(self.shed.items())),
+            "deadline_misses": self.deadline_misses,
+            "queue_depth_peak": self.queue_depth_peak,
+        }
+
+
+class _Waiter:
+    """One request parked in an admission queue."""
+
+    __slots__ = ("event", "enqueued_at", "state", "reason")
+
+    QUEUED = "queued"
+    GRANTED = "granted"
+    CANCELLED = "cancelled"
+    SHED = "shed"
+
+    def __init__(self, event, enqueued_at: float) -> None:
+        self.event = event
+        self.enqueued_at = enqueued_at
+        self.state = _Waiter.QUEUED
+        self.reason = ""
+
+
+class _FunctionState:
+    """Per-function limiter + bounded queue."""
+
+    __slots__ = ("limiter", "inflight", "queue", "cancelled", "queue_depth_peak")
+
+    def __init__(self, aimd: AIMDConfig) -> None:
+        self.limiter = AIMDLimiter(aimd)
+        self.inflight = 0
+        self.queue: Deque[_Waiter] = deque()
+        #: Lazily cancelled waiters still physically in ``queue``.
+        self.cancelled = 0
+        self.queue_depth_peak = 0
+
+    @property
+    def depth(self) -> int:
+        """Live (non-cancelled) queued requests."""
+        return len(self.queue) - self.cancelled
+
+
+class AdmissionController:
+    """Overload protection shared by every gateway of a platform.
+
+    Attach through :meth:`repro.faas.platform.FaasPlatform.attach_admission`;
+    the platform binds the simulator, wires every gateway, and hands the
+    controller to the provider so HotC can drive brownout and the AIMD
+    tick from its control loop.
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None) -> None:
+        self.config = config or AdmissionConfig()
+        self.sim = None
+        self.stats = AdmissionStats()
+        self._states: Dict[str, _FunctionState] = {}
+        #: Hosts currently browned out (by engine name).
+        self._browned_out: set = set()
+        self._shutdown = False
+        self._last_tick = -_INF
+        #: Optional observatory; ``None`` keeps every hook inert.
+        self.obs = None
+
+    # -- wiring -----------------------------------------------------------
+    def bind(self, sim) -> None:
+        """Bind the simulator (done by ``attach_admission``)."""
+        self.sim = sim
+
+    def set_brownout(self, host: str, active: bool) -> None:
+        """A host entered/left brownout (driven by HotC's control tick)."""
+        if active:
+            self._browned_out.add(host)
+        else:
+            self._browned_out.discard(host)
+
+    @property
+    def brownout_active(self) -> bool:
+        """Whether any registered host is currently browned out."""
+        return bool(self._browned_out)
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_shutdown` has run."""
+        return self._shutdown
+
+    # -- introspection ----------------------------------------------------
+    def _state_for(self, name: str) -> _FunctionState:
+        state = self._states.get(name)
+        if state is None:
+            state = self._states[name] = _FunctionState(self.config.aimd)
+        return state
+
+    def limit(self, name: str) -> int:
+        """Current effective concurrency limit of ``name``."""
+        state = self._states.get(name)
+        if state is None:
+            return max(1, int(self.config.aimd.initial_limit))
+        return state.limiter.effective
+
+    def inflight(self, name: str) -> int:
+        """Admitted, not yet released requests of ``name``."""
+        state = self._states.get(name)
+        return 0 if state is None else state.inflight
+
+    def queue_depth(self, name: str) -> int:
+        """Live queued requests of ``name``."""
+        state = self._states.get(name)
+        return 0 if state is None else state.depth
+
+    def queue_depth_total(self) -> int:
+        """Live queued requests across all functions."""
+        return sum(state.depth for state in self._states.values())
+
+    # -- the admission decision -------------------------------------------
+    def admit(self, spec: FunctionSpec, trace: RequestTrace) -> Generator:
+        """Process: decide this request's fate before the proxy pipeline.
+
+        Returns ``True`` when the request may proceed to the watchdog;
+        ``False`` when it was shed or blew its deadline — the trace then
+        already carries the terminal outcome and the caller only sends
+        the error response back to the client.
+        """
+        sim = self.sim
+        now = sim.now
+        trace.qos = spec.qos
+        if trace.deadline == _INF:
+            relative = (
+                spec.deadline_ms
+                if spec.deadline_ms is not None
+                else self.config.default_deadline_ms
+            )
+            if relative is not None:
+                trace.deadline = trace.t0_client_send + relative
+        if self._shutdown:
+            return self._reject(spec, trace, REASON_SHUTDOWN)
+        if now >= trace.deadline:
+            return self._deadline_miss(spec, trace)
+        if (
+            self._browned_out
+            and self.config.brownout_shed_standard
+            and spec.qos != "critical"
+        ):
+            return self._reject(spec, trace, REASON_BROWNOUT)
+        state = self._state_for(spec.name)
+        if state.inflight < state.limiter.effective and state.depth == 0:
+            state.inflight += 1
+            return self._admitted(spec, trace, queued=False)
+        if state.depth >= self.config.max_queue_depth:
+            state.limiter.record_shed()
+            return self._reject(spec, trace, REASON_QUEUE_FULL)
+
+        waiter = _Waiter(sim.event(name=("admit", spec.name)), now)
+        state.queue.append(waiter)
+        depth = state.depth
+        if depth > state.queue_depth_peak:
+            state.queue_depth_peak = depth
+        if depth > self.stats.queue_depth_peak:
+            self.stats.queue_depth_peak = depth
+
+        if trace.deadline < _INF:
+            deadline = sim.timeout(trace.deadline - now)
+            index, _ = yield AnyOf([waiter.event, deadline])
+            if index == 0:
+                deadline.cancel()
+        else:
+            yield waiter.event
+            index = 0
+        trace.queue_ms += sim.now - waiter.enqueued_at
+
+        if index == 1:  # the deadline fired while we waited
+            if waiter.state == _Waiter.GRANTED:
+                # The grant raced the deadline inside this instant: give
+                # the slot straight back so accounting stays exact.
+                state.inflight -= 1
+                self._grant_next(state)
+            elif waiter.state == _Waiter.QUEUED:
+                # Lazy-cancel: the record stays in the deque and is
+                # skipped (and dropped) by the next _grant_next sweep.
+                waiter.state = _Waiter.CANCELLED
+                state.cancelled += 1
+            # A SHED waiter was already unlinked by begin_shutdown.
+            state.limiter.record_miss()
+            return self._deadline_miss(spec, trace)
+        if waiter.state == _Waiter.SHED:
+            return self._reject(spec, trace, waiter.reason)
+        return self._admitted(spec, trace, queued=True)
+
+    def release(self, spec: FunctionSpec, trace: RequestTrace, now: float) -> None:
+        """An admitted request left the gateway: feed AIMD, grant next."""
+        state = self._state_for(spec.name)
+        state.inflight -= 1
+        if now > trace.deadline or trace.outcome is RequestOutcome.DEADLINE:
+            state.limiter.record_miss()
+        elif trace.outcome in (RequestOutcome.SUCCESS, RequestOutcome.RETRIED):
+            state.limiter.record_success()
+        self._grant_next(state)
+
+    def _grant_next(self, state: _FunctionState) -> None:
+        """Hand freed slots to the oldest live waiters (lazy-cancel aware)."""
+        queue = state.queue
+        while queue:
+            if queue[0].state == _Waiter.CANCELLED:
+                queue.popleft()
+                state.cancelled -= 1
+                continue
+            if state.inflight >= state.limiter.effective:
+                return
+            waiter = queue.popleft()
+            waiter.state = _Waiter.GRANTED
+            state.inflight += 1
+            # Grant at the current instant *via the queue* so the
+            # releasing process finishes its step first (the Resource
+            # idiom); bit-reproducible by (time, priority, seq) order.
+            self.sim._queue.push(self.sim._now, waiter.event.succeed, (), 0, False)
+
+    # -- the control-loop tick ---------------------------------------------
+    def tick(self, now: float) -> None:
+        """Apply one interval of AIMD feedback (idempotent per instant).
+
+        Every HotC host calls this from its control tick; co-scheduled
+        ticks of a multi-host cluster collapse into one adjustment.
+        """
+        if now <= self._last_tick:
+            return
+        self._last_tick = now
+        obs = self.obs
+        for name in sorted(self._states):
+            state = self._states[name]
+            state.limiter.tick()
+            # A raised limit (or a cut that still leaves room) may free
+            # slots without any release happening: wake waiters now.
+            self._grant_next(state)
+            if obs is not None:
+                obs.gauge(
+                    "admission_concurrency_limit",
+                    help="Current AIMD concurrency limit",
+                    function=name,
+                ).set(state.limiter.effective)
+                obs.gauge(
+                    "admission_queue_depth",
+                    help="Requests waiting for admission",
+                    function=name,
+                ).set(state.depth)
+
+    # -- shutdown -----------------------------------------------------------
+    def begin_shutdown(self) -> None:
+        """Reject new admissions and drain every queue deterministically.
+
+        Queued waiters are shed (reason ``shutdown``) in FIFO order per
+        function, functions in name order; their gateway processes wake
+        through the simulator queue and answer the clients with SHED.
+        Idempotent: the provider calls this once per host on shutdown.
+        """
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for name in sorted(self._states):
+            state = self._states[name]
+            while state.queue:
+                waiter = state.queue.popleft()
+                if waiter.state == _Waiter.CANCELLED:
+                    state.cancelled -= 1
+                    continue
+                waiter.state = _Waiter.SHED
+                waiter.reason = REASON_SHUTDOWN
+                self.sim._queue.push(
+                    self.sim._now, waiter.event.succeed, (), 0, False
+                )
+
+    # -- terminal stampers ----------------------------------------------------
+    def _admitted(self, spec: FunctionSpec, trace: RequestTrace, queued: bool) -> bool:
+        self.stats.admitted += 1
+        if queued:
+            self.stats.admitted_queued += 1
+        if self.obs is not None:
+            self.obs.emit(
+                EventKind.ADMIT,
+                t=self.sim.now,
+                key=spec.name,
+                queued=queued,
+            )
+        return True
+
+    def _reject(self, spec: FunctionSpec, trace: RequestTrace, reason: str) -> bool:
+        trace.outcome = RequestOutcome.SHED
+        trace.shed_reason = reason
+        self.stats.shed[reason] = self.stats.shed.get(reason, 0) + 1
+        if self.obs is not None:
+            self.obs.emit(
+                EventKind.SHED,
+                t=self.sim.now,
+                key=spec.name,
+                reason=reason,
+                qos=spec.qos,
+            )
+            self.obs.counter(
+                "requests_shed_total",
+                help="Requests rejected by admission control, by reason",
+                function=spec.name,
+                reason=reason,
+            ).inc()
+        return False
+
+    def _deadline_miss(self, spec: FunctionSpec, trace: RequestTrace) -> bool:
+        trace.outcome = RequestOutcome.DEADLINE
+        self.stats.deadline_misses += 1
+        if self.obs is not None:
+            self.obs.emit(
+                EventKind.DEADLINE_MISS,
+                t=self.sim.now,
+                key=spec.name,
+                where="queued",
+            )
+            self.obs.counter(
+                "deadline_misses_total",
+                help="Requests terminated against their deadline",
+                function=spec.name,
+                where="queued",
+            ).inc()
+        return False

@@ -75,6 +75,10 @@ class EngineStats:
     breaker_fastfails: int = 0
     request_retries: int = 0
     requests_failed: int = 0
+    #: Requests the watchdog terminated against their deadline instead
+    #: of retrying (only non-zero with an admission controller's
+    #: deadlines in play).
+    requests_deadline: int = 0
 
     @property
     def total_execs(self) -> int:

@@ -96,6 +96,16 @@ class ClusterHotC(RuntimeProvider):
         for host in self.hosts:
             host.attach_observatory(observatory)
 
+    def attach_admission(self, controller) -> None:
+        """Wire one shared admission controller through every host.
+
+        Each host drives its own brownout state machine against the
+        shared controller; the AIMD tick collapses across co-scheduled
+        control loops.
+        """
+        for host in self.hosts:
+            host.attach_admission(controller)
+
     # -- introspection ----------------------------------------------------
     @property
     def n_hosts(self) -> int:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
+from repro.admission.brownout import BrownoutController
 from repro.containers.container import Container, ContainerConfig
 from repro.containers.engine import ContainerEngine
 from repro.core.breaker import CircuitBreaker
@@ -167,6 +168,10 @@ class HotC(RuntimeProvider):
         self.metadata_store = None
         #: Optional observatory; ``None`` keeps every hook inert.
         self.obs = None
+        #: Optional admission controller; ``None`` keeps overload
+        #: protection (brownout, AIMD tick) fully inert.
+        self.admission = None
+        self._brownout: Optional[BrownoutController] = None
 
     # -- the provider protocol ------------------------------------------------
     def key_of(self, config: ContainerConfig) -> RuntimeKey:
@@ -194,6 +199,24 @@ class HotC(RuntimeProvider):
         self.engine.attach_observatory(observatory)
         self.pool.attach_observatory(observatory, host=self.engine.name)
         self.cleanup.obs = observatory
+
+    def attach_admission(self, controller) -> None:
+        """Wire overload protection through this host (``None`` detaches).
+
+        The control loop then drives the controller's AIMD tick and this
+        host's brownout state machine: under memory pressure (or a
+        container-cap trip) the host degrades — prewarm pauses, pool
+        targets shrink, and standard-QoS requests are shed at the
+        gateway — *before* warm containers get evicted.
+        """
+        self.admission = controller
+        if controller is None:
+            self._brownout = None
+            return
+        self._brownout = BrownoutController(
+            enter_threshold=self.config.limits.memory_threshold,
+            exit_margin=controller.config.brownout_exit_margin,
+        )
 
     def acquire(self, config: ContainerConfig) -> Generator:
         """Process: Algorithm 1 — reuse when available, else cold boot.
@@ -546,9 +569,14 @@ class HotC(RuntimeProvider):
 
         Safe mid-burst: the control loop's pending tick exits without
         running, prewarm boots still in flight are retired on landing
-        instead of joining the pool, and busy containers are retired
-        when their requests release them.
+        instead of joining the pool, busy containers are retired when
+        their requests release them, and — with admission control
+        attached — new requests are shed (reason ``shutdown``) and
+        queued waiters are drained deterministically instead of being
+        left parked on the gateway.
         """
+        if self.admission is not None:
+            self.admission.begin_shutdown()
         self._draining = True
         self._control_running = False
         # A stale loop waiting on its tick exits on the generation check.
@@ -649,6 +677,9 @@ class HotC(RuntimeProvider):
     def control_tick(self) -> None:
         """One prediction + resize step (public for tests/experiments)."""
         obs = self.obs
+        admission = self.admission
+        if admission is not None:
+            self._update_brownout()
         for key in tuple(self._config_for_key):
             demand = self._peak.get(key, 0)
             self._peak[key] = self._busy.get(key, 0)
@@ -669,6 +700,13 @@ class HotC(RuntimeProvider):
                     ),
                     self.controller.target(key),
                 )
+                if admission is not None and self._brownout.active:
+                    # Degraded mode: provision for a fraction of the
+                    # forecast so the pool sheds weight before the
+                    # pressure path has to evict warm containers.
+                    target = int(
+                        target * admission.config.brownout_target_factor
+                    )
                 self._resize_key(key, target)
             if obs is not None:
                 host = self.engine.name
@@ -703,6 +741,44 @@ class HotC(RuntimeProvider):
                         host=host,
                         key=str(key),
                     ).set(forecast)
+        if admission is not None:
+            # Drive the AIMD interval from the same control clock; the
+            # controller collapses co-scheduled multi-host ticks.
+            admission.tick(self.sim.now)
+
+    def _update_brownout(self) -> None:
+        """Advance the brownout state machine with this tick's pressure.
+
+        Entering pauses prewarm, shrinks pool targets and tells the
+        admission controller to shed standard-QoS traffic; the exit
+        needs the memory fraction to clear the hysteresis margin so the
+        mode cannot flap around the threshold.
+        """
+        resources = self.engine.resources
+        cap_tripped = (
+            self.pool.total_live + self._pending_total()
+            >= self.config.limits.max_containers
+            or resources.used_swap_mb > 0.0
+        )
+        transition = self._brownout.update(resources.mem_fraction, cap_tripped)
+        if not transition:
+            return
+        active = transition == "enter"
+        self.admission.set_brownout(self.engine.name, active)
+        if self.obs is not None:
+            self.obs.emit(
+                EventKind.BROWNOUT_ENTER if active else EventKind.BROWNOUT_EXIT,
+                t=self.sim.now,
+                host=self.engine.name,
+                mem_fraction=round(resources.mem_fraction, 4),
+                cap_tripped=cap_tripped,
+            )
+            self.obs.counter(
+                "brownout_transitions_total",
+                help="Brownout state changes by direction",
+                host=self.engine.name,
+                to="active" if active else "clear",
+            ).inc()
 
     def _resize_key(self, key: RuntimeKey, target: int) -> None:
         """Move the pool toward ``target`` containers of type ``key``."""
@@ -732,6 +808,10 @@ class HotC(RuntimeProvider):
 
     def _spawn_prewarm(self, key: RuntimeKey) -> None:
         if self._draining:
+            return
+        if self._brownout is not None and self._brownout.active:
+            # Degraded mode: a host already under memory pressure must
+            # not spend capacity growing the pool it is trying to shrink.
             return
         breaker = self._breaker_for(key)
         if breaker.is_open(self.sim.now):

@@ -42,7 +42,18 @@ class FunctionSpec:
         Resource limits per executing request.
     payload:
         Optional real computation run at exec time.
+    qos:
+        Quality-of-service class: ``"standard"`` requests are shed first
+        under brownout; ``"critical"`` requests are admitted as long as
+        any capacity remains.
+    deadline_ms:
+        Relative per-request deadline applied at admission (``None``
+        falls back to the admission controller's default).  Requests
+        that cannot finish by ``t0 + deadline_ms`` are terminated with
+        :class:`~repro.faas.tracing.RequestOutcome.DEADLINE`.
     """
+
+    QOS_CLASSES = ("critical", "standard")
 
     name: str
     image: str
@@ -58,12 +69,20 @@ class FunctionSpec:
     cpu_millicores: float = 250.0
     mem_mb: float = 128.0
     payload: Optional[Callable[[], Any]] = None
+    qos: str = "standard"
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("function name must be non-empty")
         if self.exec_ms < 0 or self.app_init_ms < 0:
             raise ValueError("cost fields must be >= 0")
+        if self.qos not in self.QOS_CLASSES:
+            raise ValueError(
+                f"qos must be one of {self.QOS_CLASSES}, got {self.qos!r}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (or None)")
 
     def container_config(self) -> ContainerConfig:
         """The container runtime environment this function needs."""

@@ -5,7 +5,12 @@ the backends.  Gateway works as a proxy forwarding requests to the
 corresponding functions and can be scaled to multiple instances."
 
 The gateway stamps moments (1) and (6), applies its proxy forwarding
-cost, and bounds in-flight requests with a concurrency limit.
+cost, and bounds in-flight requests with a concurrency limit.  With an
+:class:`~repro.admission.AdmissionController` attached it also applies
+overload protection in front of the proxy pipeline: per-function
+concurrency limits with bounded queues, deadline enforcement, and load
+shedding — rejected requests travel the error-response path back to the
+client instead of queueing forever.
 """
 
 from __future__ import annotations
@@ -41,8 +46,12 @@ class Gateway:
         )
         self._slots = sim.resource(concurrency, name="gateway")
         self.inflight_peak = 0
+        self.queue_depth_peak = 0
         #: Optional observatory; ``None`` keeps the hooks inert.
         self.obs = None
+        #: Optional admission controller; ``None`` keeps the gateway's
+        #: behaviour bit-identical to the pre-admission pipeline.
+        self.admission = None
 
     def attach_observatory(self, observatory) -> None:
         """Record request outcomes and end-to-end latency histograms."""
@@ -54,6 +63,11 @@ class Gateway:
         """Requests currently inside the gateway."""
         return self._slots.in_use
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting for a gateway concurrency slot."""
+        return self._slots.queued
+
     def handle(self, spec: FunctionSpec, trace: RequestTrace) -> Generator:
         """Process: the full request pipeline, moments (1)..(6)."""
         latency = self.engine.latency
@@ -62,7 +76,29 @@ class Gateway:
         yield self.sim.timeout(latency.faas_stage("client_to_gateway"))
         trace.t1_gateway_in = self.sim.now
 
-        yield self._slots.request()
+        admission = self.admission
+        if admission is not None:
+            admitted = yield from admission.admit(spec, trace)
+            if not admitted:
+                # Shed or past-deadline: the trace already carries the
+                # terminal outcome; only the error response goes back.
+                trace = yield from self._respond(spec, trace, latency)
+                return trace
+
+        grant = self._slots.request()
+        if not grant.triggered:
+            depth = self._slots.queued
+            if depth > self.queue_depth_peak:
+                self.queue_depth_peak = depth
+        try:
+            yield grant
+        except BaseException:
+            # Abandoned while waiting (interrupt, kill): a waiter left
+            # parked would absorb a future release and leak that slot
+            # forever; if the grant already raced in, hand it back.
+            if not self._slots.cancel(grant):
+                self._slots.release()
+            raise
         self.inflight_peak = max(self.inflight_peak, self._slots.in_use)
         try:
             # MakeQueuedProxy: route lookup + forwarding.
@@ -74,7 +110,15 @@ class Gateway:
             yield self.sim.timeout(latency.faas_stage("watchdog_to_gateway"))
         finally:
             self._slots.release()
+            if admission is not None:
+                admission.release(spec, trace, self.sim.now)
 
+        trace = yield from self._respond(spec, trace, latency)
+        return trace
+
+    def _respond(self, spec: FunctionSpec, trace: RequestTrace, latency) -> Generator:
+        """Process: moment (6) — the response (or rejection) reaches the
+        client — plus the terminal observability records."""
         yield self.sim.timeout(latency.faas_stage("gateway_to_client"))
         trace.t6_client_recv = self.sim.now
         if self.obs is not None:

@@ -149,6 +149,9 @@ class FaasPlatform:
         self.traces = TraceCollector()
         self._functions: Dict[str, FunctionSpec] = {}
         self._request_ids = itertools.count()
+        #: Optional admission controller; ``None`` keeps the platform
+        #: bit-identical to one built before overload protection existed.
+        self.admission = None
 
     @property
     def gateway(self) -> Gateway:
@@ -169,6 +172,26 @@ class FaasPlatform:
         attach = getattr(self.provider, "attach_observatory", None)
         if attach is not None:
             attach(observatory)
+        if self.admission is not None:
+            self.admission.obs = observatory
+
+    def attach_admission(self, controller) -> None:
+        """Wire overload protection through the whole platform.
+
+        Binds the simulator, puts the controller in front of every
+        gateway's proxy pipeline, and — when the provider supports it
+        (HotC, ClusterHotC) — hands it to the provider so the control
+        loop drives the AIMD tick and brownout transitions.
+        """
+        controller.bind(self.sim)
+        self.admission = controller
+        for gateway in self.gateways:
+            gateway.admission = controller
+        attach = getattr(self.provider, "attach_admission", None)
+        if attach is not None:
+            attach(controller)
+        if self.gateway.obs is not None:
+            controller.obs = self.gateway.obs
 
     # -- deployment -------------------------------------------------------
     def deploy(self, spec: FunctionSpec) -> None:

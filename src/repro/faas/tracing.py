@@ -27,8 +27,8 @@ __all__ = ["RequestOutcome", "RequestTrace", "TraceCollector"]
 class RequestOutcome(enum.Enum):
     """Terminal disposition of a request.
 
-    Every trace leaves the watchdog with one of the three terminal
-    outcomes; ``PENDING`` survives only while the request is in flight.
+    Every trace leaves the platform with one of the terminal outcomes;
+    ``PENDING`` survives only while the request is in flight.
     """
 
     PENDING = "pending"
@@ -38,6 +38,22 @@ class RequestOutcome(enum.Enum):
     #: All attempts (original + retries) failed; an error response was
     #: returned to the client.
     FAILED = "failed"
+    #: Rejected by admission control (queue full, brownout, shutdown)
+    #: before reaching a watchdog — the 429-style answer of an
+    #: overloaded platform.  ``shed_reason`` says why.
+    SHED = "shed"
+    #: Timed out against its deadline (while queued for admission, or
+    #: out of retry budget mid-request) — the request can no longer
+    #: succeed in time, so it was terminated instead of served late.
+    DEADLINE = "deadline"
+
+
+#: Outcomes that never produced a real function response; excluded from
+#: latency statistics by default (their truncated error-path timings
+#: would skew every mean the figures average).
+_UNANSWERED = frozenset(
+    (RequestOutcome.FAILED, RequestOutcome.SHED, RequestOutcome.DEADLINE)
+)
 
 
 @dataclass
@@ -59,12 +75,20 @@ class RequestTrace:
     runtime_init_ms: float = 0.0
     app_init_ms: float = 0.0
     exec_ms: float = 0.0
-    #: Terminal disposition (stamped by the watchdog).
+    #: Terminal disposition (stamped by the watchdog / admission layer).
     outcome: RequestOutcome = RequestOutcome.PENDING
     #: Request-level retries this request consumed.
     retries: int = 0
     #: The final error, for failed requests ("ExcType: message").
     error: str = ""
+    #: Absolute deadline (sim ms); ``inf`` means no deadline applies.
+    deadline: float = float("inf")
+    #: QoS class copied from the function spec at admission time.
+    qos: str = ""
+    #: Why the request was shed (``""`` unless outcome is SHED).
+    shed_reason: str = ""
+    #: Time spent waiting in the admission queue (ms).
+    queue_ms: float = 0.0
 
     # -- derived segments (all ms) ----------------------------------------
     @property
@@ -143,19 +167,18 @@ class TraceCollector:
     def _included(self, include_failed: bool) -> List[RequestTrace]:
         """Traces that belong in latency statistics.
 
-        Failed requests carry error-path timings (often NaN ``t6`` or a
-        truncated pipeline), so by default only traces that returned a
-        real response to the client — SUCCESS and RETRIED — enter the
-        latency series the figures average.  Failure *counts* are always
-        reported separately (:meth:`failed_count`, :meth:`outcome_counts`).
+        Failed, shed and deadline-missed requests carry error-path
+        timings (often NaN ``t6`` or a truncated pipeline), so by
+        default only traces that returned a real response to the client
+        — SUCCESS and RETRIED — enter the latency series the figures
+        average.  ``include_failed=True`` restores all of them; the
+        unanswered *counts* are always reported separately
+        (:meth:`failed_count`, :meth:`shed_count`,
+        :meth:`deadline_count`, :meth:`outcome_counts`).
         """
         if include_failed:
             return self._traces
-        return [
-            t
-            for t in self._traces
-            if t.outcome is not RequestOutcome.FAILED
-        ]
+        return [t for t in self._traces if t.outcome not in _UNANSWERED]
 
     def latencies(self, include_failed: bool = False) -> np.ndarray:
         """End-to-end latencies (ms) of answered requests, in completion
@@ -206,6 +229,26 @@ class TraceCollector:
         return sum(
             1 for t in self._traces if t.outcome is RequestOutcome.FAILED
         )
+
+    def shed_count(self) -> int:
+        """Requests rejected by admission control."""
+        return sum(
+            1 for t in self._traces if t.outcome is RequestOutcome.SHED
+        )
+
+    def deadline_count(self) -> int:
+        """Requests terminated against their deadline."""
+        return sum(
+            1 for t in self._traces if t.outcome is RequestOutcome.DEADLINE
+        )
+
+    def shed_reasons(self) -> Dict[str, int]:
+        """Shed traces per reason (``{"queue_full": 3, ...}``)."""
+        counts: Dict[str, int] = {}
+        for trace in self._traces:
+            if trace.outcome is RequestOutcome.SHED:
+                counts[trace.shed_reason] = counts.get(trace.shed_reason, 0) + 1
+        return counts
 
     def retry_total(self) -> int:
         """Request-level retries consumed across all traces."""

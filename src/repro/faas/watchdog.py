@@ -84,6 +84,17 @@ class Watchdog:
                 if attempts >= self.max_retries:
                     trace = yield from self._fail(trace, attempts, error, latency)
                     return trace
+                if self.sim.now >= trace.deadline:
+                    # No budget left: a retry would boot a container for
+                    # a request that can no longer succeed in time.
+                    trace = yield from self._fail(
+                        trace,
+                        attempts,
+                        error,
+                        latency,
+                        outcome=RequestOutcome.DEADLINE,
+                    )
+                    return trace
                 attempts += 1
                 self.engine.stats.request_retries += 1
                 if self.obs is not None:
@@ -121,19 +132,43 @@ class Watchdog:
         )
         return trace
 
-    def _fail(self, trace, attempts, error, latency) -> Generator:
-        """Process: terminate the request with an error response."""
-        self.engine.stats.requests_failed += 1
+    def _fail(
+        self,
+        trace,
+        attempts,
+        error,
+        latency,
+        outcome: RequestOutcome = RequestOutcome.FAILED,
+    ) -> Generator:
+        """Process: terminate the request with an error response.
+
+        ``outcome`` distinguishes exhausted retries (FAILED) from a
+        retry budget cut short by the deadline (DEADLINE); either way
+        the terminal outcome and the error land on the trace so the
+        collector's latency accessors can exclude it.
+        """
+        if outcome is RequestOutcome.DEADLINE:
+            self.engine.stats.requests_deadline += 1
+        else:
+            self.engine.stats.requests_failed += 1
         if self.obs is not None:
-            self.obs.counter(
-                "requests_failed_total",
-                help="Requests that exhausted retries",
-                host=self.engine.name,
-                function=trace.function,
-            ).inc()
+            if outcome is RequestOutcome.DEADLINE:
+                self.obs.counter(
+                    "deadline_misses_total",
+                    help="Requests terminated against their deadline",
+                    function=trace.function,
+                    where="retry",
+                ).inc()
+            else:
+                self.obs.counter(
+                    "requests_failed_total",
+                    help="Requests that exhausted retries",
+                    host=self.engine.name,
+                    function=trace.function,
+                ).inc()
         trace.t3_function_start = trace.t4_function_stop = self.sim.now
         trace.retries = attempts
-        trace.outcome = RequestOutcome.FAILED
+        trace.outcome = outcome
         trace.error = f"{type(error).__name__}: {error}"
         # The error response still travels the watchdog->client path.
         yield self.sim.timeout(latency.faas_stage("watchdog_pipe"))

@@ -173,6 +173,7 @@ def failure_table(
         "breaker_fastfails",
         "request_retries",
         "requests_failed",
+        "requests_deadline",
     ):
         rows.append(("recovery", attr, engine_sum(attr)))
     if cluster_stats is not None:

@@ -58,6 +58,18 @@ class EventKind(enum.Enum):
     CONTROL_TICK = "control_tick"
     #: A request reached a terminal outcome at the gateway.
     REQUEST_DONE = "request_done"
+    #: Admission control accepted a request (``queued`` true when it
+    #: waited in the admission queue first).
+    ADMIT = "admit"
+    #: Admission control rejected a request (``reason``:
+    #: queue_full/brownout/shutdown).
+    SHED = "shed"
+    #: A request blew its deadline (while queued, or out of retry budget).
+    DEADLINE_MISS = "deadline_miss"
+    #: A host entered brownout (memory pressure / container-cap trip).
+    BROWNOUT_ENTER = "brownout_enter"
+    #: A host left brownout (pressure cleared past the hysteresis margin).
+    BROWNOUT_EXIT = "brownout_exit"
 
 
 @dataclass(frozen=True)

@@ -388,6 +388,22 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, request: Event) -> bool:
+        """Withdraw a pending :meth:`request` that was never granted.
+
+        Returns ``True`` when the waiter was still queued (it is removed
+        and will never receive a slot).  Returns ``False`` when the
+        request already holds — or is in the middle of being handed — a
+        slot; the caller then owns that slot and must :meth:`release` it.
+        A process abandoning a wait (interrupt, deadline) must call this
+        so its queue position cannot absorb a future release forever.
+        """
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            return False
+        return True
+
 
 class Store:
     """An unbounded FIFO item store with blocking ``get``.

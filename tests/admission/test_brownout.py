@@ -1,0 +1,65 @@
+"""Brownout hysteresis: enter at the threshold, exit below it minus margin."""
+
+import pytest
+
+from repro.admission import BrownoutController
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"enter_threshold": 0.0},
+            {"enter_threshold": 1.5},
+            {"exit_margin": -0.1},
+            {"enter_threshold": 0.3, "exit_margin": 0.3},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            BrownoutController(**kwargs)
+
+
+class TestHysteresis:
+    def test_enters_exactly_at_threshold(self):
+        ctrl = BrownoutController(enter_threshold=0.8, exit_margin=0.05)
+        assert ctrl.update(0.79) == ""
+        assert not ctrl.active
+        assert ctrl.update(0.80) == "enter"
+        assert ctrl.active
+        assert ctrl.entries == 1
+
+    def test_exit_needs_the_margin(self):
+        ctrl = BrownoutController(enter_threshold=0.8, exit_margin=0.05)
+        ctrl.update(0.9)
+        # Dipping just under the enter threshold is inside the band:
+        # the mode holds so it cannot flap around the threshold.
+        assert ctrl.update(0.79) == ""
+        assert ctrl.active
+        assert ctrl.update(0.76) == ""
+        assert ctrl.active
+        # Only clearly below threshold - margin releases it.
+        assert ctrl.update(0.74) == "exit"
+        assert not ctrl.active
+        assert ctrl.exits == 1
+
+    def test_cap_trip_enters_regardless_of_memory(self):
+        ctrl = BrownoutController(enter_threshold=0.8)
+        assert ctrl.update(0.1, cap_tripped=True) == "enter"
+        assert ctrl.active
+
+    def test_cap_trip_blocks_exit(self):
+        ctrl = BrownoutController(enter_threshold=0.8, exit_margin=0.05)
+        ctrl.update(0.9)
+        assert ctrl.update(0.1, cap_tripped=True) == ""
+        assert ctrl.active
+        assert ctrl.update(0.1, cap_tripped=False) == "exit"
+
+    def test_transitions_counted_across_cycles(self):
+        ctrl = BrownoutController(enter_threshold=0.8, exit_margin=0.05)
+        for _ in range(3):
+            assert ctrl.update(0.85) == "enter"
+            assert ctrl.update(0.85) == ""  # already active: no re-entry
+            assert ctrl.update(0.5) == "exit"
+        assert ctrl.entries == 3
+        assert ctrl.exits == 3

@@ -1,0 +1,67 @@
+"""Tier-1 overload smoke: a burst of twice the concurrency limit must
+complete with a bounded queue and deterministic shed counts."""
+
+from repro.admission import AdmissionConfig, AdmissionController, AIMDConfig
+from repro.core import HotC, HotCConfig
+from repro.faas import FaasPlatform
+
+LIMIT = 4
+QUEUE_CAP = 2
+BURST = 2 * LIMIT  # 4 admitted + 2 queued + 2 shed
+
+
+def run_burst(registry, fn):
+    platform = FaasPlatform(
+        registry,
+        seed=3,
+        jitter_sigma=0.0,
+        provider_factory=lambda e: HotC(
+            e, HotCConfig(control_interval_ms=0.0)
+        ),
+    )
+    platform.deploy(fn)
+    ctrl = AdmissionController(
+        AdmissionConfig(
+            max_queue_depth=QUEUE_CAP,
+            aimd=AIMDConfig(initial_limit=float(LIMIT)),
+            default_deadline_ms=60_000.0,
+        )
+    )
+    platform.attach_admission(ctrl)
+    for _ in range(BURST):
+        platform.submit(fn.name)
+    platform.run()
+    platform.shutdown()
+    return platform, ctrl
+
+
+def test_burst_is_bounded_and_fully_answered(registry, fn_python):
+    platform, ctrl = run_burst(registry, fn_python)
+    traces = platform.traces
+    assert len(traces) == BURST
+    assert traces.all_terminal()
+    # The queue never grew past its cap, and exactly the overflow shed.
+    assert ctrl.stats.queue_depth_peak <= QUEUE_CAP
+    assert ctrl.stats.admitted == LIMIT + QUEUE_CAP
+    assert ctrl.stats.admitted_queued == QUEUE_CAP
+    assert traces.shed_count() == BURST - LIMIT - QUEUE_CAP
+    assert traces.shed_reasons() == {"queue_full": BURST - LIMIT - QUEUE_CAP}
+    # Shed requests still answered the client (error response path).
+    for trace in traces:
+        assert trace.t6_client_recv > trace.t0_client_send
+    # Admission left nothing behind.
+    assert ctrl.inflight(fn_python.name) == 0
+    assert ctrl.queue_depth(fn_python.name) == 0
+
+
+def test_shed_counts_deterministic_across_runs(registry, fn_python):
+    def fingerprint():
+        platform, ctrl = run_burst(registry, fn_python)
+        return (
+            platform.traces.outcome_counts(),
+            platform.traces.shed_reasons(),
+            ctrl.stats.as_dict(),
+            tuple(t.t6_client_recv for t in platform.traces),
+        )
+
+    assert fingerprint() == fingerprint()

@@ -1,0 +1,106 @@
+"""Gateway concurrency queue: depth accounting and the waiter-leak fix.
+
+A request abandoned while waiting for a gateway slot (interrupted
+client, admission deadline) used to leave its waiter event parked in the
+semaphore's FIFO; the next release would hand the slot to the dead
+waiter and the capacity was lost forever.  ``handle`` now withdraws the
+waiter (or returns a slot granted mid-abandon), so the gateway's
+capacity survives any number of abandoned waits.
+"""
+
+import pytest
+
+from repro.faas import FaasPlatform, FunctionSpec
+from repro.faas.tracing import RequestOutcome
+
+
+def make_platform(registry, concurrency=1):
+    platform = FaasPlatform(
+        registry, seed=1, jitter_sigma=0.0, gateway_concurrency=concurrency
+    )
+    platform.deploy(
+        FunctionSpec(name="slow-fn", image="python:3.6", exec_ms=100.0)
+    )
+    return platform
+
+
+def run_until_queued(platform, depth=1, deadline=10_000.0):
+    """Advance the sim until the gateway queue holds ``depth`` waiters."""
+    gateway = platform.gateway
+    step = 1.0
+    t = 0.0
+    while gateway.queue_depth < depth:
+        t += step
+        assert t <= deadline, "queue never built up"
+        platform.run(until=t)
+    return t
+
+
+class TestQueueDepth:
+    def test_depth_and_peak_track_waiters(self, registry):
+        platform = make_platform(registry, concurrency=1)
+        platform.submit("slow-fn")
+        platform.submit("slow-fn")
+        platform.submit("slow-fn")
+        run_until_queued(platform, depth=2)
+        gateway = platform.gateway
+        assert gateway.inflight == 1
+        assert gateway.queue_depth == 2
+        platform.run()
+        assert gateway.queue_depth == 0
+        assert gateway.inflight == 0
+        assert gateway.queue_depth_peak == 2
+        assert platform.traces.all_terminal()
+        assert len(platform.traces) == 3
+
+    def test_no_queue_no_peak(self, registry):
+        platform = make_platform(registry, concurrency=8)
+        platform.submit("slow-fn")
+        platform.submit("slow-fn")
+        platform.run()
+        assert platform.gateway.queue_depth_peak == 0
+
+
+class TestWaiterLeak:
+    def test_interrupted_waiter_does_not_leak_the_slot(self, registry):
+        platform = make_platform(registry, concurrency=1)
+        platform.submit("slow-fn")
+        second = platform.submit("slow-fn")
+        run_until_queued(platform, depth=1)
+        # The queued client gives up (connection dropped).
+        second.interrupt("client gone")
+        platform.run()
+        gateway = platform.gateway
+        assert gateway.queue_depth == 0
+        assert gateway.inflight == 0
+        assert len(platform.traces) == 1  # the abandoned request never landed
+        # The slot is alive: a fresh request flows straight through.
+        platform.submit("slow-fn")
+        platform.run()
+        assert len(platform.traces) == 2
+        assert platform.traces.all_terminal()
+        assert all(
+            t.outcome is RequestOutcome.SUCCESS for t in platform.traces
+        )
+        assert gateway.inflight == 0
+
+    def test_many_abandoned_waiters(self, registry):
+        """Every waiter of a deep queue abandoning must free the whole
+        capacity (the leak compounded per abandoned waiter)."""
+        platform = make_platform(registry, concurrency=2)
+        keepers = [platform.submit("slow-fn") for _ in range(2)]
+        leavers = [platform.submit("slow-fn") for _ in range(3)]
+        run_until_queued(platform, depth=3)
+        for proc in leavers:
+            proc.interrupt("gone")
+        platform.run()
+        assert platform.gateway.inflight == 0
+        assert platform.gateway.queue_depth == 0
+        assert len(platform.traces) == 2
+        # Full capacity available again.
+        for _ in range(2):
+            platform.submit("slow-fn")
+        platform.run()
+        assert len(platform.traces) == 4
+        assert platform.gateway.inflight == 0
+        assert [p.triggered for p in keepers] == [True, True]

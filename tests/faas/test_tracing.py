@@ -134,3 +134,58 @@ class TestFailedTraceExclusion:
             "failed": 1,
             "retried": 1,
         }
+
+
+class TestShedAndDeadlineExclusion:
+    """SHED/DEADLINE traces are unanswered: out of latency stats by
+    default, countable on their own, included via ``include_failed``."""
+
+    @staticmethod
+    def _overloaded_collector():
+        collector = TraceCollector()
+        success = make_trace(0, exec_ms=10)
+        success.outcome = RequestOutcome.SUCCESS
+        collector.add(success)
+        shed = make_trace(1, exec_ms=0)
+        shed.outcome = RequestOutcome.SHED
+        shed.shed_reason = "queue_full"
+        collector.add(shed)
+        shed2 = make_trace(2, exec_ms=0)
+        shed2.outcome = RequestOutcome.SHED
+        shed2.shed_reason = "brownout"
+        collector.add(shed2)
+        missed = make_trace(3, exec_ms=5_000)
+        missed.outcome = RequestOutcome.DEADLINE
+        missed.deadline = 100.0
+        missed.queue_ms = 100.0
+        collector.add(missed)
+        return collector
+
+    def test_latencies_exclude_shed_and_deadline(self):
+        collector = self._overloaded_collector()
+        assert collector.latencies().size == 1
+        assert collector.latencies(include_failed=True).size == 4
+
+    def test_counts(self):
+        collector = self._overloaded_collector()
+        assert collector.shed_count() == 2
+        assert collector.deadline_count() == 1
+        assert collector.shed_reasons() == {"queue_full": 1, "brownout": 1}
+        assert collector.outcome_counts() == {
+            "success": 1,
+            "shed": 2,
+            "deadline": 1,
+        }
+
+    def test_all_terminal_accepts_overload_outcomes(self):
+        collector = self._overloaded_collector()
+        assert collector.all_terminal()
+        pending = make_trace(4)
+        collector.add(pending)
+        assert not collector.all_terminal()
+
+    def test_mean_latency_unpolluted_by_error_paths(self):
+        collector = self._overloaded_collector()
+        assert collector.mean_latency() == pytest.approx(
+            make_trace(0, exec_ms=10).total_latency
+        )

@@ -1,0 +1,56 @@
+"""Watchdog retry loop: a retry must respect the remaining deadline.
+
+With fault injection crashing every execution, a request whose deadline
+has already passed when the retry decision is made must terminate with
+``DEADLINE`` (not burn another boot), while a request with budget left
+keeps the normal retry-then-``FAILED`` path.
+"""
+
+from repro.admission import AdmissionConfig, AdmissionController
+from repro.faas import FaasPlatform, FunctionSpec
+from repro.faas.tracing import RequestOutcome
+from repro.faults import FaultPlan, FaultSpec
+
+
+def make_platform(registry, deadline_ms):
+    platform = FaasPlatform(registry, seed=1, jitter_sigma=0.0)
+    platform.deploy(
+        FunctionSpec(name="crashy", image="python:3.6", exec_ms=20.0)
+    )
+    ctrl = AdmissionController(
+        AdmissionConfig(default_deadline_ms=deadline_ms)
+    )
+    platform.attach_admission(ctrl)
+    plan = FaultPlan(seed=1, spec=FaultSpec(exec_crash_rate=1.0))
+    plan.install(platform.sim, [platform.engine])
+    return platform
+
+
+def test_retry_cut_short_by_deadline(registry):
+    # The deadline passes during the (crashing) first attempt: no retry.
+    platform = make_platform(registry, deadline_ms=100.0)
+    platform.submit("crashy")
+    platform.run()
+    (trace,) = platform.traces
+    assert trace.outcome is RequestOutcome.DEADLINE
+    assert trace.retries == 0
+    assert trace.error  # the triggering failure is recorded
+    stats = platform.engine.stats
+    assert stats.requests_deadline == 1
+    assert stats.requests_failed == 0
+    assert stats.request_retries == 0
+    assert platform.traces.deadline_count() == 1
+
+
+def test_retry_happens_with_budget_left(registry):
+    # A generous deadline keeps the normal retry-then-FAILED behaviour.
+    platform = make_platform(registry, deadline_ms=600_000.0)
+    platform.submit("crashy")
+    platform.run()
+    (trace,) = platform.traces
+    assert trace.outcome is RequestOutcome.FAILED
+    assert trace.retries == 1
+    stats = platform.engine.stats
+    assert stats.requests_deadline == 0
+    assert stats.requests_failed == 1
+    assert stats.request_retries == 1

@@ -267,6 +267,46 @@ class TestResource:
         assert res.in_use == 1
         assert res.queued == 1
 
+    def test_cancel_removes_pending_waiter(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        res.request()
+        pending = res.request()
+        assert res.queued == 1
+        assert res.cancel(pending) is True
+        assert res.queued == 0
+        # The abandoned waiter cannot absorb this release: the slot
+        # frees up for the next request instead.
+        res.release()
+        assert res.in_use == 0
+        grant = res.request()
+        assert grant.triggered
+
+    def test_cancel_after_grant_returns_false(self):
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        grant = res.request()
+        assert grant.triggered
+        # Already holding a slot: the caller keeps ownership.
+        assert res.cancel(grant) is False
+        res.release()
+        assert res.in_use == 0
+
+    def test_cancel_mid_transfer_returns_false(self):
+        """A release hands the slot over via the simulator queue; a
+        cancel landing inside that window must report ownership so the
+        caller releases the slot it was just given."""
+        sim = Simulator()
+        res = sim.resource(capacity=1)
+        res.request()
+        waiter = res.request()
+        res.release()  # transfer scheduled, not yet delivered
+        assert not waiter.triggered
+        assert res.cancel(waiter) is False
+        assert res.in_use == 1  # the transfer kept the slot occupied
+        res.release()
+        assert res.in_use == 0
+
 
 class TestStore:
     def test_put_then_get(self):
