@@ -1,0 +1,34 @@
+"""Fig 16 (extension) — inter-key repurposing vs corpus concentration."""
+
+from repro.experiments import run_fig16
+
+
+def test_bench_fig16(benchmark, render):
+    figure = benchmark.pedantic(run_fig16, kwargs={"seed": 0}, rounds=1, iterations=1)
+    render(figure)
+
+    summary = figure.get_table("fig16-summary")
+    cold_off = summary.column("cold (off)")
+    cold_on = summary.column("cold (on)")
+    repurposed = summary.column("repurposed")
+    # Repurposing eliminates cold starts at every concentration level
+    # and never adds any.
+    assert all(on < off for off, on in zip(cold_off, cold_on))
+    assert all(count > 0 for count in repurposed)
+    # The head-heavy top-starred slice shares more bases, so it
+    # repurposes the most (the Fig 2 connection).
+    concentration = summary.column("head-concentration")
+    assert concentration[-1] >= concentration[0]
+    assert repurposed[-1] >= repurposed[0]
+    # Mean latency improves with repurposing on.
+    latency_off = summary.column("mean latency off (ms)")
+    latency_on = summary.column("mean latency on (ms)")
+    assert all(on < off for off, on in zip(latency_off, latency_on))
+
+    # The breakdown table keeps the paper's hit accounting exact-key.
+    breakdown = figure.get_table("fig16-reuse-breakdown")
+    counters = {(row[0], row[1]): row[2] for row in breakdown.rows}
+    assert counters[("pool", "cold_starts_eliminated")] == (
+        counters[("pool", "relaxed_hits")] + counters[("pool", "repurposed")]
+    )
+    assert counters[("pool", "exact_hit_ratio")] <= 1.0

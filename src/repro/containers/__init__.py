@@ -13,7 +13,13 @@ from :class:`repro.hardware.LatencyModel`, so the cost structure matches
 the paper's Fig 4 calibration.
 """
 
-from repro.containers.image import Image, ImageLayer, make_base_image
+from repro.containers.image import (
+    Image,
+    ImageLayer,
+    derive_image,
+    make_base_image,
+    shared_layer_prefix,
+)
 from repro.containers.registry import Registry, RegistryError
 from repro.containers.network import (
     NETWORK_MODES,
@@ -70,7 +76,9 @@ __all__ = [
     "Volume",
     "VolumeError",
     "VolumeStore",
+    "derive_image",
     "make_base_image",
+    "shared_layer_prefix",
     "parse_dockerfile",
     "validate_network_mode",
 ]

@@ -163,6 +163,12 @@ class Container:
         #: app_id of the last function run here (hot business logic).
         self.last_app_id: Optional[str] = None
         self.exec_count = 0
+        #: How the last acquire obtained this container: "" (cold boot),
+        #: "hit", "relaxed", or "repurpose" — stamped by the provider.
+        self.reuse = ""
+        #: Re-spec time (ms) charged by the last relaxed/repurpose
+        #: acquire; the watchdog copies it into the request trace.
+        self.respec_ms = 0.0
         #: Set by the engine: resource allocation backing the idle footprint.
         self.idle_allocation: Any = None
         self.exec_allocation: Any = None

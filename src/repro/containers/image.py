@@ -10,7 +10,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-__all__ = ["Image", "ImageLayer", "make_base_image", "WELL_KNOWN_BASES"]
+__all__ = [
+    "Image",
+    "ImageLayer",
+    "derive_image",
+    "make_base_image",
+    "shared_layer_prefix",
+    "WELL_KNOWN_BASES",
+]
 
 
 @dataclass(frozen=True)
@@ -107,6 +114,57 @@ def make_base_image(
         language=language,
         os_family=os_family,
     )
+
+
+def derive_image(
+    base: Image,
+    name: str,
+    tag: str = "latest",
+    extra_mb: float = 20.0,
+    language: Optional[str] = None,
+    os_family: Optional[str] = None,
+    compression_ratio: float = 0.42,
+) -> Image:
+    """Build an application image layered on top of ``base``.
+
+    The derived image shares the base's layer objects verbatim (same
+    digests, as a real registry would content-address them) and adds a
+    single app layer of ``extra_mb`` on top.  Sharing the layer tuple
+    is what makes inter-key repurposing measurable: two functions built
+    from the same base have a long common layer prefix even though
+    their references differ.
+    """
+    if extra_mb < 0:
+        raise ValueError("extra_mb must be >= 0")
+    if not 0 < compression_ratio <= 1:
+        raise ValueError("compression_ratio must be in (0, 1]")
+    app_layer = ImageLayer(
+        digest=f"sha256:{base.reference}+{name}-{tag}",
+        size_mb=extra_mb,
+        compressed_mb=extra_mb * compression_ratio,
+    )
+    return Image(
+        name=name,
+        tag=tag,
+        layers=base.layers + (app_layer,),
+        language=base.language if language is None else language,
+        os_family=base.os_family if os_family is None else os_family,
+    )
+
+
+def shared_layer_prefix(a: Image, b: Image) -> Tuple[ImageLayer, ...]:
+    """The common bottom layers of two images (matched by digest).
+
+    Layers are content-addressed, so a shared digest prefix means the
+    filesystems are identical up to that depth — a repurposed container
+    keeps those layers in place and only swaps what sits above them.
+    """
+    shared = []
+    for layer_a, layer_b in zip(a.layers, b.layers):
+        if layer_a.digest != layer_b.digest:
+            break
+        shared.append(layer_a)
+    return tuple(shared)
 
 
 #: The base images dominating the paper's GitHub survey (Fig 2a):

@@ -32,6 +32,7 @@ from repro.core.predictor import (
     ExponentialSmoothing,
     MarkovChain,
 )
+from repro.core.similarity import KeySimilarityModel
 
 __all__ = [
     "AdaptivePoolController",
@@ -49,6 +50,7 @@ __all__ = [
     "HotC",
     "HotCConfig",
     "KeyPolicy",
+    "KeySimilarityModel",
     "MarkovChain",
     "NoReuseProvider",
     "PeriodicWarmupProvider",

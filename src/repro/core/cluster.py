@@ -40,6 +40,10 @@ class ClusterStats:
 
     reuse_routed: int = 0
     cold_routed: int = 0
+    #: Acquires a host served by reconfiguring a relaxed-key match.
+    relaxed_hits: int = 0
+    #: Acquires a host served by repurposing an idle donor container.
+    repurposes: int = 0
     #: Requests re-routed to another host after an acquire failure.
     failovers: int = 0
     #: Host outages detected (a host recovering and dying again counts twice).
@@ -241,6 +245,13 @@ class ClusterHotC(RuntimeProvider):
                     raise  # nothing left to fail over to
                 reason = type(error).__name__
             else:
+                # Cluster-level reuse metadata: how the serving host
+                # actually obtained the container (the routing guess
+                # above is made before the host answers).
+                if container.reuse == "relaxed":
+                    self.stats.relaxed_hits += 1
+                elif container.reuse == "repurpose":
+                    self.stats.repurposes += 1
                 self._by_container[container.container_id] = index
                 return container, cold
             self.stats.failovers += 1

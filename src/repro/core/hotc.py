@@ -29,6 +29,7 @@ from repro.core.keys import KeyPolicy, RuntimeKey, runtime_key
 from repro.core.pool import ContainerRuntimePool, PoolLimits
 from repro.core.predictor.combined import CombinedPredictor
 from repro.core.predictor.controller import AdaptivePoolController
+from repro.core.similarity import KeySimilarityModel
 from repro.faas.platform import RuntimeProvider
 from repro.obs.events import EventKind
 from repro.faults.errors import (
@@ -73,6 +74,15 @@ class HotCConfig:
     #: miss, reuse an idle container whose *relaxed* key matches and
     #: apply the configuration delta.  ``None`` disables the fallback.
     fallback_key_policy: Optional[KeyPolicy] = None
+    #: Inter-key repurposing ("zygote" sharing, à la Pagurus): after a
+    #: full-key *and* relaxed-key miss, re-specialize an idle donor
+    #: container of a different key when its deterministic re-spec cost
+    #: beats the predicted cold boot and the donor key's forecast says
+    #: the container will not be missed.  Strictly opt-in: disabled
+    #: runs take no extra sim events and stay bit-identical.
+    repurpose: bool = False
+    #: Minimum key-similarity score a donor must reach to be priced.
+    repurpose_min_score: float = 0.5
     #: Extra boot attempts after a retryable boot failure (0 = one shot).
     boot_retries: int = 2
     #: Exponential backoff between boot attempts: the n-th retry waits
@@ -100,6 +110,8 @@ class HotCConfig:
             raise ValueError(
                 "fallback_key_policy must differ from key_policy"
             )
+        if not 0.0 <= self.repurpose_min_score <= 1.0:
+            raise ValueError("repurpose_min_score must be in [0, 1]")
         if self.boot_retries < 0:
             raise ValueError("boot_retries must be >= 0")
         if self.boot_backoff_base_ms < 0:
@@ -163,6 +175,15 @@ class HotC(RuntimeProvider):
         self._relaxed_index: Dict[RuntimeKey, set] = {}
         #: Reuses served through the relaxed fallback (stats).
         self.partial_hits = 0
+        #: Inter-key repurposing: similarity model + cached per-key
+        #: cold-boot estimates.  ``None`` unless opted in, so disabled
+        #: runs never construct (or consult) the model.
+        self.similarity: Optional[KeySimilarityModel] = (
+            KeySimilarityModel(registry=engine.registry)
+            if self.config.repurpose
+            else None
+        )
+        self._cold_estimates: Dict[RuntimeKey, float] = {}
         #: Optional replicated metadata store (future work); when set,
         #: acquire journals the pool transition before returning.
         self.metadata_store = None
@@ -221,9 +242,13 @@ class HotC(RuntimeProvider):
     def acquire(self, config: ContainerConfig) -> Generator:
         """Process: Algorithm 1 — reuse when available, else cold boot.
 
-        With ``fallback_key_policy`` set, a full-key miss first tries an
-        idle container of a *similar* configuration (same relaxed key)
-        and applies the config delta — cheaper than any cold boot.
+        The reuse hierarchy is three-way.  With ``fallback_key_policy``
+        set, a full-key miss first tries an idle container of a
+        *similar* configuration (same relaxed key) and applies the
+        config delta; with ``repurpose`` on, a relaxed miss may then
+        re-specialize an idle donor of a *different* key whose re-spec
+        cost beats the predicted cold boot — each strictly cheaper than
+        the cold boot that follows otherwise.
 
         The cold-boot path is failure-hardened: boots are retried with
         exponential backoff on retryable failures, optionally hedged
@@ -238,8 +263,14 @@ class HotC(RuntimeProvider):
         self._bump_busy(key, +1)
         try:
             container = self._pool_acquire_healthy(key)
-            if container is None and self.config.fallback_key_policy is not None:
-                container = yield from self._acquire_similar(key, config)
+            if container is not None:
+                container.reuse = "hit"
+                container.respec_ms = 0.0
+            else:
+                if self.config.fallback_key_policy is not None:
+                    container = yield from self._acquire_similar(key, config)
+                if container is None and self.similarity is not None:
+                    container = yield from self._acquire_repurpose(key, config)
             if container is not None:
                 yield from self._journal(key, container, "busy")
                 return container, False
@@ -303,6 +334,38 @@ class HotC(RuntimeProvider):
             if not full_keys:
                 del self._relaxed_index[relaxed]
 
+    def _donor_acquire_healthy(
+        self, key: RuntimeKey, reuse: str
+    ) -> Optional[Container]:
+        """Claim an idle donor of ``key``, discarding dead entries.
+
+        Unlike :meth:`_pool_acquire_healthy` this books the reuse as
+        ``relaxed``/``repurpose`` rather than an exact hit — the
+        requesting key's miss was already counted, so the donor key
+        must record neither a hit nor a second miss.
+        """
+        while True:
+            container = self.pool.acquire_donor(key, now=self.sim.now, reuse=reuse)
+            if container is None or container.is_reusable:
+                return container
+            self.pool.discard_dead(container, reuse=reuse)
+
+    def _adopt_donor(
+        self,
+        container: Container,
+        key: RuntimeKey,
+        config: ContainerConfig,
+        reuse: str,
+        respec_ms: float,
+    ) -> None:
+        """Re-key a claimed donor under the requested configuration."""
+        if self.pool.contains(container):
+            self.pool.remove(container)
+        container.config = config
+        self.pool.register(container, key, now=self.sim.now, available=False)
+        container.reuse = reuse
+        container.respec_ms = respec_ms
+
     def _acquire_similar(self, key: RuntimeKey, config: ContainerConfig) -> Generator:
         """Process: the partial-key fallback — reuse and reconfigure."""
         relaxed = runtime_key(config, self.config.fallback_key_policy)
@@ -310,20 +373,129 @@ class HotC(RuntimeProvider):
         for candidate in sorted(candidates, key=str):
             if candidate == key:
                 continue
-            container = self._pool_acquire_healthy(candidate)
+            container = self._donor_acquire_healthy(candidate, "relaxed")
             if container is None:
                 continue
             # Apply the configuration delta; the runtime stays hot.
-            yield self.sim.timeout(self.engine.latency.container_reconfigure())
+            respec_ms = self.engine.latency.container_reconfigure()
+            yield self.sim.timeout(respec_ms)
             if not container.is_reusable:
                 # Died while being reconfigured (crash injection): the
                 # corpse must not be re-registered, let alone handed out.
-                self.pool.discard_dead(container)
+                self.pool.discard_dead(container, reuse="relaxed")
                 continue
-            self.pool.remove(container)
-            container.config = config
-            self.pool.register(container, key, now=self.sim.now, available=False)
+            self._adopt_donor(container, key, config, "relaxed", respec_ms)
             self.partial_hits += 1
+            self.engine.stats.relaxed_hits += 1
+            return container
+        return None
+
+    def _cold_boot_estimate(self, key: RuntimeKey, config: ContainerConfig) -> float:
+        """Deterministic cold-boot prediction for the repurpose decision.
+
+        Cached per key; grounded in the same calibration tables the
+        engine's boot pipeline draws from (create + network + volume +
+        start + language cold overhead), jitter-free so the decision
+        never consumes RNG state.
+        """
+        estimate = self._cold_estimates.get(key)
+        if estimate is None:
+            try:
+                language = self.engine.registry.resolve(config.image).language
+            except Exception:
+                language = None
+            estimate = self.engine.latency.cold_boot_estimate_ms(
+                config.network.mode,
+                language=language,
+                shared_namespace=config.network.mode == "container",
+            )
+            self._cold_estimates[key] = estimate
+        return estimate
+
+    def _same_language(self, donor_image: str, target_image: str) -> bool:
+        """Whether two image references bake in the same language runtime."""
+        try:
+            donor = self.engine.registry.resolve(donor_image)
+            target = self.engine.registry.resolve(target_image)
+        except Exception:
+            return False
+        return donor.language == target.language
+
+    def _acquire_repurpose(self, key: RuntimeKey, config: ContainerConfig) -> Generator:
+        """Process: the inter-key repurposing path ("zygote" sharing).
+
+        Ranks idle donors of *other* keys by deterministic re-spec cost
+        (similarity-scored: shared base layers, network mode, memory
+        delta) and claims the cheapest one that (a) beats the predicted
+        cold boot and (b) the :class:`AdaptivePoolController` says will
+        not be missed — only keys holding more containers than the
+        larger of their point-forecast and risk-aware targets donate.
+        The donor is claimed *before* the re-spec timeout so no other
+        acquire (or cluster failover retry) can double-claim it.
+        """
+        model = self.similarity
+        estimate = self._cold_boot_estimate(key, config)
+        candidates = []
+        for donor_key in self.pool.keys():
+            if donor_key == key or self.pool.num_available(donor_key) == 0:
+                continue
+            donor_config = self._config_for_key.get(donor_key)
+            if donor_config is None:
+                continue
+            score = model.score(donor_config, config)
+            if score < self.config.repurpose_min_score:
+                continue
+            cost = model.respec_cost_ms(score, estimate)
+            if cost is None:
+                continue
+            headroom = self.controller.donation_headroom(
+                donor_key,
+                self.pool.num_total(donor_key),
+                quantile=self.config.target_quantile,
+                horizon=self.config.target_horizon,
+            )
+            if headroom < 1:
+                continue
+            candidates.append((cost, str(donor_key), donor_key, score))
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        for cost, _, donor_key, score in candidates:
+            container = self._donor_acquire_healthy(donor_key, "repurpose")
+            if container is None:
+                continue
+            donor_image = container.config.image
+            yield self.sim.timeout(cost)
+            if not container.is_reusable:
+                # Died mid-re-spec (crash injection / host outage): the
+                # failover drain may have already forgotten the entry;
+                # discard_dead tolerates that and rolls the counter back.
+                self.pool.discard_dead(container, reuse="repurpose")
+                continue
+            if donor_image != config.image and not self._same_language(
+                donor_image, config.image
+            ):
+                # The runtime inside was booted for the donor's image;
+                # a different-language target must re-init honestly
+                # (same-language zygotes keep the warm interpreter —
+                # that is the Pagurus saving).
+                container.runtime_initialized = False
+            self._adopt_donor(container, key, config, "repurpose", cost)
+            self.engine.stats.repurposes += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    EventKind.REPURPOSE,
+                    t=self.sim.now,
+                    host=self.engine.name,
+                    key=str(key),
+                    donor=str(donor_key),
+                    container=container.container_id,
+                    score=round(score, 4),
+                    cost_ms=round(cost, 3),
+                )
+                self.obs.counter(
+                    "pool_repurposes_total",
+                    help="Acquires served by re-specializing an idle donor",
+                    host=self.engine.name,
+                ).inc()
             return container
         return None
 

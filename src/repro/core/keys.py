@@ -55,6 +55,11 @@ class RuntimeKey:
     def __hash__(self) -> int:
         return self._hash
 
+    @property
+    def image(self) -> str:
+        """The image reference — first field under every policy."""
+        return self.fields[0]
+
     def __str__(self) -> str:
         parts = "|".join(str(field) for field in self.fields)
         return f"{self.policy.value}:{parts}"

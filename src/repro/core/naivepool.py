@@ -30,6 +30,7 @@ from repro.core.pool import (
     PoolLimits,
     PoolStats,
     _EVICTION_STRATEGIES,
+    _REUSE_COUNTERS,
 )
 
 __all__ = ["NaiveContainerRuntimePool"]
@@ -91,6 +92,23 @@ class NaiveContainerRuntimePool:
         self.stats.misses += 1
         return None
 
+    def acquire_donor(
+        self, key: RuntimeKey, now: float, reuse: str
+    ) -> Optional[Container]:
+        """Claim an idle container of ``key`` for a different target key."""
+        if reuse not in ("relaxed", "repurpose"):
+            raise ValueError(f"reuse must be 'relaxed' or 'repurpose', got {reuse!r}")
+        for entry in self._entries.get(key, ()):
+            if entry.available:
+                entry.available = False
+                entry.last_used_at = now
+                if reuse == "relaxed":
+                    self.stats.relaxed_hits += 1
+                else:
+                    self.stats.repurposed += 1
+                return entry.container
+        return None
+
     def register(
         self,
         container: Container,
@@ -139,10 +157,15 @@ class NaiveContainerRuntimePool:
             self.on_key_empty(entry.key)
         return entry
 
-    def discard_dead(self, container: Container) -> PoolEntry:
-        """Forget a just-acquired dead container; un-count its hit."""
-        entry = self.remove(container)
-        self.stats.hits -= 1
+    def discard_dead(
+        self, container: Container, reuse: str = "hit"
+    ) -> Optional[PoolEntry]:
+        """Forget a just-acquired dead container; un-count its reuse."""
+        counter = _REUSE_COUNTERS[reuse]
+        entry = None
+        if container.container_id in self._by_container:
+            entry = self.remove(container)
+        setattr(self.stats, counter, getattr(self.stats, counter) - 1)
         self.stats.dead_discards += 1
         return entry
 

@@ -78,6 +78,15 @@ AVAILABLE = 1
 
 _EVICTION_STRATEGIES = ("oldest", "lru", "largest")
 
+#: How a pooled container was (or is being) reused; selects which
+#: PoolStats counter a reuse — and its rollback on a dead discard —
+#: lands in.
+_REUSE_COUNTERS = {
+    "hit": "hits",
+    "relaxed": "relaxed_hits",
+    "repurpose": "repurposed",
+}
+
 #: Compact a heap when it holds more than this many entries and more
 #: than half of them are stale lazy-deletion copies.
 _COMPACT_MIN = 64
@@ -130,10 +139,20 @@ class PoolLimits:
 
 @dataclass
 class PoolStats:
-    """Reuse and eviction counters."""
+    """Reuse and eviction counters.
+
+    ``hits`` counts *exact-key* reuse only — the paper's definition.
+    Relaxed-fallback and repurposed reuses are tracked separately (they
+    each follow an exact-key miss, which stays counted in ``misses``),
+    so ``hit_ratio`` is never inflated by approximate matches.
+    """
 
     hits: int = 0
     misses: int = 0
+    #: Reuses served via the relaxed-fallback index (config delta applied).
+    relaxed_hits: int = 0
+    #: Reuses served by repurposing an idle donor of a *different* key.
+    repurposed: int = 0
     registered: int = 0
     retired: int = 0
     evictions_capacity: int = 0
@@ -148,8 +167,13 @@ class PoolStats:
 
     @property
     def hit_ratio(self) -> float:
-        """Fraction of lookups served from the pool."""
+        """Fraction of lookups served by an exact-key warm container."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def cold_starts_eliminated(self) -> int:
+        """Exact-key misses that still avoided a cold boot."""
+        return self.relaxed_hits + self.repurposed
 
 
 class ContainerRuntimePool:
@@ -276,6 +300,50 @@ class ContainerRuntimePool:
             ).inc()
         return None
 
+    def acquire_donor(
+        self, key: RuntimeKey, now: float, reuse: str
+    ) -> Optional[Container]:
+        """Claim an idle container of ``key`` for a *different* target key.
+
+        Serves the relaxed-fallback and repurpose paths: same
+        earliest-registered pop as :meth:`acquire`, but the reuse lands
+        in ``relaxed_hits`` / ``repurposed`` instead of ``hits`` — the
+        requester's own exact-key miss has already been counted, so
+        neither a hit nor a second miss is recorded against the donor
+        key.  Returns ``None`` when the donor key has nothing idle.
+        """
+        if reuse not in ("relaxed", "repurpose"):
+            raise ValueError(f"reuse must be 'relaxed' or 'repurpose', got {reuse!r}")
+        avail = self._avail_lists.get(key)
+        while avail:
+            entry = avail.pop()[1]
+            if not (entry.available and entry.in_pool):
+                continue  # stale copy left by remove()-while-available
+            entry.available = False
+            entry.stamp += 1
+            entry.last_used_at = now
+            entry.counts[0] -= 1
+            self._total_available -= 1
+            if reuse == "relaxed":
+                self.stats.relaxed_hits += 1
+            else:
+                self.stats.repurposed += 1
+            if self.obs is not None and reuse == "relaxed":
+                self.obs.emit(
+                    EventKind.POOL_RELAXED_HIT,
+                    t=now,
+                    host=self._obs_host,
+                    key=str(key),
+                )
+                self.obs.counter(
+                    "pool_relaxed_hits_total",
+                    help="Acquires served by reconfiguring a relaxed-key match",
+                    host=self._obs_host,
+                    key=str(key),
+                ).inc()
+            return entry.container
+        return None
+
     def register(
         self,
         container: Container,
@@ -360,16 +428,27 @@ class ContainerRuntimePool:
             self.on_key_empty(entry.key)
         return entry
 
-    def discard_dead(self, container: Container) -> PoolEntry:
+    def discard_dead(
+        self, container: Container, reuse: str = "hit"
+    ) -> Optional[PoolEntry]:
         """Forget a just-acquired container that turned out dead.
 
-        The preceding :meth:`acquire` counted a hit for an entry that
-        cannot serve the request; un-count it and record the discard so
-        ``hit_ratio`` reflects lookups actually served (the caller's
-        retry then counts the lookup exactly once).
+        The preceding :meth:`acquire` / :meth:`acquire_donor` counted a
+        reuse (selected by ``reuse``) for an entry that cannot serve the
+        request; un-count it and record the discard so the ratios
+        reflect lookups actually served (the caller's retry then counts
+        the lookup exactly once).
+
+        The donor paths yield a re-spec timeout between the claim and
+        the liveness check, so a host-failover drain may have already
+        removed the entry — in that case only the counters are adjusted
+        and ``None`` is returned.
         """
-        entry = self.remove(container)
-        self.stats.hits -= 1
+        counter = _REUSE_COUNTERS[reuse]
+        entry = None
+        if container.container_id in self._by_container:
+            entry = self.remove(container)
+        setattr(self.stats, counter, getattr(self.stats, counter) - 1)
         self.stats.dead_discards += 1
         return entry
 

@@ -161,7 +161,11 @@ class CombinedPredictor:
             if self.clamp_min is not None:
                 candidate = max(self.clamp_min, candidate)
             best = max(best, candidate)
-        return best
+        # Invariant: never below the point forecast.  ``best`` starts at
+        # ``_forecast_next`` and only grows, but the donor-selection
+        # path (inter-key repurposing) leans on the guarantee, so clamp
+        # explicitly rather than structurally.
+        return max(best, self._forecast_next)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

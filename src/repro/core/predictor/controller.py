@@ -73,9 +73,11 @@ class AdaptivePoolController:
     def target_upper(self, key, quantile: float = 0.9, horizon: int = 4) -> int:
         """Risk-aware target from the k-step upper-quantile forecast.
 
-        Falls back to :meth:`target` while the key's residual chain has
-        no data.  This is the target HotC's pool resizing uses: it keeps
-        capacity provisioned across recurring bursts (Fig 14b).
+        Never below :meth:`target`: ``forecast_upper`` is clamped to the
+        point forecast (and falls back to it while the key's residual
+        chain has no data), so the risk-aware target can only add
+        capacity.  This is the target HotC's pool resizing uses: it
+        keeps capacity provisioned across recurring bursts (Fig 14b).
         """
         predictor = self._predictors.get(key)
         if predictor is None:
@@ -84,6 +86,26 @@ class AdaptivePoolController:
         if upper is None:
             return 0
         return int(min(self.max_target, max(0, math.ceil(upper - 1e-9))))
+
+    def donation_headroom(
+        self, key, total: int, quantile: float = 0.9, horizon: int = 4
+    ) -> int:
+        """How many of ``total`` pooled containers ``key`` can donate.
+
+        The repurposing donor policy: a key may give up idle containers
+        only down to the *larger* of its point-forecast and risk-aware
+        targets — donate the slack the forecast says will not be
+        missed.  A key the controller has never observed has no
+        forecast demand, so its containers are fully donatable (they
+        exist only because a request left them behind).
+        """
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        need = max(
+            self.target(key),
+            self.target_upper(key, quantile=quantile, horizon=horizon),
+        )
+        return max(0, total - need)
 
     def known_keys(self) -> Tuple:
         """All keys that have been observed, insertion-ordered."""

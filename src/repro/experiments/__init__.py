@@ -19,6 +19,7 @@ from repro.experiments.fig12_serial_parallel import run_fig12
 from repro.experiments.fig13_linear import run_fig13
 from repro.experiments.fig14_exp_burst import run_fig14
 from repro.experiments.fig15_overhead import run_fig15
+from repro.experiments.fig16_repurpose import run_fig16
 from repro.experiments.runner import ALL_EXPERIMENTS, run_all
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "run_fig13",
     "run_fig14",
     "run_fig15",
+    "run_fig16",
 ]

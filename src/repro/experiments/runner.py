@@ -36,6 +36,7 @@ def _registry() -> Dict[str, Callable[..., Figure]]:
     from repro.experiments import (
         run_fig01, run_fig02, run_fig04, run_fig05, run_fig08, run_fig09,
         run_fig10, run_fig11, run_fig12, run_fig13, run_fig14, run_fig15,
+        run_fig16,
     )
 
     return {
@@ -51,6 +52,7 @@ def _registry() -> Dict[str, Callable[..., Figure]]:
         "fig13": run_fig13,
         "fig14": run_fig14,
         "fig15": run_fig15,
+        "fig16": run_fig16,
     }
 
 
@@ -58,6 +60,7 @@ def _registry() -> Dict[str, Callable[..., Figure]]:
 ALL_EXPERIMENTS = (
     "fig01", "fig02", "fig04", "fig05", "fig08", "fig09",
     "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16",
 )
 
 

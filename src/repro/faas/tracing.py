@@ -75,6 +75,13 @@ class RequestTrace:
     runtime_init_ms: float = 0.0
     app_init_ms: float = 0.0
     exec_ms: float = 0.0
+    #: Re-spec/config-delta time (ms) paid when the container was a
+    #: relaxed-key match or a repurposed donor; 0 for exact hits and
+    #: cold boots.  Part of the init-phase decomposition.
+    respec_ms: float = 0.0
+    #: How the container was obtained: "" (cold boot), "hit",
+    #: "relaxed", or "repurpose".
+    reuse: str = ""
     #: Terminal disposition (stamped by the watchdog / admission layer).
     outcome: RequestOutcome = RequestOutcome.PENDING
     #: Request-level retries this request consumed.

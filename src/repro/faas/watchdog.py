@@ -116,6 +116,8 @@ class Watchdog:
         trace.runtime_init_ms = result.runtime_init_ms
         trace.app_init_ms = result.app_init_ms
         trace.exec_ms = result.exec_ms
+        trace.respec_ms = container.respec_ms
+        trace.reuse = container.reuse
         trace.retries = attempts
         trace.outcome = (
             RequestOutcome.RETRIED if attempts else RequestOutcome.SUCCESS

@@ -258,6 +258,32 @@ class LatencyModel:
         """Time to apply a config delta to a similar container (ms)."""
         return self._op(self.ops.reconfigure_ms)
 
+    def cold_boot_estimate_ms(
+        self,
+        network_mode: str,
+        language: Optional[str] = None,
+        shared_namespace: bool = False,
+    ) -> float:
+        """Deterministic (jitter-free) estimate of a full cold boot (ms).
+
+        Mirrors the engine's boot pipeline — create + network setup +
+        volume mount + start, plus the language cold overhead when the
+        runtime would be warmed — scaled to this host but *never*
+        jittered: the repurposing decision must be reproducible and
+        side-effect-free (no RNG draw) for runs with repurposing
+        disabled to stay bit-identical.
+        """
+        factor = 0.35 if shared_namespace else 1.0
+        base = (
+            self.ops.create_ms * factor
+            + network_setup_ms(network_mode)
+            + self.ops.volume_mount_ms
+            + self.ops.start_ms
+        )
+        if language is not None:
+            base += self.language(language).cold_overhead_ms()
+        return base * self.profile.container_op_scale
+
     def image_pull(self, compressed_mb: float) -> float:
         """Registry pull time for a compressed image (ms)."""
         if compressed_mb < 0:

@@ -17,7 +17,14 @@ from repro.metrics.errors import (
 )
 from repro.metrics.monitor import ResourceMonitor
 from repro.metrics.billing import BillingModel, CostReport
-from repro.metrics.report import Figure, Series, Table, failure_table, format_table
+from repro.metrics.report import (
+    Figure,
+    Series,
+    Table,
+    failure_table,
+    format_table,
+    reuse_table,
+)
 
 __all__ = [
     "BillingModel",
@@ -29,6 +36,7 @@ __all__ = [
     "Table",
     "empirical_cdf",
     "failure_table",
+    "reuse_table",
     "format_table",
     "mean_absolute_error",
     "mean_absolute_percentage_error",

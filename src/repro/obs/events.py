@@ -44,6 +44,12 @@ class EventKind(enum.Enum):
     POOL_HIT = "pool_hit"
     #: Pool lookup missed; a cold boot follows.
     POOL_MISS = "pool_miss"
+    #: An exact-key miss was served by a relaxed-key match instead
+    #: (config delta applied to a similar container).
+    POOL_RELAXED_HIT = "pool_relaxed_hit"
+    #: An idle donor container of a different key was re-specialized
+    #: for the requested key (``donor``/``score``/``cost_ms``).
+    REPURPOSE = "repurpose"
     #: An idle container was evicted (``reason``: capacity/pressure/scale_down).
     POOL_EVICT = "pool_evict"
     #: Algorithm 2 ran: volume wiped, container recycled into the pool.

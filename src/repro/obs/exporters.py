@@ -194,6 +194,9 @@ def chrome_trace(
         }
         if trace.error:
             args["error"] = trace.error
+        reuse = getattr(trace, "reuse", "")
+        if reuse:
+            args["reuse"] = reuse
         span("request", pid, tid, trace.t0_client_send, trace.t6_client_recv, args)
         for name, start_attr, end_attr in _SPAN_LAYOUT:
             span(name, pid, tid, getattr(trace, start_attr), getattr(trace, end_attr))
@@ -210,6 +213,12 @@ def chrome_trace(
                     t3 - trace.app_init_ms - trace.runtime_init_ms,
                     t3 - trace.app_init_ms,
                 )
+            respec_ms = getattr(trace, "respec_ms", 0.0)
+            if respec_ms > 0:
+                # The config-delta / re-specialization work precedes
+                # runtime and app init in the 2→3 segment.
+                end = t3 - trace.app_init_ms - trace.runtime_init_ms
+                span("respec", pid, tid, end - respec_ms, end)
 
     if events is not None:
         for event in events:

@@ -98,6 +98,75 @@ class TestForecastUpper:
         assert predictor.forecast_upper(0.9, 4) >= 0.0
 
 
+class TestUpperNeverBelowForecast:
+    """Regression for the donor-selection path: ``donation_headroom``
+    takes ``max(target, target_upper)``, which is only meaningful when
+    the upper bound can never dip below the point forecast."""
+
+    def test_fuzzed_invariant(self):
+        import random
+
+        rng = random.Random(7)
+        for trial in range(40):
+            predictor = CombinedPredictor(alpha=0.8, init="first")
+            for _ in range(rng.randrange(8, 40)):
+                predictor.update(rng.uniform(0.0, 50.0))
+            for quantile in (0.5, 0.9, 0.99):
+                for horizon in (1, 2, 4, 8):
+                    upper = predictor.forecast_upper(quantile, horizon)
+                    assert upper >= predictor.forecast, (
+                        f"trial {trial}: upper {upper} < "
+                        f"forecast {predictor.forecast}"
+                    )
+
+    def test_low_quantile_clamps_to_point_forecast(self):
+        """Even a tiny quantile cannot undercut the point forecast."""
+        predictor = CombinedPredictor(alpha=0.8, init="first")
+        for value in [8.0, 8.0, 8.0, 80.0] * 8:
+            predictor.update(value)
+        upper = predictor.forecast_upper(quantile=0.01, horizon=1)
+        assert upper >= predictor.forecast
+
+
+class TestDonationHeadroom:
+    def make_controller(self):
+        from repro.core import AdaptivePoolController
+
+        return AdaptivePoolController()
+
+    def test_unobserved_key_fully_donatable(self):
+        controller = self.make_controller()
+        assert controller.donation_headroom("ghost", 3) == 3
+        assert controller.donation_headroom("ghost", 0) == 0
+
+    def test_observed_key_keeps_its_forecast(self):
+        controller = self.make_controller()
+        for _ in range(8):
+            controller.observe("k", 2.0)
+        need = max(controller.target("k"), controller.target_upper("k", 0.9, 4))
+        assert need >= 2
+        assert controller.donation_headroom("k", need) == 0
+        assert controller.donation_headroom("k", need + 2) == 2
+
+    def test_bursty_key_vetoes_via_upper_bound(self):
+        """The risk-aware bound (not just the point forecast) guards the
+        donor: a recurring burst keeps surplus containers home."""
+        controller = self.make_controller()
+        for value in [1.0, 1.0, 1.0, 10.0] * 8:
+            controller.observe("k", value)
+        point = controller.target("k")
+        headroom = controller.donation_headroom("k", point + 1)
+        assert headroom == 0
+
+    def test_never_negative_and_validates(self):
+        controller = self.make_controller()
+        for _ in range(8):
+            controller.observe("k", 5.0)
+        assert controller.donation_headroom("k", 1) == 0
+        with pytest.raises(ValueError):
+            controller.donation_headroom("k", -1)
+
+
 class TestControllerUpperTarget:
     def test_target_upper_at_least_target(self):
         from repro.core import AdaptivePoolController

@@ -106,6 +106,39 @@ class MirroredPools:
         self.naive.discard_dead(got_naive)
         del self.tracked[got_indexed.container_id]
 
+    def op_acquire_donor(self):
+        """Claim an idle donor for a different-key requester."""
+        key = self.random_key()
+        reuse = self.rng.choice(["relaxed", "repurpose"])
+        got_indexed = self.indexed.acquire_donor(key, now=self.now, reuse=reuse)
+        got_naive = self.naive.acquire_donor(key, now=self.now, reuse=reuse)
+        assert (got_indexed is None) == (got_naive is None)
+        if got_indexed is not None:
+            assert got_indexed.container_id == got_naive.container_id
+
+    def op_discard_dead_donor(self):
+        """Claim a donor, then discover it dead during re-spec.
+
+        Sometimes the entry is drained (host failover) before the
+        liveness check runs; discard_dead must tolerate that and still
+        roll back the reuse counter in both pools.
+        """
+        key = self.random_key()
+        reuse = self.rng.choice(["relaxed", "repurpose"])
+        got_indexed = self.indexed.acquire_donor(key, now=self.now, reuse=reuse)
+        got_naive = self.naive.acquire_donor(key, now=self.now, reuse=reuse)
+        assert (got_indexed is None) == (got_naive is None)
+        if got_indexed is None:
+            return
+        assert got_indexed.container_id == got_naive.container_id
+        if self.rng.random() < 0.3:  # failover drained the entry first
+            self.indexed.remove(got_indexed)
+            self.naive.remove(got_naive)
+        entry_indexed = self.indexed.discard_dead(got_indexed, reuse=reuse)
+        entry_naive = self.naive.discard_dead(got_naive, reuse=reuse)
+        assert (entry_indexed is None) == (entry_naive is None)
+        del self.tracked[got_indexed.container_id]
+
     def op_evict(self):
         victim_indexed = self.indexed.eviction_candidate()
         victim_naive = self.naive.eviction_candidate()
@@ -166,6 +199,8 @@ def test_indexed_pool_matches_reference(eviction):
         + [mirror.op_remove] * 8
         + [mirror.op_evict] * 8
         + [mirror.op_discard_dead] * 4
+        + [mirror.op_acquire_donor] * 8
+        + [mirror.op_discard_dead_donor] * 2
     )
     for step in range(N_OPERATIONS):
         mirror.now += 1.0
