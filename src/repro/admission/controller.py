@@ -344,6 +344,44 @@ class AdmissionController:
                     function=name,
                 ).set(state.depth)
 
+    # -- checkpoint / restore -------------------------------------------------
+    def export_limits(self) -> Dict[str, float]:
+        """Per-function AIMD limits, for control-plane checkpoints."""
+        return {
+            name: state.limiter.limit for name, state in self._states.items()
+        }
+
+    def reset_limits(self) -> None:
+        """Forget every learned AIMD limit (control-plane crash).
+
+        Each function falls back to its configured ``initial_limit``,
+        exactly as if the controller had just been constructed.  A
+        raised limit may free admission slots, so waiters are
+        re-granted.
+        """
+        for name in sorted(self._states):
+            state = self._states[name]
+            state.limiter.limit = float(state.limiter.config.initial_limit)
+            self._grant_next(state)
+
+    def restore_limits(self, limits: Dict[str, float]) -> None:
+        """Re-apply checkpointed AIMD limits after a recovery.
+
+        Each restored limit is clamped to the function's configured
+        ``[min_limit, max_limit]`` band; functions first seen after the
+        checkpoint keep their current limit.  A raised limit may free
+        admission slots, so waiters are re-granted.
+        """
+        for name in sorted(limits):
+            state = self._states.get(name)
+            if state is None:
+                continue
+            config = state.limiter.config
+            state.limiter.limit = min(
+                config.max_limit, max(config.min_limit, float(limits[name]))
+            )
+            self._grant_next(state)
+
     # -- shutdown -----------------------------------------------------------
     def begin_shutdown(self) -> None:
         """Reject new admissions and drain every queue deterministically.

@@ -172,6 +172,16 @@ class Container:
         #: Set by the engine: resource allocation backing the idle footprint.
         self.idle_allocation: Any = None
         self.exec_allocation: Any = None
+        #: True while a request owns this container (set by the provider
+        #: on acquire, cleared on release/discard).  Engine-side ground
+        #: truth for busy-vs-idle when a crashed control plane rebuilds
+        #: its pool from ``live_containers()``.
+        self.leased = False
+        #: True while the cleanup worker is recycling this container
+        #: (between release and re-entering the pool as available); a
+        #: recovery sweep must neither adopt it as idle nor count it as
+        #: request-owned demand.
+        self.recycling = False
 
     # -- state machine ----------------------------------------------------
     def transition(self, new_state: ContainerState) -> None:

@@ -196,6 +196,22 @@ class ContainerEngine:
         """Whether a scheduled host outage currently holds this host."""
         return self.fault_injector is not None and self.fault_injector.host_is_down()
 
+    @property
+    def is_unreachable(self) -> bool:
+        """Down *or* partitioned: the control plane cannot reach it.
+
+        A partitioned host keeps its containers alive (the warm pool
+        survives the heal) but cannot take new work; the cluster's
+        health bookkeeping keys off this rather than :attr:`is_down`.
+        """
+        injector = self.fault_injector
+        return injector is not None and (injector.down or injector.partitioned)
+
+    def _fault_scale(self) -> float:
+        """Gray-slowdown latency multiplier (1.0 with no injector)."""
+        injector = self.fault_injector
+        return 1.0 if injector is None else injector.latency_multiplier
+
     # -- capacity waiting ---------------------------------------------------
     def _acquire(self, owner: str, cpu: float, mem: float):
         """Process: block until the host can commit ``cpu``/``mem``."""
@@ -315,20 +331,26 @@ class ContainerEngine:
         )
         self._containers[container.container_id] = container
 
+        # Gray slowdown: a degraded host pays every boot stage scaled by
+        # the injector's multiplier (1.0x is bit-identical to no fault).
+        scale = self._fault_scale()
         yield self.sim.timeout(
-            self.latency.container_create(
+            scale
+            * self.latency.container_create(
                 shared_namespace=config.network.mode == "container"
             )
         )
-        yield self.sim.timeout(self.latency.network_setup(config.network.mode))
+        yield self.sim.timeout(
+            scale * self.latency.network_setup(config.network.mode)
+        )
 
         volume = self.volumes.create()
         self.volumes.mount(volume, container.container_id)
         container.volume = volume
-        yield self.sim.timeout(self.latency.volume_mount())
+        yield self.sim.timeout(scale * self.latency.volume_mount())
 
         container.transition(ContainerState.STARTING)
-        yield self.sim.timeout(self.latency.container_start())
+        yield self.sim.timeout(scale * self.latency.container_start())
 
         container.idle_allocation = yield from self._acquire(
             container.container_id,
@@ -341,7 +363,9 @@ class ContainerEngine:
 
         image = self.registry.resolve(config.image)
         if warm_runtime and image.language is not None:
-            yield self.sim.timeout(self.latency.runtime_init(image.language))
+            yield self.sim.timeout(
+                scale * self.latency.runtime_init(image.language)
+            )
             container.runtime_initialized = True
         if self.is_down:
             # The host went down while this boot was in flight: the
@@ -383,6 +407,8 @@ class ContainerEngine:
         try:
             runtime_init_ms = 0.0
             app_init_ms = 0.0
+            # Gray slowdown: exec stages on a degraded host run scaled.
+            scale = self._fault_scale()
 
             if cold:
                 # A lazily-pulled image stalls its first execution on
@@ -391,20 +417,22 @@ class ContainerEngine:
                     image.reference, 0.0
                 )
                 if penalty > 0:
-                    yield self.sim.timeout(penalty)
-                runtime_init_ms = self.latency.runtime_init(spec.language)
+                    yield self.sim.timeout(scale * penalty)
+                runtime_init_ms = scale * self.latency.runtime_init(spec.language)
                 yield self.sim.timeout(runtime_init_ms)
                 container.runtime_initialized = True
                 self.stats.cold_execs += 1
             else:
-                yield self.sim.timeout(self.latency.code_inject())
+                yield self.sim.timeout(scale * self.latency.code_inject())
                 self.stats.warm_execs += 1
 
             if spec.app_init_ms > 0 and container.last_app_id != spec.app_id:
-                app_init_ms = self.latency.app_init(spec.app_init_ms, spec.language)
+                app_init_ms = scale * self.latency.app_init(
+                    spec.app_init_ms, spec.language
+                )
                 yield self.sim.timeout(app_init_ms)
 
-            exec_ms = self.latency.app_execution(spec.exec_ms, spec.language)
+            exec_ms = scale * self.latency.app_execution(spec.exec_ms, spec.language)
             if self.fault_injector is not None:
                 crash_at_ms = self.fault_injector.exec_crash_point(exec_ms)
                 if crash_at_ms is not None:

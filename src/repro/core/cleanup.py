@@ -37,10 +37,29 @@ class CleanupWorker:
         self.obs = None
 
     def clean_and_recycle(self, container: Container) -> Generator:
-        """Process: Algorithm 2 — wipe volume, remount, mark available."""
+        """Process: Algorithm 2 — wipe volume, remount, mark available.
+
+        The clean yields sim time, so a control-plane crash can wipe the
+        pool (or a recovery sweep re-register the container) mid-clean:
+        a container no longer pooled when the clean finishes is retired
+        instead of recycled, and one already re-registered as available
+        is left alone.  ``container.recycling`` marks the window so the
+        recovery sweep neither adopts it as idle nor counts it as
+        request-owned.
+        """
         started = self.sim.now
-        yield from self.engine.clean_container(container)
-        self.pool.release(container, now=self.sim.now)
+        container.recycling = True
+        try:
+            yield from self.engine.clean_container(container)
+        finally:
+            container.recycling = False
+        if not self.pool.contains(container):
+            # The control plane crashed mid-clean and the recovery sweep
+            # has not (re-)adopted this container: retire it.
+            yield from self.retire(container)
+            return container
+        if not self.pool.is_available(container):
+            self.pool.release(container, now=self.sim.now)
         self.cleaned += 1
         if self.obs is not None:
             self.obs.emit(

@@ -81,6 +81,7 @@ class ClusterHotC(RuntimeProvider):
             raise ValueError(f"unknown placement policy {placement!r}")
         self.placement = placement
         self.hosts: List[HotC] = [HotC(engine, config) for engine in engines]
+        self.sim = self.hosts[0].sim
         self.stats = ClusterStats()
         self._inflight: Dict[int, int] = {index: 0 for index in range(len(engines))}
         self._by_container: Dict[str, int] = {}
@@ -89,6 +90,16 @@ class ClusterHotC(RuntimeProvider):
         self._down: set = set()
         #: Optional observatory; ``None`` keeps the hooks inert.
         self.obs = None
+        #: Optional shared admission controller (attach_admission).
+        self.admission = None
+        #: Optional health monitor; ``None`` keeps routing decisions
+        #: exactly as before (binary lazy down-set only).
+        self.health = None
+        #: Optional recovery manager; ``None`` keeps release/discard
+        #: strict about unknown containers.
+        self.recovery = None
+        #: True between crash_control_plane() and recover_from().
+        self._crashed = False
 
     def attach_observatory(self, observatory) -> None:
         """Wire one shared observatory through every host.
@@ -99,6 +110,8 @@ class ClusterHotC(RuntimeProvider):
         self.obs = observatory
         for host in self.hosts:
             host.attach_observatory(observatory)
+        if self.health is not None:
+            self.health.attach_observatory(observatory)
 
     def attach_admission(self, controller) -> None:
         """Wire one shared admission controller through every host.
@@ -107,8 +120,49 @@ class ClusterHotC(RuntimeProvider):
         shared controller; the AIMD tick collapses across co-scheduled
         control loops.
         """
+        self.admission = controller
         for host in self.hosts:
             host.attach_admission(controller)
+
+    def attach_health(self, monitor) -> None:
+        """Route around sick hosts via a phi-accrual monitor.
+
+        Every host is registered with the monitor; its drain hook drops
+        the host's pool metadata and absorbs in-flight prewarm boots
+        when the detector declares the host lost.  The scheduler then
+        skips unroutable (suspect/quarantined/draining) hosts and ramps
+        probation hosts back in by weighting their load key.
+        ``None`` detaches and restores the pure down-set behaviour.
+        """
+        self.health = monitor
+        if monitor is None:
+            return
+        if self.obs is not None:
+            monitor.attach_observatory(self.obs)
+        for index, host in enumerate(self.hosts):
+            monitor.register_host(
+                host.engine.name, host.engine, on_drain=self._drain_hook(index)
+            )
+
+    def _drain_hook(self, index: int):
+        def drain() -> None:
+            host = self.hosts[index]
+            host.drain_dead()
+            host.absorb_pending_boots()
+
+        return drain
+
+    def attach_recovery(self, manager) -> None:
+        """Wire a recovery manager through the cluster (``None`` detaches).
+
+        Hosts share the one manager: any host's control tick drives its
+        audit/checkpoint cadence (the manager collapses co-scheduled
+        ticks), and release/discard become tolerant of containers the
+        rebuilt control plane no longer tracks.
+        """
+        self.recovery = manager
+        for host in self.hosts:
+            host.recovery = manager
 
     # -- introspection ----------------------------------------------------
     @property
@@ -149,26 +203,58 @@ class ClusterHotC(RuntimeProvider):
         starts empty (the outage drained it) and refills via prewarm.
         """
         for index in tuple(self._down):
-            if not self.hosts[index].engine.is_down:
+            engine = self.hosts[index].engine
+            if not engine.is_unreachable:
                 self._down.discard(index)
+                if self.obs is not None:
+                    self.obs.emit(
+                        EventKind.HOST_RECOVERED,
+                        t=self.sim.now,
+                        host=engine.name,
+                        state="rejoined",
+                    )
+                    self.obs.counter(
+                        "hosts_recovered_total",
+                        help="Hosts rejoining the candidate set after an outage",
+                        host=engine.name,
+                    ).inc()
 
     def _note_host_down(self, index: int) -> None:
         """Record an outage and drain the dead host's pool metadata.
 
         Without the drain, the scheduler would keep routing "warm"
-        requests at containers that no longer exist.
+        requests at containers that no longer exist; without absorbing
+        the host's in-flight prewarm boots, their doomed reservations
+        would keep counting against ``max_containers``.
         """
         if index in self._down:
             return
         self._down.add(index)
         self.stats.hosts_lost += 1
-        self.hosts[index].drain_dead()
+        host = self.hosts[index]
+        host.drain_dead()
+        host.absorb_pending_boots()
+        if self.health is not None:
+            # Confirmed unreachability beats any phi estimate.
+            self.health.on_host_down(host.engine.name)
 
     # -- placement ----------------------------------------------------------
+    def _routable(self, index: int) -> bool:
+        health = self.health
+        return health is None or health.routable(self.hosts[index].engine.name)
+
     def _load_key(self, index: int) -> Tuple[float, float, int]:
         host = self.hosts[index]
+        load = float(self._inflight[index])
+        if self.health is not None:
+            weight = self.health.routing_weight(host.engine.name)
+            if weight < 1.0:
+                # Probation ramp: a low weight inflates apparent load so
+                # the host wins ties progressively more often as its
+                # on-time heartbeat streak grows.
+                load = (load + 1.0) / max(weight, 1e-9)
         return (
-            float(self._inflight[index]),
+            load,
             host.engine.resources.mem_fraction,
             index,
         )
@@ -185,7 +271,9 @@ class ClusterHotC(RuntimeProvider):
         candidates = [
             index
             for index in range(len(self.hosts))
-            if index not in excluded and index not in self._down
+            if index not in excluded
+            and index not in self._down
+            and self._routable(index)
         ]
         if not candidates:
             raise RuntimeUnavailableError(
@@ -222,6 +310,9 @@ class ClusterHotC(RuntimeProvider):
         host for this request.  Either way the request is re-routed to
         the next-best host until one serves it or none is left.
         """
+        if self._crashed:
+            # Control-plane crash window: fail fast, data plane lives.
+            raise RuntimeUnavailableError("cluster control plane is down")
         self._refresh_health()
         excluded: set = set()
         while True:
@@ -234,12 +325,12 @@ class ClusterHotC(RuntimeProvider):
             try:
                 container, cold = yield from self.hosts[index].acquire(config)
             except HostDownError:
-                self._inflight[index] -= 1
+                self._dec_inflight(index)
                 self._note_host_down(index)
                 excluded.add(index)
                 reason = "host_down"
             except ContainerError as error:
-                self._inflight[index] -= 1
+                self._dec_inflight(index)
                 excluded.add(index)
                 if len(excluded) + len(self._down - excluded) >= len(self.hosts):
                     raise  # nothing left to fail over to
@@ -269,18 +360,134 @@ class ClusterHotC(RuntimeProvider):
                     host=host,
                 ).inc()
 
+    def _dec_inflight(self, index: int) -> None:
+        count = self._inflight[index] - 1
+        if count < 0 and self.recovery is not None:
+            # The routing increment predates a control-plane crash that
+            # zeroed the counters; floor instead of going negative.
+            count = 0
+        self._inflight[index] = count
+
+    def _host_index_of(self, container: Container) -> Optional[int]:
+        """Recover routing from the container id's host-name prefix."""
+        for index, host in enumerate(self.hosts):
+            if container.container_id.startswith(host.engine.name + "/"):
+                return index
+        return None
+
     def release(self, container: Container) -> Generator:
-        index = self._by_container.pop(container.container_id)
-        self._inflight[index] -= 1
+        index = self._by_container.pop(container.container_id, None)
+        if index is None:
+            if self.recovery is None:
+                raise KeyError(
+                    f"container {container.container_id} is not tracked "
+                    "by this cluster"
+                )
+            # The routing entry died with a control-plane crash; the
+            # container id itself names the host that runs it.
+            index = self._host_index_of(container)
+            if index is None:
+                return
+        self._dec_inflight(index)
         yield from self.hosts[index].release(container)
 
     def discard(self, container: Container) -> None:
         """Drop a mid-request casualty: bookkeeping only, no cleanup I/O."""
         index = self._by_container.pop(container.container_id, None)
         if index is None:
-            return
-        self._inflight[index] -= 1
+            if self.recovery is None:
+                return
+            index = self._host_index_of(container)
+            if index is None:
+                return
+        self._dec_inflight(index)
         self.hosts[index].discard(container)
+
+    # -- checkpoint / crash / recover ---------------------------------------
+    def snapshot_state(self):
+        """Provider hook: one host checkpoint per backend."""
+        return tuple(host._snapshot_host() for host in self.hosts)
+
+    def crash_control_plane(self) -> int:
+        """Lose the scheduler's and every host's indexed state."""
+        self._crashed = True
+        lost = 0
+        for host in self.hosts:
+            lost += host.crash_control_plane()
+        self._by_container.clear()
+        for index in self._inflight:
+            self._inflight[index] = 0
+        self._down.clear()
+        return lost
+
+    def recover_from(self, checkpoint=None):
+        """Rebuild every host, then re-derive the routing indexes.
+
+        Host-level recovery re-adopts containers from engine ground
+        truth; the cluster then rebuilds ``_by_container``/``_inflight``
+        from the leased (request-owned) pool entries and re-derives the
+        down-set from engine reachability.
+        """
+        host_checkpoints = {}
+        if checkpoint is not None:
+            host_checkpoints = {hc.host: hc for hc in checkpoint.hosts}
+        repairs = []
+        for host in self.hosts:
+            repairs.extend(
+                host._recover_host(host_checkpoints.get(host.engine.name))
+            )
+        self._by_container.clear()
+        for index, host in enumerate(self.hosts):
+            inflight = 0
+            for entry in host.pool.entries():
+                if not entry.available and entry.container.leased:
+                    self._by_container[entry.container.container_id] = index
+                    inflight += 1
+            self._inflight[index] = inflight
+        self._down.clear()
+        for index, host in enumerate(self.hosts):
+            if host.engine.is_unreachable:
+                self._down.add(index)
+        self._crashed = False
+        return repairs
+
+    def check_consistency(self) -> None:
+        """Cross-layer invariant audit (pools + routing indexes)."""
+        busy_routed = {index: 0 for index in range(len(self.hosts))}
+        for container_id, index in self._by_container.items():
+            assert 0 <= index < len(self.hosts), (
+                f"container {container_id} routed to invalid host {index}"
+            )
+            host = self.hosts[index]
+            assert container_id.startswith(host.engine.name + "/"), (
+                f"container {container_id} routed to wrong host "
+                f"{host.engine.name}"
+            )
+            busy_routed[index] += 1
+        for index, host in enumerate(self.hosts):
+            host.check_consistency()
+            assert self._inflight[index] >= 0, (
+                f"negative in-flight count on host {index}"
+            )
+            if self.recovery is None:
+                # Post-crash floors can transiently break this bound,
+                # so it only holds in the never-crashed regime.
+                assert self._inflight[index] >= busy_routed[index], (
+                    f"host {index} tracks more busy containers "
+                    f"({busy_routed[index]}) than in-flight requests "
+                    f"({self._inflight[index]})"
+                )
+        for index in self._down:
+            assert 0 <= index < len(self.hosts), (
+                f"down-set contains invalid host index {index}"
+            )
+
+    def scan_divergences(self):
+        """Report-only ground-truth sweep across hosts and routing."""
+        problems = []
+        for host in self.hosts:
+            problems.extend(host.scan_divergences())
+        return problems
 
     def on_tick(self, now: float) -> None:
         for host in self.hosts:

@@ -17,8 +17,9 @@ HotC sits between clients and backend hosts as a
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, List, Optional
 
 from repro.admission.brownout import BrownoutController
 from repro.containers.container import Container, ContainerConfig
@@ -37,6 +38,8 @@ from repro.faults.errors import (
     RuntimeUnavailableError,
     TransientEngineError,
 )
+from repro.recovery.checkpoint import HostCheckpoint, PoolEntrySnapshot
+from repro.recovery.manager import RepairEvent, RepairKind
 from repro.sim.engine import AnyOf
 
 __all__ = ["HotC", "HotCConfig"]
@@ -193,6 +196,19 @@ class HotC(RuntimeProvider):
         #: protection (brownout, AIMD tick) fully inert.
         self.admission = None
         self._brownout: Optional[BrownoutController] = None
+        #: Optional recovery manager; ``None`` keeps checkpointing,
+        #: auditing, and crash handling fully inert.
+        self.recovery = None
+        #: True between crash_control_plane() and recover_from():
+        #: acquire fails fast, the control loop skips its tick.
+        self._crashed = False
+        #: In-flight *prewarm* boots per key (a subset of
+        #: ``_pending_boots``): these have no requester waiting, so a
+        #: host failover can absorb their cap reservations outright.
+        self._pending_prewarms: Dict[RuntimeKey, int] = {}
+        #: Bumped by absorb_pending_boots(); a prewarm landing with a
+        #: stale epoch belongs to a previous host life and is retired.
+        self._prewarm_epoch = 0
 
     # -- the provider protocol ------------------------------------------------
     def key_of(self, config: ContainerConfig) -> RuntimeKey:
@@ -239,6 +255,15 @@ class HotC(RuntimeProvider):
             exit_margin=controller.config.brownout_exit_margin,
         )
 
+    def attach_recovery(self, manager) -> None:
+        """Wire a recovery manager through this host (``None`` detaches).
+
+        The control loop then audits consistency and checkpoints the
+        learned state on the manager's cadence, and release/discard
+        tolerate containers the (rebuilt) pool no longer tracks.
+        """
+        self.recovery = manager
+
     def acquire(self, config: ContainerConfig) -> Generator:
         """Process: Algorithm 1 — reuse when available, else cold boot.
 
@@ -257,6 +282,12 @@ class HotC(RuntimeProvider):
         taken at entry is rolled back so ``_busy`` (and with it the
         predictor's demand signal) never leaks.
         """
+        if self._crashed:
+            # Control-plane crash window: fail fast so the caller's
+            # retry policy decides; the data plane keeps running.
+            raise RuntimeUnavailableError(
+                f"control plane of host {self.engine.name} is down"
+            )
         key = self.key_of(config)
         self._config_for_key.setdefault(key, config)
         self._index_relaxed(key)
@@ -272,6 +303,7 @@ class HotC(RuntimeProvider):
                 if container is None and self.similarity is not None:
                     container = yield from self._acquire_repurpose(key, config)
             if container is not None:
+                container.leased = True
                 yield from self._journal(key, container, "busy")
                 return container, False
 
@@ -283,6 +315,7 @@ class HotC(RuntimeProvider):
                 )
             container = yield from self._boot_with_retry(key, config, breaker)
             self.pool.register(container, key, now=self.sim.now, available=False)
+            container.leased = True
             yield from self._journal(key, container, "busy")
             return container, True
         except BaseException:
@@ -346,7 +379,13 @@ class HotC(RuntimeProvider):
         """
         while True:
             container = self.pool.acquire_donor(key, now=self.sim.now, reuse=reuse)
-            if container is None or container.is_reusable:
+            if container is None:
+                return None
+            if container.is_reusable:
+                # Lease immediately: the re-spec yield that follows is a
+                # window where a concurrent recovery sweep must see this
+                # container as request-owned, not idle.
+                container.leased = True
                 return container
             self.pool.discard_dead(container, reuse=reuse)
 
@@ -668,6 +707,9 @@ class HotC(RuntimeProvider):
             if not event.ok or event.value is None:
                 return
             container = event.value
+            if self.pool.contains(container):
+                # A recovery sweep already adopted this boot's container.
+                return
             if (
                 self._draining
                 or self.pool.total_live >= self.config.limits.max_containers
@@ -690,6 +732,7 @@ class HotC(RuntimeProvider):
         drain, are retired instead of recycled.
         """
         key = self.key_of(container.config)
+        container.leased = False
         self._bump_busy(key, -1)
         if not container.is_reusable or not self.pool.contains(container):
             # Dead (killed out from under us), or retired while busy —
@@ -713,6 +756,7 @@ class HotC(RuntimeProvider):
         container somehow still live is retired asynchronously.
         """
         key = self.key_of(container.config)
+        container.leased = False
         self._bump_busy(key, -1)
         if self.pool.contains(container):
             self.pool.remove(container)
@@ -735,6 +779,218 @@ class HotC(RuntimeProvider):
                 self.pool.remove(entry.container)
                 removed += 1
         return removed
+
+    # -- checkpoint / crash / recover -----------------------------------------
+    def _snapshot_host(self) -> HostCheckpoint:
+        """This host's recoverable control-plane state, as pure data."""
+        entries = tuple(
+            PoolEntrySnapshot(
+                container_id=entry.container.container_id,
+                key=entry.key,
+                available=entry.available,
+            )
+            for entry in sorted(
+                self.pool.entries(),
+                key=lambda entry: entry.container.container_id,
+            )
+        )
+        return HostCheckpoint(
+            host=self.engine.name,
+            entries=entries,
+            configs=dict(self._config_for_key),
+            controller=copy.deepcopy(self.controller),
+            breakers={
+                key: copy.deepcopy(breaker)
+                for key, breaker in self._breakers.items()
+            },
+            partial_hits=self.partial_hits,
+        )
+
+    def snapshot_state(self):
+        """Provider hook: the tuple of host checkpoints (one here)."""
+        return (self._snapshot_host(),)
+
+    def crash_control_plane(self) -> int:
+        """Lose every indexed control-plane structure; data plane lives.
+
+        Containers keep running (leases and recycle flags travel with
+        them — they are the ground truth recovery rebuilds from), and
+        in-flight boot processes keep their own pending accounting, so
+        ``_pending_boots`` survives.  Returns the pool entries lost.
+        """
+        self._crashed = True
+        lost = self.pool.reset()
+        self._config_for_key.clear()
+        self._busy.clear()
+        self._peak.clear()
+        self._relaxed_index.clear()
+        self._breakers.clear()
+        self._cold_estimates.clear()
+        self.controller = AdaptivePoolController(
+            predictor_factory=self.config.make_predictor,
+            max_target=self.config.limits.max_containers,
+        )
+        return lost
+
+    def _recover_host(
+        self, checkpoint: Optional[HostCheckpoint]
+    ) -> List[RepairEvent]:
+        """Anti-entropy: rebuild the pool from engine ground truth.
+
+        The checkpoint restores state with no ground truth (predictor,
+        breakers, configs) and classifies divergences; the pool itself
+        is rebuilt from ``engine.live_containers()``: leased containers
+        are re-adopted busy, containers mid-recycle re-registered
+        unavailable (their in-flight cleanup will release them), idle
+        reusable ones rejoin as available while capacity lasts, and
+        checkpoint entries with no live container are purged.
+        """
+        repairs: List[RepairEvent] = []
+        now = self.sim.now
+        host = self.engine.name
+        snapshots = {}
+        if checkpoint is not None:
+            snapshots = {s.container_id: s for s in checkpoint.entries}
+            for key, config in checkpoint.configs.items():
+                self._config_for_key.setdefault(key, config)
+            self.controller = copy.deepcopy(checkpoint.controller)
+            self._breakers = {
+                key: copy.deepcopy(breaker)
+                for key, breaker in checkpoint.breakers.items()
+            }
+            self.partial_hits = max(self.partial_hits, checkpoint.partial_hits)
+        seen = set()
+        for container in self.engine.live_containers():
+            cid = container.container_id
+            seen.add(cid)
+            if self.pool.contains(container):
+                # Registered between crash and recover by an in-flight
+                # acquire/boot landing — that process owns its
+                # accounting; re-adopting would double-register.
+                continue
+            key = self.key_of(container.config)
+            self._config_for_key.setdefault(key, container.config)
+            provenance = (
+                "checkpointed" if cid in snapshots else "post-checkpoint"
+            )
+            if container.leased:
+                self.pool.register(container, key, now=now, available=False)
+                self._bump_busy(key, +1)
+                repairs.append(
+                    RepairEvent(
+                        RepairKind.ADOPTED_BUSY, host, cid, str(key), provenance
+                    )
+                )
+            elif container.recycling:
+                # Mid-cleanup: its clean_and_recycle process will mark
+                # it available once the scrub finishes.
+                self.pool.register(container, key, now=now, available=False)
+                repairs.append(
+                    RepairEvent(
+                        RepairKind.ADOPTED_RECYCLING,
+                        host,
+                        cid,
+                        str(key),
+                        provenance,
+                    )
+                )
+            elif container.is_reusable:
+                if (
+                    self.pool.total_live + self._pending_total()
+                    < self.config.limits.max_containers
+                ):
+                    self.pool.register(container, key, now=now, available=True)
+                    repairs.append(
+                        RepairEvent(
+                            RepairKind.ADOPTED_IDLE,
+                            host,
+                            cid,
+                            str(key),
+                            provenance,
+                        )
+                    )
+                else:
+                    self.sim.process(
+                        self.cleanup.retire(container),
+                        name=f"retire-orphan:{cid}",
+                    )
+                    repairs.append(
+                        RepairEvent(
+                            RepairKind.RETIRED_ORPHAN,
+                            host,
+                            cid,
+                            str(key),
+                            "over capacity after recovery",
+                        )
+                    )
+            else:
+                repairs.append(
+                    RepairEvent(
+                        RepairKind.ANOMALY,
+                        host,
+                        cid,
+                        str(key),
+                        f"live {container.state.value} container is unleased",
+                    )
+                )
+        for cid in sorted(snapshots):
+            if cid not in seen:
+                snapshot = snapshots[cid]
+                repairs.append(
+                    RepairEvent(
+                        RepairKind.PURGED_PHANTOM,
+                        host,
+                        cid,
+                        str(snapshot.key),
+                        "checkpoint entry has no live container",
+                    )
+                )
+        for key in tuple(self._config_for_key):
+            self._index_relaxed(key)
+        self._crashed = False
+        return repairs
+
+    def recover_from(self, checkpoint=None) -> List[RepairEvent]:
+        """Provider hook: recover this single host from ``checkpoint``."""
+        host_checkpoint = None
+        if checkpoint is not None:
+            host_checkpoint = next(
+                (
+                    hc
+                    for hc in checkpoint.hosts
+                    if hc.host == self.engine.name
+                ),
+                None,
+            )
+        return self._recover_host(host_checkpoint)
+
+    def check_consistency(self) -> None:
+        """Invariant audit across the pool and the demand accounting."""
+        self.pool.check_consistency()
+        for key, busy in self._busy.items():
+            assert busy >= 0, f"negative busy count for {key}: {busy}"
+        for key, pending in self._pending_boots.items():
+            assert pending > 0, f"stale pending-boot entry for {key}"
+        for key, prewarms in self._pending_prewarms.items():
+            assert (
+                0 < prewarms <= self._pending_boots.get(key, 0)
+            ), f"prewarm count for {key} exceeds its pending boots"
+
+    def scan_divergences(self) -> List[str]:
+        """Report-only sweep comparing the pool against ground truth.
+
+        Dead containers still pooled are *not* flagged — the pool
+        discards those lazily by design.  What must never happen is a
+        live, request-owned container the control plane forgot.
+        """
+        problems: List[str] = []
+        for container in self.engine.live_containers():
+            if container.leased and not self.pool.contains(container):
+                problems.append(
+                    f"{self.engine.name}: leased container "
+                    f"{container.container_id} is untracked"
+                )
+        return problems
 
     def shutdown(self) -> Generator:
         """Process: stop control, drain the pool, absorb in-flight boots.
@@ -780,6 +1036,34 @@ class HotC(RuntimeProvider):
     def _pending_total(self) -> int:
         """In-flight boots across all keys (count against the cap)."""
         return sum(self._pending_boots.values())
+
+    def _note_prewarm(self, key: RuntimeKey, delta: int) -> None:
+        """Track the prewarm subset of the pending-boot count."""
+        pending = self._pending_prewarms.get(key, 0) + delta
+        if pending > 0:
+            self._pending_prewarms[key] = pending
+        else:
+            self._pending_prewarms.pop(key, None)
+
+    def absorb_pending_boots(self) -> int:
+        """Release the cap reservations of in-flight prewarm boots.
+
+        Called when this host is declared lost (outage failover or a
+        detector-driven drain): its prewarm boots will never land
+        usefully, yet their ``_pending_boots`` entries would keep
+        counting against ``max_containers`` — after enough outages a
+        host could refuse boots forever.  The boot processes themselves
+        are not interrupted; bumping the epoch makes each landing
+        detect that its reservation is gone and retire any container it
+        produced.  Returns the number of reservations absorbed.
+        """
+        absorbed = 0
+        for key, count in self._pending_prewarms.items():
+            absorbed += count
+            self._note_pending(key, -count)
+        self._pending_prewarms.clear()
+        self._prewarm_epoch += 1
+        return absorbed
 
     def _make_room(self) -> Generator:
         """Evict idle containers until below caps (before a boot).
@@ -848,6 +1132,9 @@ class HotC(RuntimeProvider):
 
     def control_tick(self) -> None:
         """One prediction + resize step (public for tests/experiments)."""
+        if self._crashed:
+            # Control-plane crash window: no prediction, no resize.
+            return
         obs = self.obs
         admission = self.admission
         if admission is not None:
@@ -917,6 +1204,10 @@ class HotC(RuntimeProvider):
             # Drive the AIMD interval from the same control clock; the
             # controller collapses co-scheduled multi-host ticks.
             admission.tick(self.sim.now)
+        if self.recovery is not None:
+            # Background auditor + checkpoint cadence; the manager
+            # collapses co-scheduled multi-host ticks.
+            self.recovery.on_control_tick(self.sim.now)
 
     def _update_brownout(self) -> None:
         """Advance the brownout state machine with this tick's pressure.
@@ -992,6 +1283,8 @@ class HotC(RuntimeProvider):
             return
         config = self._config_for_key[key]
         self._note_pending(key, +1)
+        self._note_prewarm(key, +1)
+        epoch = self._prewarm_epoch
         if self.obs is not None:
             self.obs.emit(
                 EventKind.PREWARM,
@@ -1023,9 +1316,22 @@ class HotC(RuntimeProvider):
                 except Exception:
                     return  # host down mid-prewarm: nothing to pool
             finally:
-                self._note_pending(key, -1)
+                if epoch == self._prewarm_epoch:
+                    self._note_pending(key, -1)
+                    self._note_prewarm(key, -1)
+            if epoch != self._prewarm_epoch:
+                # Absorbed mid-flight (the host was declared lost): the
+                # reservation is already released, so a container that
+                # landed anyway must not [re]join the pool.
+                if container.is_reusable and not self.pool.contains(container):
+                    yield from self.cleanup.retire(container)
+                return
             if self._draining or not container.is_reusable:
                 yield from self.cleanup.retire(container)
+                return
+            if self.pool.contains(container):
+                # A recovery sweep adopted this landing boot already.
+                breaker.record_success()
                 return
             self.pool.register(container, key, now=self.sim.now, available=True)
             breaker.record_success()

@@ -456,6 +456,37 @@ class ContainerRuntimePool:
         """Whether the container is pooled."""
         return container.container_id in self._by_container
 
+    def is_available(self, container: Container) -> bool:
+        """Whether the container is pooled *and* idle-available."""
+        entry = self._by_container.get(container.container_id)
+        return entry is not None and entry.available
+
+    def reset(self) -> int:
+        """Forget every entry and index: a control-plane crash.
+
+        Mutates in place (the cleanup worker and HotC hold direct
+        references to this pool) and keeps ``_seq`` monotonic so entries
+        registered by a later recovery sweep never collide with stale
+        availability-list or eviction-heap tuples still referenced by
+        in-flight generators.  Stats survive — they are externally
+        scraped counters, not recoverable state.  Returns the number of
+        entries forgotten.
+        """
+        lost = len(self._by_container)
+        for entry in self._by_container.values():
+            entry.in_pool = False
+            entry.stamp += 1
+        self._entries.clear()
+        self._by_container.clear()
+        self._counts.clear()
+        self._avail_lists.clear()
+        self._evict_heap.clear()
+        for entry in self._evict_pending:
+            entry.evict_pending = False
+        self._evict_pending.clear()
+        self._total_available = 0
+        return lost
+
     def _entry_of(self, container: Container) -> PoolEntry:
         try:
             return self._by_container[container.container_id]

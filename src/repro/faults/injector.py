@@ -47,6 +47,16 @@ class FaultInjector:
         self.stats = stats or FaultStats()
         #: Host-outage flag, toggled by the plan's scheduled callbacks.
         self.down = False
+        #: Network-partition flag: the host is unreachable (new boots
+        #: refused, heartbeats lost) but its containers stay alive.
+        self.partitioned = False
+        #: Gray-slowdown multiplier applied to boot/exec stage latencies
+        #: (1.0 = healthy; the engine multiplies timeouts by this).
+        self.latency_multiplier = 1.0
+        #: Telemetry-only fault: heartbeats stop while the data plane
+        #: keeps serving (exercises the failure detector's false-alarm
+        #: handling).
+        self.heartbeats_lost = False
         self._forced_boot_failures = 0
         self._forced_transient_errors = 0
         self._forced_exec_crashes = 0
@@ -84,6 +94,10 @@ class FaultInjector:
         """
         if self.down:
             raise HostDownError(f"host {engine.name} is down")
+        if self.partitioned:
+            raise HostDownError(
+                f"host {engine.name} is unreachable (network partition)"
+            )
         if self._forced_transient_errors > 0:
             self._forced_transient_errors -= 1
             yield from self._raise_transient(engine)

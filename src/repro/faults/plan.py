@@ -37,6 +37,20 @@ class FaultKind(enum.Enum):
     EXEC_CRASH = "exec_crash"
     POOL_DEATH = "pool_death"
     HOST_OUTAGE = "host_outage"
+    #: Gray failure: the host stays up but every boot/exec stage runs
+    #: ``factor`` times slower for ``duration_ms``.
+    GRAY_SLOWDOWN = "gray_slowdown"
+    #: Network partition: the host is unreachable (new boots refused,
+    #: heartbeats lost) but its containers stay alive, so the warm pool
+    #: survives the heal.
+    PARTITION = "partition"
+    #: Heartbeat loss/flap: telemetry-only — the host keeps serving but
+    #: the failure detector sees silence for ``duration_ms``.
+    HEARTBEAT_LOSS = "heartbeat_loss"
+    #: The control plane itself crashes, losing its in-memory pool
+    #: metadata; a :class:`~repro.recovery.RecoveryManager` rebuilds it
+    #: after ``duration_ms``.
+    CONTROLLER_CRASH = "controller_crash"
 
 
 @dataclass(frozen=True)
@@ -96,16 +110,34 @@ class ScheduledFault:
     host: str = ""
     duration_ms: float = 0.0
     count: int = 1
+    #: Latency multiplier applied for GRAY_SLOWDOWN's duration.
+    factor: float = 2.0
+
+    #: Kinds that run for a duration and therefore require one.
+    _TIMED = (
+        FaultKind.HOST_OUTAGE,
+        FaultKind.GRAY_SLOWDOWN,
+        FaultKind.PARTITION,
+        FaultKind.HEARTBEAT_LOSS,
+        FaultKind.CONTROLLER_CRASH,
+    )
 
     def __post_init__(self) -> None:
         if self.at_ms < 0:
             raise ValueError("at_ms must be >= 0")
-        if self.kind not in (FaultKind.POOL_DEATH, FaultKind.HOST_OUTAGE):
+        if self.kind in (
+            FaultKind.BOOT_FAILURE,
+            FaultKind.BOOT_STRAGGLER,
+            FaultKind.TRANSIENT_ERROR,
+            FaultKind.EXEC_CRASH,
+        ):
             raise ValueError(
-                f"only POOL_DEATH and HOST_OUTAGE can be scheduled, got {self.kind}"
+                f"{self.kind} is probabilistic (FaultSpec), not schedulable"
             )
-        if self.kind is FaultKind.HOST_OUTAGE and self.duration_ms <= 0:
-            raise ValueError("HOST_OUTAGE needs duration_ms > 0")
+        if self.kind in self._TIMED and self.duration_ms <= 0:
+            raise ValueError(f"{self.kind.value} needs duration_ms > 0")
+        if self.kind is FaultKind.GRAY_SLOWDOWN and self.factor <= 1.0:
+            raise ValueError("GRAY_SLOWDOWN needs factor > 1")
         if self.count < 1:
             raise ValueError("count must be >= 1")
 
@@ -120,6 +152,10 @@ class FaultStats:
     exec_crashes: int = 0
     pool_deaths: int = 0
     host_outages: int = 0
+    gray_slowdowns: int = 0
+    partitions: int = 0
+    heartbeat_losses: int = 0
+    controller_crashes: int = 0
 
     @property
     def total(self) -> int:
@@ -177,13 +213,26 @@ class FaultPlan:
         pool_deaths: int = 3,
         outages: int = 1,
         outage_ms: float = 5_000.0,
+        gray_slowdowns: int = 0,
+        gray_ms: float = 10_000.0,
+        gray_factor: float = 3.0,
+        partitions: int = 0,
+        partition_ms: float = 5_000.0,
+        heartbeat_losses: int = 0,
+        heartbeat_loss_ms: float = 3_000.0,
+        controller_crashes: int = 0,
+        controller_crash_ms: float = 1_500.0,
     ) -> "FaultPlan":
         """A randomized-but-deterministic plan for chaos runs.
 
         Scheduled pool deaths and host outages are drawn uniformly over
-        ``[0, duration_ms)`` (outages over the first 80% so recovery is
-        observable); the same ``seed`` always yields the identical
-        schedule.  ``spec`` defaults to a moderate probabilistic mix.
+        ``[0, duration_ms)`` (timed faults over the first 80% so
+        recovery is observable); the same ``seed`` always yields the
+        identical schedule.  ``spec`` defaults to a moderate
+        probabilistic mix.  The gray-failure and controller-crash kinds
+        default to zero occurrences, so existing plans are unchanged.
+        Controller crashes are stratified over equal slices of the run
+        so consecutive crash/recover windows never overlap.
         """
         if duration_ms <= 0:
             raise ValueError("duration_ms must be > 0")
@@ -208,6 +257,46 @@ class FaultPlan:
                     duration_ms=float(outage_ms),
                 )
             )
+        timed = (
+            (gray_slowdowns, FaultKind.GRAY_SLOWDOWN, gray_ms),
+            (partitions, FaultKind.PARTITION, partition_ms),
+            (heartbeat_losses, FaultKind.HEARTBEAT_LOSS, heartbeat_loss_ms),
+        )
+        for n, kind, fault_ms in timed:
+            for _ in range(n):
+                extra = (
+                    {"factor": float(gray_factor)}
+                    if kind is FaultKind.GRAY_SLOWDOWN
+                    else {}
+                )
+                scheduled.append(
+                    ScheduledFault(
+                        at_ms=float(rng.uniform(0.0, duration_ms * 0.8)),
+                        kind=kind,
+                        host=str(hosts[int(rng.integers(len(hosts)))]),
+                        duration_ms=float(fault_ms),
+                        **extra,
+                    )
+                )
+        if controller_crashes > 0:
+            span = duration_ms * 0.8
+            slice_ms = span / controller_crashes
+            if controller_crash_ms >= slice_ms:
+                raise ValueError(
+                    "controller_crash_ms must be shorter than the per-crash "
+                    f"slice ({slice_ms:.0f} ms) so crash windows never overlap"
+                )
+            for index in range(controller_crashes):
+                # Uniform within the slice, leaving room for the recovery.
+                lo = index * slice_ms
+                hi = (index + 1) * slice_ms - controller_crash_ms
+                scheduled.append(
+                    ScheduledFault(
+                        at_ms=float(rng.uniform(lo, hi)),
+                        kind=FaultKind.CONTROLLER_CRASH,
+                        duration_ms=float(controller_crash_ms),
+                    )
+                )
         if spec is None:
             spec = FaultSpec(
                 boot_failure_rate=0.10,
@@ -219,11 +308,14 @@ class FaultPlan:
         return cls(seed=seed, spec=spec, scheduled=tuple(scheduled))
 
     # -- installation ---------------------------------------------------------
-    def install(self, sim, engines) -> Dict[str, "FaultInjector"]:
+    def install(self, sim, engines, recovery=None) -> Dict[str, "FaultInjector"]:
         """Attach one injector per engine and arm the scheduled faults.
 
         Scheduled entries naming an unknown host target the first
-        engine.  Returns the injectors by engine name.
+        engine.  ``recovery`` is the
+        :class:`~repro.recovery.RecoveryManager` that CONTROLLER_CRASH
+        entries crash and recover; scheduling one without a manager is a
+        plan error.  Returns the injectors by engine name.
         """
         from repro.faults.injector import FaultInjector
 
@@ -247,13 +339,31 @@ class FaultPlan:
         )
         for fault in self.scheduled:
             engine = by_name.get(fault.host, engines[0])
+            injector = injectors[engine.name]
             delay = max(0.0, fault.at_ms - sim.now)
+            after = delay + fault.duration_ms
             if fault.kind is FaultKind.POOL_DEATH:
                 sim.schedule(delay, self._kill_idle, engine, fault.count, victim_rng)
-            else:  # HOST_OUTAGE
-                injector = injectors[engine.name]
+            elif fault.kind is FaultKind.HOST_OUTAGE:
                 sim.schedule(delay, self._begin_outage, engine, injector)
-                sim.schedule(delay + fault.duration_ms, self._end_outage, injector)
+                sim.schedule(after, self._end_outage, injector)
+            elif fault.kind is FaultKind.GRAY_SLOWDOWN:
+                sim.schedule(delay, self._begin_gray, injector, fault.factor)
+                sim.schedule(after, self._end_gray, injector)
+            elif fault.kind is FaultKind.PARTITION:
+                sim.schedule(delay, self._begin_partition, injector)
+                sim.schedule(after, self._end_partition, injector)
+            elif fault.kind is FaultKind.HEARTBEAT_LOSS:
+                sim.schedule(delay, self._begin_heartbeat_loss, injector)
+                sim.schedule(after, self._end_heartbeat_loss, injector)
+            else:  # CONTROLLER_CRASH
+                if recovery is None:
+                    raise ValueError(
+                        "the plan schedules a CONTROLLER_CRASH but no "
+                        "recovery manager was passed to install()"
+                    )
+                sim.schedule(delay, self._crash_controller, recovery)
+                sim.schedule(after, self._recover_controller, recovery)
         return injectors
 
     # -- scheduled-fault executors (simulator callbacks) ----------------------
@@ -278,6 +388,36 @@ class FaultPlan:
 
     def _end_outage(self, injector) -> None:
         injector.down = False
+
+    def _begin_gray(self, injector, factor: float) -> None:
+        injector.latency_multiplier = factor
+        self.stats.gray_slowdowns += 1
+
+    def _end_gray(self, injector) -> None:
+        injector.latency_multiplier = 1.0
+
+    def _begin_partition(self, injector) -> None:
+        # Unreachable but alive: new boots are refused and heartbeats
+        # stop, yet no container is killed — the warm pool survives.
+        injector.partitioned = True
+        self.stats.partitions += 1
+
+    def _end_partition(self, injector) -> None:
+        injector.partitioned = False
+
+    def _begin_heartbeat_loss(self, injector) -> None:
+        injector.heartbeats_lost = True
+        self.stats.heartbeat_losses += 1
+
+    def _end_heartbeat_loss(self, injector) -> None:
+        injector.heartbeats_lost = False
+
+    def _crash_controller(self, recovery) -> None:
+        if recovery.crash():
+            self.stats.controller_crashes += 1
+
+    def _recover_controller(self, recovery) -> None:
+        recovery.recover()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

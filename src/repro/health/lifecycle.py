@@ -1,0 +1,166 @@
+"""Host lifecycle states and per-host health bookkeeping.
+
+The state machine (DESIGN.md §12)::
+
+            phi >= suspect            phi >= quarantine
+    HEALTHY ---------------> SUSPECT ------------------> QUARANTINED
+       ^                        |  ^                        |     |
+       |   clean evals          |  |  relapse               |     | confirmed dead /
+       +------------------------+  +----------+             |     | phi >= drain
+       |                                      |   heartbeats|     v
+       |        probation heartbeats          |   resume    |  DRAINING
+       +----------------------- PROBATION <---+-------------+     |
+                                     ^        heartbeats resume   |
+                                     +----------------------------+
+
+* **SUSPECT** and **QUARANTINED** hosts stop receiving new work but
+  keep their in-flight requests (gray failures are often transient;
+  killing work on a slow host converts a latency problem into errors).
+* **DRAINING** additionally drops the host's pool metadata and absorbs
+  its in-flight prewarm boots — the host is being treated as lost.
+* **PROBATION** reintroduces a recovered host gradually: its routing
+  weight ramps from near zero to 1.0 over ``probation_heartbeats``
+  on-time heartbeats instead of rejoining abruptly at full weight.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.health.detector import PhiAccrualDetector
+
+__all__ = ["HealthConfig", "HostHealth", "HostState"]
+
+
+class HostState(enum.Enum):
+    """Lifecycle states; ``code`` feeds the per-host gauge."""
+
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+    QUARANTINED = "quarantined"
+    DRAINING = "draining"
+    PROBATION = "probation"
+
+    @property
+    def code(self) -> int:
+        """Stable numeric encoding for the lifecycle gauge."""
+        return _STATE_CODES[self]
+
+    @property
+    def routable(self) -> bool:
+        """Whether new work may be sent to a host in this state."""
+        return self in (HostState.HEALTHY, HostState.PROBATION)
+
+
+_STATE_CODES = {
+    HostState.HEALTHY: 0,
+    HostState.SUSPECT: 1,
+    HostState.QUARANTINED: 2,
+    HostState.DRAINING: 3,
+    HostState.PROBATION: 4,
+}
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Tunables of the monitor and its per-host detectors."""
+
+    #: Heartbeat period each host's pump simulates.
+    heartbeat_interval_ms: float = 500.0
+    #: Detector window and deviation floor (see PhiAccrualDetector).
+    window: int = 64
+    min_std_ms: float = 200.0
+    #: phi threshold that turns HEALTHY into SUSPECT.
+    suspect_phi: float = 1.5
+    #: phi threshold that turns SUSPECT into QUARANTINED.
+    quarantine_phi: float = 5.0
+    #: phi threshold past which a QUARANTINED host is presumed lost and
+    #: drained (its pool metadata dropped, pending prewarms absorbed).
+    drain_phi: float = 12.0
+    #: A host whose learned mean heartbeat interval exceeds
+    #: ``slow_factor * heartbeat_interval_ms`` is treated as gray-slow
+    #: (suspect) even when individual heartbeats keep arriving.
+    slow_factor: float = 2.0
+    #: Consecutive clean evaluations a SUSPECT host needs to rejoin
+    #: HEALTHY directly (it never stopped heartbeating hard enough to
+    #: be quarantined, so no probation ramp is needed).
+    recover_evals: int = 3
+    #: On-time heartbeats a PROBATION host needs before full weight.
+    probation_heartbeats: int = 8
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval_ms <= 0:
+            raise ValueError("heartbeat_interval_ms must be > 0")
+        if not 0 < self.suspect_phi < self.quarantine_phi < self.drain_phi:
+            raise ValueError(
+                "need 0 < suspect_phi < quarantine_phi < drain_phi"
+            )
+        if self.slow_factor <= 1.0:
+            raise ValueError("slow_factor must be > 1")
+        if self.recover_evals < 1:
+            raise ValueError("recover_evals must be >= 1")
+        if self.probation_heartbeats < 1:
+            raise ValueError("probation_heartbeats must be >= 1")
+
+
+class HostHealth:
+    """One host's detector, lifecycle state, and transition history."""
+
+    def __init__(self, name: str, engine, config: HealthConfig) -> None:
+        self.name = name
+        self.engine = engine
+        self.config = config
+        self.state = HostState.HEALTHY
+        self.detector = PhiAccrualDetector(
+            window=config.window,
+            min_std_ms=config.min_std_ms,
+            bootstrap_interval_ms=config.heartbeat_interval_ms,
+        )
+        #: Consecutive clean evaluations while SUSPECT.
+        self.clean_evals = 0
+        #: On-time heartbeats received while in PROBATION.
+        self.probation_progress = 0
+        #: ``(sim_time, from_state, to_state)`` transition log.
+        self.transitions: List[Tuple[float, HostState, HostState]] = []
+
+    @property
+    def is_slow(self) -> bool:
+        """Gray-slowdown signal: heartbeats arrive but far too slowly."""
+        config = self.config
+        return (
+            self.detector.n_intervals >= 2
+            and self.detector.mean_interval_ms
+            > config.slow_factor * config.heartbeat_interval_ms
+        )
+
+    def routing_weight(self) -> float:
+        """Probabilistic routing weight in [0, 1] (1.0 = full share).
+
+        HEALTHY hosts weigh 1.0; PROBATION hosts ramp linearly with
+        their on-time heartbeat count so reintroduction is gradual; all
+        other states are unroutable and weigh 0.
+        """
+        if self.state is HostState.HEALTHY:
+            return 1.0
+        if self.state is HostState.PROBATION:
+            return (self.probation_progress + 1) / (
+                self.config.probation_heartbeats + 1
+            )
+        return 0.0
+
+    def transition_to(self, state: HostState, now: float) -> HostState:
+        """Move to ``state``, logging the edge; returns the old state."""
+        old = self.state
+        if state is not old:
+            self.state = state
+            self.transitions.append((now, old, state))
+            if state is HostState.PROBATION:
+                self.probation_progress = 0
+            if state is not HostState.SUSPECT:
+                self.clean_evals = 0
+        return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<HostHealth {self.name} {self.state.value}>"

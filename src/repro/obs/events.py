@@ -76,6 +76,24 @@ class EventKind(enum.Enum):
     BROWNOUT_ENTER = "brownout_enter"
     #: A host left brownout (pressure cleared past the hysteresis margin).
     BROWNOUT_EXIT = "brownout_exit"
+    #: The failure detector marked a host suspect (phi over the suspect
+    #: threshold, or persistent gray slowdown).
+    HOST_SUSPECT = "host_suspect"
+    #: A host was quarantined (``state`` distinguishes ``quarantined``
+    #: from the subsequent ``draining``); it stops receiving new work.
+    HOST_QUARANTINED = "host_quarantined"
+    #: A host came back (``state``: ``probation`` for the gradual
+    #: weighted reintroduction, ``healthy`` for full restoration).
+    HOST_RECOVERED = "host_recovered"
+    #: The recovery manager snapshotted the control-plane state
+    #: (``version``/``entries``).
+    CHECKPOINT = "checkpoint"
+    #: A control-plane crash or recovery completed (``phase``:
+    #: ``crash``/``recover``, with repair counts on recover).
+    RECOVERY = "recovery"
+    #: One anti-entropy repair action (``action``: adopted_busy/
+    #: adopted_idle/retired_orphan/purged_phantom/...).
+    REPAIR = "repair"
 
 
 @dataclass(frozen=True)

@@ -124,6 +124,87 @@ class TestConsistency:
         assert run_once() == run_once()
 
 
+class TestFailoverEdges:
+    def test_recovered_primary_does_not_flap_back(self, sim, store):
+        """The old primary rejoins as a follower; leadership only moves
+        on the *next* failure (lowest-indexed healthy wins again)."""
+        run(sim, store.put("k", 1))
+        store.fail_replica(0)
+        assert store.primary_index == 1
+        store.recover_replica(0)
+        assert store.primary_index == 1  # no flap-back
+        assert store.replicas_consistent()
+        run(sim, store.put("k", 2))
+        store.fail_replica(1)
+        assert store.primary_index == 0  # rejoined replica is promotable
+        assert store.failovers == 2
+        assert run(sim, store.get("k")) == 2
+
+    def test_quorum_lost_mid_write_then_regained(self, sim, store):
+        """Quorum is checked at write entry; a replica failing mid-write
+        still converges once it recovers and catches up."""
+        proc = sim.process(store.put("k", "v1"))
+        sim.schedule(0.25, lambda: store.fail_replica(2))  # mid-replication
+        sim.run()
+        assert proc.ok  # entry-time quorum carried the write through
+        assert store.writes == 1
+        store.fail_replica(1)
+        with pytest.raises(StoreUnavailable):
+            run(sim, store.put("k", "v2"))  # quorum is gone now
+        store.recover_replica(1)
+        assert store.available
+        run(sim, store.put("k", "v2"))
+        store.recover_replica(2)
+        assert store.replicas_consistent()
+        assert run(sim, store.get("k")) == "v2"
+
+    def test_detector_driven_replica_health(self, sim, store):
+        """A phi-accrual detector per replica drives fail/recover: the
+        silent replica is failed at threshold and caught back up when
+        its heartbeats resume."""
+        from repro.health import PhiAccrualDetector
+
+        detectors = {i: PhiAccrualDetector() for i in range(3)}
+        silent_from = 5_000.0
+        silent_until = 15_000.0
+
+        def beats(index):
+            while sim.now < 30_000.0:
+                silenced = (
+                    index == 2 and silent_from <= sim.now < silent_until
+                )
+                if not silenced:
+                    detectors[index].heartbeat(sim.now)
+                yield sim.timeout(500.0)
+
+        def supervisor():
+            while sim.now < 30_000.0:
+                yield sim.timeout(500.0)
+                for index, detector in detectors.items():
+                    healthy = index in store.healthy_replicas()
+                    if detector.phi(sim.now) >= 8.0 and healthy:
+                        store.fail_replica(index)
+                    elif detector.phi(sim.now) < 1.0 and not healthy:
+                        store.recover_replica(index)
+
+        for index in range(3):
+            sim.process(beats(index), name=f"beats-{index}")
+        sim.process(supervisor(), name="supervisor")
+
+        def writer():
+            for i in range(20):
+                yield from store.put(f"k{i}", i)
+                yield sim.timeout(1_500.0)
+
+        proc = sim.process(writer())
+        sim.run()
+        assert proc.ok
+        # The silent replica was failed, then recovered and caught up.
+        assert store.healthy_replicas() == (0, 1, 2)
+        assert store.replicas_consistent()
+        assert store.writes == 20
+
+
 class TestHotCIntegration:
     def test_journaling_on_acquire_path(self, registry, fn_python):
         from repro.core import HotC

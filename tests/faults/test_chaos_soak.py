@@ -58,12 +58,14 @@ def wrap_acquire_with_liveness_check(provider):
     provider.acquire = checked
 
 
-def spawn_invariant_monitor(platform, hosts, interval_ms=500.0):
+def spawn_invariant_monitor(platform, hosts, interval_ms=500.0, provider=None):
     """Sample pool invariants on every host throughout the run."""
 
     def monitor():
         while True:
             yield platform.sim.timeout(interval_ms)
+            if provider is not None:
+                provider.check_consistency()
             for host in hosts:
                 host.pool.check_consistency()
                 cap = host.config.limits.max_containers
@@ -77,8 +79,10 @@ def spawn_invariant_monitor(platform, hosts, interval_ms=500.0):
     platform.sim.process(monitor(), name="invariant-monitor")
 
 
-def assert_quiescent(platform, hosts):
+def assert_quiescent(platform, hosts, provider=None):
     """End-of-run invariants once every request has settled."""
+    if provider is not None:
+        provider.check_consistency()
     for host in hosts:
         host.pool.check_consistency()
         assert all(v == 0 for v in host._busy.values()), (
@@ -111,7 +115,7 @@ class TestSingleHostChaos:
             platform.deploy(fn.with_overrides(exec_ms=80.0))
         provider = platform.provider
         wrap_acquire_with_liveness_check(provider)
-        spawn_invariant_monitor(platform, [provider])
+        spawn_invariant_monitor(platform, [provider], provider=provider)
 
         plan = FaultPlan.random(
             seed=seed, duration_ms=DURATION_MS, hosts=("host-0",)
@@ -126,7 +130,7 @@ class TestSingleHostChaos:
         )
 
         assert len(platform.traces) == 250
-        assert_quiescent(platform, [provider])
+        assert_quiescent(platform, [provider], provider=provider)
         assert platform.engine.live_count == 0
         assert plan.stats.total > 0, "the storm injected nothing"
         # Recovery machinery actually engaged.
@@ -189,7 +193,7 @@ class TestClusterChaos:
             platform.deploy(fn.with_overrides(exec_ms=80.0))
         cluster = platform.provider
         wrap_acquire_with_liveness_check(cluster)
-        spawn_invariant_monitor(platform, cluster.hosts)
+        spawn_invariant_monitor(platform, cluster.hosts, provider=cluster)
 
         plan = FaultPlan.random(
             seed=seed,
@@ -208,7 +212,7 @@ class TestClusterChaos:
         )
 
         assert len(platform.traces) == 250
-        assert_quiescent(platform, cluster.hosts)
+        assert_quiescent(platform, cluster.hosts, provider=cluster)
         assert sum(cluster._inflight.values()) == 0
         assert cluster._by_container == {}
         for host in cluster.hosts:

@@ -130,6 +130,66 @@ class TestFailover:
             host.pool.check_consistency()
 
 
+class TestPrewarmAbsorption:
+    def test_dead_host_prewarm_reservations_absorbed(self, registry, fn_python):
+        """Regression: a dead host's in-flight prewarm boots used to keep
+        counting against max_containers forever; the failover drain now
+        absorbs those reservations."""
+        from repro.core import PoolLimits, make_cluster_platform
+
+        platform = make_cluster_platform(
+            registry,
+            n_hosts=2,
+            seed=0,
+            jitter_sigma=0.0,
+            hotc_config=HotCConfig(
+                control_interval_ms=0,
+                limits=PoolLimits(max_containers=2),
+            ),
+        )
+        cluster = platform.provider
+        platform.deploy(fn_python)
+        platform.submit(fn_python.name)
+        platform.run()  # host-0 warm; the runtime key's config is learned
+        host = cluster.hosts[0]
+        key = host.key_of(fn_python.container_config())
+        host._spawn_prewarm(key)
+        assert host._pending_total() == 1
+
+        plan = FaultPlan(
+            seed=0,
+            scheduled=(
+                ScheduledFault(
+                    at_ms=platform.sim.now + 1.0,
+                    kind=FaultKind.HOST_OUTAGE,
+                    host="host-0",
+                    duration_ms=5_000.0,
+                ),
+            ),
+        )
+        plan.install(platform.sim, engines_of(cluster))
+        # A request during the outage makes the scheduler notice the
+        # dead host, drain its metadata and absorb the prewarm boot.
+        platform.submit(fn_python.name, delay=1_000.0)
+        platform.run(until=platform.sim.now + 3_000.0)
+        assert cluster.down_hosts() == (0,)
+        assert host._pending_boots == {}
+        assert host._pending_prewarms == {}
+
+        # After the host rejoins it can boot back to its full cap —
+        # with the leak, one phantom reservation would block a slot.
+        platform.run(until=platform.sim.now + 10_000.0)
+        platform.submit(fn_python.name)  # refresh readmits the host
+        platform.run()
+        assert cluster.down_hosts() == ()
+        host._spawn_prewarm(key)
+        host._spawn_prewarm(key)
+        platform.run()
+        assert host.pool.total_live == 2
+        assert host._pending_total() == 0
+        host.pool.check_consistency()
+
+
 class TestPickHost:
     def test_round_robin_skips_down_hosts(self, registry, fn_python):
         platform, cluster = make_cluster(

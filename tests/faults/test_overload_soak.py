@@ -95,6 +95,7 @@ def test_overload_soak(registry, fn_python, seed, chaos_report):
     def monitor():
         while True:
             yield platform.sim.timeout(50.0)
+            cluster.check_consistency()
             depth = ctrl.queue_depth(name)
             assert depth <= QUEUE_CAP, (
                 f"queue depth {depth} exceeds cap {QUEUE_CAP} "
@@ -157,6 +158,7 @@ def test_overload_soak(registry, fn_python, seed, chaos_report):
     # Admission bookkeeping fully unwound.
     assert ctrl.inflight(name) == 0
     assert ctrl.queue_depth_total() == 0
+    cluster.check_consistency()
 
     chaos_report(
         seed=seed,

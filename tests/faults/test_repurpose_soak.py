@@ -154,10 +154,12 @@ def wrap_claim_tracking(hosts):
     return claimed
 
 
-def spawn_invariant_monitor(platform, hosts, interval_ms=500.0):
+def spawn_invariant_monitor(platform, hosts, interval_ms=500.0, provider=None):
     def monitor():
         while True:
             yield platform.sim.timeout(interval_ms)
+            if provider is not None:
+                provider.check_consistency()
             for host in hosts:
                 host.pool.check_consistency()
                 cap = host.config.limits.max_containers
@@ -205,7 +207,7 @@ class TestRepurposeChaos:
             platform.deploy(spec)
         cluster = platform.provider
         claimed = wrap_claim_tracking(cluster.hosts)
-        spawn_invariant_monitor(platform, cluster.hosts)
+        spawn_invariant_monitor(platform, cluster.hosts, provider=cluster)
 
         plan = FaultPlan.random(
             seed=seed,
@@ -223,6 +225,7 @@ class TestRepurposeChaos:
 
         assert len(platform.traces) == N_REQUESTS
         assert_quiescent(platform, cluster.hosts)
+        cluster.check_consistency()
         assert sum(cluster._inflight.values()) == 0
         assert cluster._by_container == {}
         assert claimed == {}, f"claims leaked past shutdown: {claimed}"

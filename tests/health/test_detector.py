@@ -1,0 +1,118 @@
+"""Unit tests for the phi-accrual failure detector."""
+
+import math
+
+import pytest
+
+from repro.health import PhiAccrualDetector
+
+
+def feed_regular(detector, n=10, interval=500.0, start=0.0):
+    t = start
+    for _ in range(n + 1):  # n intervals need n+1 beats
+        detector.heartbeat(t)
+        t += interval
+    return t - interval  # time of the last heartbeat
+
+
+class TestValidation:
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(window=0)
+
+    def test_std_floor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(min_std_ms=0.0)
+
+    def test_bootstrap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PhiAccrualDetector(bootstrap_interval_ms=0.0)
+
+    def test_time_reversal_rejected(self):
+        detector = PhiAccrualDetector()
+        detector.heartbeat(100.0)
+        with pytest.raises(ValueError):
+            detector.heartbeat(50.0)
+
+
+class TestPhi:
+    def test_zero_before_any_heartbeat(self):
+        assert PhiAccrualDetector().phi(1_000.0) == 0.0
+
+    def test_low_right_after_a_heartbeat(self):
+        detector = PhiAccrualDetector()
+        last = feed_regular(detector, n=10)
+        assert detector.phi(last) < 0.1
+
+    def test_monotone_in_silence(self):
+        detector = PhiAccrualDetector()
+        last = feed_regular(detector, n=10)
+        phis = [detector.phi(last + silence) for silence in range(0, 5_000, 100)]
+        assert phis == sorted(phis)
+        assert phis[-1] > 10.0
+
+    def test_graded_thresholds(self):
+        """With 500ms beats and the 200ms floor: ~1s of silence is
+        suspicious, ~1.4s alarming, ~2s damning."""
+        detector = PhiAccrualDetector(min_std_ms=200.0)
+        last = feed_regular(detector, n=20, interval=500.0)
+        assert detector.phi(last + 500.0) < 1.5
+        assert 1.5 <= detector.phi(last + 1_000.0) < 5.0
+        assert 5.0 <= detector.phi(last + 1_500.0) < 12.0
+        assert detector.phi(last + 2_000.0) >= 12.0
+
+    def test_capped_at_extreme_silence(self):
+        detector = PhiAccrualDetector()
+        last = feed_regular(detector, n=5)
+        assert detector.phi(last + 1e9) <= 30.0 + 1e-9
+
+    def test_adapts_to_jittery_hosts(self):
+        """A host with high observed jitter earns a gentler phi ramp."""
+        steady = PhiAccrualDetector(min_std_ms=200.0)
+        jittery = PhiAccrualDetector(min_std_ms=200.0)
+        t_steady = feed_regular(steady, n=20, interval=500.0)
+        t = 0.0
+        jittery.heartbeat(t)
+        for i in range(20):
+            t += 200.0 if i % 2 == 0 else 1_300.0
+            jittery.heartbeat(t)
+        silence = 2_000.0
+        assert jittery.phi(t + silence) < steady.phi(t_steady + silence)
+
+
+class TestModel:
+    def test_bootstrap_mean_before_data(self):
+        detector = PhiAccrualDetector(bootstrap_interval_ms=750.0)
+        assert detector.mean_interval_ms == 750.0
+        detector.heartbeat(0.0)  # still zero *intervals*
+        assert detector.mean_interval_ms == 750.0
+
+    def test_learned_mean_and_floored_std(self):
+        detector = PhiAccrualDetector(min_std_ms=200.0)
+        feed_regular(detector, n=10, interval=500.0)
+        assert detector.mean_interval_ms == pytest.approx(500.0)
+        assert detector.std_interval_ms == 200.0  # floored: zero variance
+
+    def test_window_eviction_matches_naive_stats(self):
+        detector = PhiAccrualDetector(window=8, min_std_ms=1.0)
+        intervals = [100.0, 900.0, 300.0, 700.0, 500.0, 200.0, 800.0,
+                     400.0, 600.0, 1_000.0, 150.0, 450.0]
+        t = 0.0
+        detector.heartbeat(t)
+        for interval in intervals:
+            t += interval
+            detector.heartbeat(t)
+        tail = intervals[-8:]
+        mean = sum(tail) / len(tail)
+        var = sum(x * x for x in tail) / len(tail) - mean * mean
+        assert detector.n_intervals == 8
+        assert detector.mean_interval_ms == pytest.approx(mean)
+        assert detector.std_interval_ms == pytest.approx(math.sqrt(var))
+
+    def test_reset_forgets_everything(self):
+        detector = PhiAccrualDetector()
+        feed_regular(detector, n=5)
+        detector.reset()
+        assert detector.n_intervals == 0
+        assert detector.last_heartbeat_at is None
+        assert detector.phi(10_000.0) == 0.0

@@ -1,0 +1,21 @@
+"""Shared fixtures for recovery-subsystem tests."""
+
+import pytest
+
+from repro.containers import Registry, make_base_image
+from repro.faas import FunctionSpec
+
+
+@pytest.fixture
+def registry():
+    return Registry(
+        [
+            make_base_image("python", "3.6", size_mb=330, language="python"),
+            make_base_image("golang", "1.11", size_mb=310, language="go"),
+        ]
+    )
+
+
+@pytest.fixture
+def fn_python():
+    return FunctionSpec(name="py-fn", image="python:3.6", exec_ms=20.0)

@@ -1,0 +1,68 @@
+"""Unit tests for the versioned checkpoint store."""
+
+import pytest
+
+from repro.recovery import Checkpoint, CheckpointStore, HostCheckpoint, PoolEntrySnapshot
+
+
+def host_checkpoint(name="host-0", n_entries=0):
+    entries = tuple(
+        PoolEntrySnapshot(
+            container_id=f"{name}/c{i:06d}", key="py36", available=True
+        )
+        for i in range(n_entries)
+    )
+    return HostCheckpoint(
+        host=name, entries=entries, configs={}, controller=None, breakers={}
+    )
+
+
+class TestStore:
+    def test_empty_store(self):
+        store = CheckpointStore()
+        assert store.latest() is None
+        assert store.versions() == ()
+        assert len(store) == 0
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(keep=0)
+
+    def test_versions_are_monotonic(self):
+        store = CheckpointStore(keep=3)
+        for t in (10.0, 20.0, 30.0):
+            store.save(t, (host_checkpoint(),))
+        assert store.versions() == (1, 2, 3)
+        assert store.latest().version == 3
+        assert store.latest().taken_at == 30.0
+
+    def test_retention_drops_oldest_but_keeps_numbering(self):
+        store = CheckpointStore(keep=2)
+        for t in range(5):
+            store.save(float(t), (host_checkpoint(),))
+        assert len(store) == 2
+        assert store.versions() == (4, 5)
+        store.save(99.0, (host_checkpoint(),))
+        assert store.versions() == (5, 6)
+
+    def test_aimd_limits_are_copied(self):
+        store = CheckpointStore()
+        limits = {"fn": 8.0}
+        checkpoint = store.save(0.0, (host_checkpoint(),), aimd_limits=limits)
+        limits["fn"] = 99.0
+        assert checkpoint.aimd_limits == {"fn": 8.0}
+
+
+class TestCheckpoint:
+    def test_n_entries_sums_across_hosts(self):
+        checkpoint = Checkpoint(
+            version=1,
+            taken_at=0.0,
+            hosts=(host_checkpoint("host-0", 2), host_checkpoint("host-1", 3)),
+        )
+        assert checkpoint.n_entries == 5
+
+    def test_frozen(self):
+        checkpoint = Checkpoint(version=1, taken_at=0.0, hosts=())
+        with pytest.raises(AttributeError):
+            checkpoint.version = 2
