@@ -1,0 +1,144 @@
+"""Planet-scale scenario benchmark: the ``day-1m`` trace day.
+
+The scenario runner promises that a simulated day of one million
+requests over 1 000 runtime keys and 3 hosts (the bundled ``day-1m``
+spec) completes in well under a minute of wall clock, with streaming
+per-tenant accounting the whole way.  This benchmark measures that
+promise and gates it:
+
+* ``--smoke`` runs the bundled ``day-smoke`` spec (~20k requests) under
+  a generous budget — the fast mode wired into the tier-1 pytest run
+  (``tests/test_scenario_gate.py``) and the CI scenario smoke step.
+* ``--check`` runs the full ``day-1m`` spec and fails unless it clears
+  ``DAY_1M_BUDGET_S`` wall seconds and ``DAY_1M_MIN_REQUESTS`` realised
+  requests — the nightly-scale CI gate.
+
+Run:
+    PYTHONPATH=src python benchmarks/bench_scenario_day.py
+    PYTHONPATH=src python benchmarks/bench_scenario_day.py --check
+    PYTHONPATH=src python benchmarks/bench_scenario_day.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(SRC) not in sys.path:  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(SRC))
+
+from repro.scenarios import bundled_spec, run_scenario  # noqa: E402
+
+#: Hard wall-clock ceiling for the ``day-1m`` gate (the ISSUE budget).
+DAY_1M_BUDGET_S = 60.0
+#: Realised-request floor.  The spec's expected total is exactly 1e6;
+#: Poisson fluctuation is ~1e3, so 10 sigma of headroom keeps the gate
+#: seed-robust while still catching any volume-accounting regression.
+DAY_1M_MIN_REQUESTS = 990_000
+#: ``--smoke`` budget for ``day-smoke`` (~20k requests; runs in ~2 s —
+#: the ceiling only exists to catch order-of-magnitude regressions).
+SMOKE_BUDGET_S = 30.0
+SMOKE_MIN_REQUESTS = 18_000
+
+
+def run_day(name: str, seed: int = 0):
+    """Run one bundled trace day; returns (report, wall_seconds)."""
+    spec = bundled_spec(name, seed=seed)
+    start = time.perf_counter()
+    report = run_scenario(spec)
+    return report, time.perf_counter() - start
+
+
+def measure(name: str, seed: int = 0):
+    """One run of ``name`` summarised as a JSON-ready dict."""
+    report, wall_s = run_day(name, seed=seed)
+    arm = report.arms[0]
+    processed = arm.requests + arm.failed + arm.shed
+    return {
+        "scenario": name,
+        "seed": seed,
+        "wall_s": round(wall_s, 2),
+        "requests": arm.requests,
+        "processed": processed,
+        "requests_per_wall_s": round(processed / wall_s, 1),
+        "cold": arm.cold,
+        "cold_ratio": round(arm.cold_ratio, 5),
+        "p50_ms": arm.p50_ms,
+        "p99_ms": arm.p99_ms,
+        "p999_ms": arm.p999_ms,
+        "overflow": arm.overflow,
+        "tenants": len(arm.tenants),
+        "sim_days": round(arm.sim_time_ms / 86_400_000.0, 3),
+    }
+
+
+def check_gate(name: str, budget_s: float, min_requests: int, seed: int = 0):
+    """Run ``name`` and enforce the wall/volume gate; returns the summary."""
+    summary = measure(name, seed=seed)
+    failures = []
+    if summary["wall_s"] > budget_s:
+        failures.append(
+            f"wall {summary['wall_s']}s exceeds the {budget_s}s budget"
+        )
+    if summary["processed"] < min_requests:
+        failures.append(
+            f"processed {summary['processed']} requests, "
+            f"floor is {min_requests}"
+        )
+    if summary["tenants"] < 1:
+        failures.append("report carries no tenant rows")
+    if failures:
+        raise AssertionError(f"{name} gate failed: " + "; ".join(failures))
+    return summary
+
+
+def run_check(seed: int = 0):
+    """The nightly gate: ``day-1m`` under budget at full scale."""
+    return check_gate(
+        "day-1m", DAY_1M_BUDGET_S, DAY_1M_MIN_REQUESTS, seed=seed
+    )
+
+
+def run_smoke(seed: int = 0):
+    """The fast gate: ``day-smoke`` under a generous budget."""
+    return check_gate(
+        "day-smoke", SMOKE_BUDGET_S, SMOKE_MIN_REQUESTS, seed=seed
+    )
+
+
+def main(argv=None) -> int:
+    """CLI entry point: full measurement, ``--check``, or ``--smoke``."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check", action="store_true", help="gate day-1m (nightly scale)"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="gate day-smoke (fast)"
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the summary JSON here"
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        summary = run_check(seed=args.seed)
+    elif args.smoke:
+        summary = run_smoke(seed=args.seed)
+    else:
+        summary = {
+            "day_smoke": measure("day-smoke", seed=args.seed),
+            "day_1m": measure("day-1m", seed=args.seed),
+        }
+    rendered = json.dumps(summary, indent=2, sort_keys=True)
+    print(rendered)
+    if args.out:
+        pathlib.Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

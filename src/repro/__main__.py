@@ -10,6 +10,12 @@ Commands
     List the host hardware profiles.
 ``survey [--projects N]``
     Run the Fig 2 Dockerfile survey and print both panels.
+``scenarios list``
+    List the bundled scenario specs.
+``scenarios show <spec>``
+    Print a bundled (or JSON-file) spec as JSON.
+``scenarios run <spec> [--jobs N] [--out DIR]``
+    Run a scenario (bundled name or JSON spec file) and print the report.
 ``version``
     Print the package version.
 """
@@ -93,6 +99,42 @@ def cmd_survey(args) -> int:
     return 0
 
 
+def _resolve_spec(name: str, seed: int):
+    """A bundled scenario by name, or a spec loaded from a JSON file."""
+    import os
+
+    from repro.scenarios import bundled_names, bundled_spec, load_spec
+
+    if name in bundled_names():
+        return bundled_spec(name, seed=seed)
+    if os.path.exists(name):
+        return load_spec(name)
+    known = ", ".join(bundled_names())
+    raise SystemExit(
+        f"unknown scenario {name!r}: not a bundled name ({known}) "
+        "and not a spec file"
+    )
+
+
+def cmd_scenarios(args) -> int:
+    from repro.scenarios import bundled_names, bundled_spec, run_scenario
+
+    if args.action == "list":
+        for name in bundled_names():
+            spec = bundled_spec(name)
+            print(f"{name:<32}{spec.description}")
+        return 0
+    spec = _resolve_spec(args.spec, seed=args.seed)
+    if args.action == "show":
+        print(spec.to_json(), end="")
+        return 0
+    report = run_scenario(spec, jobs=args.jobs, out_dir=args.out)
+    print(report.render(), end="")
+    if args.out:
+        print(f"report artifacts written to {args.out}/")
+    return 0
+
+
 def cmd_version(args) -> int:
     print(repro.__version__)
     return 0
@@ -127,6 +169,28 @@ def build_parser() -> argparse.ArgumentParser:
     survey = commands.add_parser("survey", help="run the Dockerfile survey")
     survey.add_argument("--projects", type=int, default=2_000)
     survey.set_defaults(func=cmd_survey)
+
+    scenarios = commands.add_parser(
+        "scenarios", help="list/show/run scenario specs"
+    )
+    actions = scenarios.add_subparsers(dest="action", required=True)
+    scenarios_list = actions.add_parser("list", help="list bundled scenarios")
+    scenarios_list.set_defaults(func=cmd_scenarios)
+    scenarios_show = actions.add_parser("show", help="print a spec as JSON")
+    scenarios_show.add_argument("spec", help="bundled name or spec file")
+    scenarios_show.set_defaults(func=cmd_scenarios)
+    scenarios_run = actions.add_parser("run", help="run a scenario")
+    scenarios_run.add_argument("spec", help="bundled name or spec file")
+    scenarios_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="arm worker processes (report identical to serial)",
+    )
+    scenarios_run.add_argument(
+        "--out", default=None, help="write report.json/report.txt here"
+    )
+    scenarios_run.set_defaults(func=cmd_scenarios)
 
     version = commands.add_parser("version", help="print the version")
     version.set_defaults(func=cmd_version)

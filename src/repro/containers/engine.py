@@ -410,6 +410,11 @@ class ContainerEngine:
             # Gray slowdown: exec stages on a degraded host run scaled.
             scale = self._fault_scale()
 
+            # The pre-exec stages accumulate into a single timeout
+            # charged together with the execution itself: an exec runs
+            # once per request, so the event count matters at trace
+            # scale.  Latency draws keep their stage order.
+            pending_ms = 0.0
             if cold:
                 # A lazily-pulled image stalls its first execution on
                 # this host while the deferred layers stream in.
@@ -417,20 +422,20 @@ class ContainerEngine:
                     image.reference, 0.0
                 )
                 if penalty > 0:
-                    yield self.sim.timeout(scale * penalty)
+                    pending_ms += scale * penalty
                 runtime_init_ms = scale * self.latency.runtime_init(spec.language)
-                yield self.sim.timeout(runtime_init_ms)
+                pending_ms += runtime_init_ms
                 container.runtime_initialized = True
                 self.stats.cold_execs += 1
             else:
-                yield self.sim.timeout(scale * self.latency.code_inject())
+                pending_ms += scale * self.latency.code_inject()
                 self.stats.warm_execs += 1
 
             if spec.app_init_ms > 0 and container.last_app_id != spec.app_id:
                 app_init_ms = scale * self.latency.app_init(
                     spec.app_init_ms, spec.language
                 )
-                yield self.sim.timeout(app_init_ms)
+                pending_ms += app_init_ms
 
             exec_ms = scale * self.latency.app_execution(spec.exec_ms, spec.language)
             if self.fault_injector is not None:
@@ -438,11 +443,11 @@ class ContainerEngine:
                 if crash_at_ms is not None:
                     from repro.faults.errors import ExecCrash
 
-                    yield self.sim.timeout(min(crash_at_ms, exec_ms))
+                    yield self.sim.timeout(pending_ms + min(crash_at_ms, exec_ms))
                     raise ExecCrash(
                         f"container {container.container_id} crashed mid-execution"
                     )
-            yield self.sim.timeout(exec_ms)
+            yield self.sim.timeout(pending_ms + exec_ms)
 
             output = spec.payload() if spec.payload is not None else None
 
@@ -508,7 +513,12 @@ class ContainerEngine:
             raise ContainerError(
                 f"container {container.container_id} has no volume"
             )
-        yield self.sim.timeout(self.latency.volume_wipe())
+        # Wipe and remount share one timeout (cleans run once per
+        # recycled request, so the event count matters at trace scale);
+        # the latency draws keep their wipe-then-mount RNG order.
+        wipe_ms = self.latency.volume_wipe()
+        mount_ms = self.latency.volume_mount()
+        yield self.sim.timeout(wipe_ms + mount_ms)
         old_volume.wipe()
         self.volumes.unmount(old_volume)
         self.volumes.delete(old_volume)
@@ -516,7 +526,6 @@ class ContainerEngine:
         fresh = self.volumes.create()
         self.volumes.mount(fresh, container.container_id)
         container.volume = fresh
-        yield self.sim.timeout(self.latency.volume_mount())
         self.stats.volume_wipes += 1
         return fresh
 

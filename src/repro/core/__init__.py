@@ -17,7 +17,12 @@ from repro.core.breaker import CircuitBreaker
 from repro.core.keys import KeyPolicy, RuntimeKey, parse_run_command, runtime_key
 from repro.core.pool import ContainerRuntimePool, PoolEntry, PoolLimits, PoolStats
 from repro.core.cleanup import CleanupWorker
-from repro.core.cluster import ClusterHotC, ClusterStats, make_cluster_platform
+from repro.core.cluster import (
+    ClusterHotC,
+    ClusterStats,
+    make_cluster_engines,
+    make_cluster_platform,
+)
 from repro.core.hotc import HotC, HotCConfig
 from repro.core.kvstore import ReplicatedKeyValueStore
 from repro.core.policies import (
@@ -43,6 +48,7 @@ __all__ = [
     "CombinedPredictor",
     "ContainerRuntimePool",
     "ReplicatedKeyValueStore",
+    "make_cluster_engines",
     "make_cluster_platform",
     "ExponentialSmoothing",
     "FixedKeepAliveProvider",

@@ -31,7 +31,12 @@ from repro.faas.platform import RuntimeProvider
 from repro.faults.errors import HostDownError, RuntimeUnavailableError
 from repro.obs.events import EventKind
 
-__all__ = ["ClusterHotC", "ClusterStats", "make_cluster_platform"]
+__all__ = [
+    "ClusterHotC",
+    "ClusterStats",
+    "make_cluster_engines",
+    "make_cluster_platform",
+]
 
 
 @dataclass
@@ -268,13 +273,19 @@ class ClusterHotC(RuntimeProvider):
         the down-set are skipped; with every host ruled out the request
         cannot be served and :class:`RuntimeUnavailableError` is raised.
         """
-        candidates = [
-            index
-            for index in range(len(self.hosts))
-            if index not in excluded
-            and index not in self._down
-            and self._routable(index)
-        ]
+        if not excluded and not self._down and self.health is None:
+            # Healthy-cluster fast path: every host is a candidate, and
+            # rebuilding that list per request is measurable at trace
+            # scale.
+            candidates = range(len(self.hosts))
+        else:
+            candidates = [
+                index
+                for index in range(len(self.hosts))
+                if index not in excluded
+                and index not in self._down
+                and self._routable(index)
+            ]
         if not candidates:
             raise RuntimeUnavailableError(
                 f"no routable host left ({len(self.hosts)} total, "
@@ -506,6 +517,43 @@ class ClusterHotC(RuntimeProvider):
     def shutdown(self) -> Generator:
         for host in self.hosts:
             yield from host.shutdown()
+
+
+def make_cluster_engines(
+    sim,
+    registry,
+    n_hosts: int = 3,
+    seed: int = 0,
+    profile=None,
+    jitter_sigma: float = 0.06,
+) -> List[ContainerEngine]:
+    """Build ``n_hosts`` engines on one simulator, jitter streams forked.
+
+    This is the engine-construction half of
+    :func:`make_cluster_platform`, for callers that drive a
+    :class:`ClusterHotC` directly without the FaaS gateway stack (the
+    scenario runner's trace mode).  Hosts are named ``host-0`` …
+    ``host-{n-1}`` and each draws jitter from its own named RNG stream,
+    so adding hosts never perturbs existing ones.
+    """
+    from repro.hardware.profiles import T430_SERVER
+    from repro.sim.rng import RngRegistry
+
+    if n_hosts < 1:
+        raise ValueError("n_hosts must be >= 1")
+    profile = profile or T430_SERVER
+    rngs = RngRegistry(seed).fork("cluster-hosts")
+    return [
+        ContainerEngine(
+            sim,
+            registry,
+            profile=profile,
+            rng=rngs.stream(f"engine-jitter-{index}"),
+            jitter_sigma=jitter_sigma,
+            name=f"host-{index}",
+        )
+        for index in range(n_hosts)
+    ]
 
 
 def make_cluster_platform(

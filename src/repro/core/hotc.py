@@ -304,7 +304,8 @@ class HotC(RuntimeProvider):
                     container = yield from self._acquire_repurpose(key, config)
             if container is not None:
                 container.leased = True
-                yield from self._journal(key, container, "busy")
+                if self.metadata_store is not None:
+                    yield from self._journal(key, container, "busy")
                 return container, False
 
             breaker = self._breaker_for(key)
@@ -316,7 +317,8 @@ class HotC(RuntimeProvider):
             container = yield from self._boot_with_retry(key, config, breaker)
             self.pool.register(container, key, now=self.sim.now, available=False)
             container.leased = True
-            yield from self._journal(key, container, "busy")
+            if self.metadata_store is not None:
+                yield from self._journal(key, container, "busy")
             return container, True
         except BaseException:
             # Roll back the demand bump: a failed acquire must not keep
@@ -744,10 +746,15 @@ class HotC(RuntimeProvider):
             yield from self.cleanup.retire(container)
             return
         yield from self.cleanup.clean_and_recycle(container)
-        yield from self._journal(key, container, "available")
+        if self.metadata_store is not None:
+            yield from self._journal(key, container, "available")
         # Post-release pressure check: the paper terminates the oldest
-        # live container when memory crosses the threshold.
-        yield from self._relieve_pressure()
+        # live container when memory crosses the threshold.  (Guarded
+        # here so the no-pressure common case costs no generator.)
+        if self.engine.resources.memory_pressure(
+            self.config.limits.memory_threshold
+        ):
+            yield from self._relieve_pressure()
 
     def discard(self, container: Container) -> None:
         """Drop a busy container that died mid-request (crash/outage).

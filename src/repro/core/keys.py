@@ -68,7 +68,24 @@ class RuntimeKey:
 def runtime_key(
     config: ContainerConfig, policy: KeyPolicy = KeyPolicy.FULL
 ) -> RuntimeKey:
-    """Derive the runtime key of ``config`` under ``policy``."""
+    """Derive the runtime key of ``config`` under ``policy``.
+
+    The result is memoized on the (frozen, hence immutable) config
+    instance: every acquire/release/recycle step re-derives the key of
+    the same few config objects, so the per-call tuple building and
+    ``canonical()`` normalisation showed up hot in trace-scale profiles.
+    The cache attribute is per policy (rather than a policy-keyed dict)
+    because ``Enum.__hash__`` is Python-level and itself showed up hot.
+    """
+    if policy is KeyPolicy.FULL:
+        attr = "_rk_full"
+    elif policy is KeyPolicy.RELAXED:
+        attr = "_rk_relaxed"
+    else:
+        attr = "_rk_image_only"
+    key = config.__dict__.get(attr)
+    if key is not None:
+        return key
     if policy is KeyPolicy.FULL:
         fields = (
             config.image,
@@ -91,7 +108,9 @@ def runtime_key(
         fields = (config.image,)
     else:  # pragma: no cover - exhaustive over enum
         raise ValueError(f"unhandled policy {policy!r}")
-    return RuntimeKey(policy=policy, fields=fields)
+    key = RuntimeKey(policy=policy, fields=fields)
+    object.__setattr__(config, attr, key)
+    return key
 
 
 _MEMORY_SUFFIXES = {"b": 1 / (1024 * 1024), "k": 1 / 1024, "m": 1.0, "g": 1024.0}

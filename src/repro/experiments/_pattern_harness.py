@@ -17,6 +17,32 @@ from repro.workloads.patterns import RequestPattern
 
 __all__ = ["run_pattern_arm"]
 
+#: Drain budget applied when neither the function specs nor an attached
+#: admission controller declare a per-request deadline.  Conservative:
+#: covers retries and fault-induced stalls for every bundled pattern.
+_FALLBACK_DRAIN_MS = 120_000.0
+
+
+def _drain_budget_ms(platform: FaasPlatform) -> float:
+    """Outstanding-request deadline budget for the adaptive-run bound.
+
+    The bound must outlive every request that can still be in flight at
+    the last round: requests with explicit deadlines (spec-level, or
+    the admission default) terminate within that deadline, so the
+    budget is the largest declared deadline.  With no deadlines
+    anywhere the budget falls back to :data:`_FALLBACK_DRAIN_MS`.
+    """
+    deadlines = [
+        platform.function(name).deadline_ms
+        for name in platform.functions
+        if platform.function(name).deadline_ms is not None
+    ]
+    if platform.admission is not None:
+        default = platform.admission.config.default_deadline_ms
+        if default is not None:
+            deadlines.append(default)
+    return max(deadlines) if deadlines else _FALLBACK_DRAIN_MS
+
 
 def run_pattern_arm(
     pattern: RequestPattern,
@@ -65,13 +91,34 @@ def run_pattern_arm(
     if use_hotc and adaptive:
         platform.provider.start_control_loop()
         # The control loop re-arms its own timer forever, so an
-        # unbounded run would never drain: bound it generously past the
-        # last round (any request finishes well within two rounds).
+        # unbounded run would never drain: bound the first run past the
+        # pattern's last round plus the outstanding-request deadline
+        # budget, keep the loop alive that long, then stop it and drain
+        # unbounded.  Results are collected only after the final drain,
+        # so a slow arm (faults, jitter) is never truncated by the
+        # bound — a late request merely outlives the control loop.
+        generator = WorkloadGenerator(platform)
+        scheduled = generator.submit(pattern, names)
         last_round = max(time for time, _ in pattern.rounds())
-        run_until = platform.sim.now + last_round + 4 * control_interval_ms + 120_000.0
-        result = WorkloadGenerator(platform).run(pattern, names, run_until=run_until)
+        run_until = (
+            platform.sim.now
+            + last_round
+            + 4 * control_interval_ms
+            + _drain_budget_ms(platform)
+        )
+        platform.run(until=run_until)
         platform.provider.stop_control_loop()
         platform.run()
+        result = generator.collect(scheduled)
+        pending = sum(
+            1 for _, _, procs in scheduled for p in procs if not p.triggered
+        )
+        if pending or not platform.traces.all_terminal():
+            raise AssertionError(
+                f"pattern arm stopped with {pending} request processes "
+                "unfinished and non-terminal traces in flight; the drain "
+                "bound failed to cover the workload"
+            )
     else:
         result = WorkloadGenerator(platform).run(pattern, names)
     return result, platform

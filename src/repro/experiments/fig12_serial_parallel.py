@@ -5,15 +5,21 @@
 * Fig 12b: ten client threads, each with its own runtime
   configuration.  The paper reports HotC's average latency at ~9% of
   the default case once the pool is warm.
+
+Both panels run through the scenario runner (the ``fig12-serial`` and
+``fig12-parallel`` bundled specs), which delegates to the same pattern
+harness the figures always used — the numbers are bit-identical to a
+direct :func:`~repro.experiments._pattern_harness.run_pattern_arm`
+call, which the parity test in ``tests/scenarios`` asserts.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments._pattern_harness import run_pattern_arm
 from repro.metrics.report import Figure, Series, Table
-from repro.workloads.patterns import ParallelPattern, SerialPattern
+from repro.scenarios.bundled import fig12_parallel, fig12_serial
+from repro.scenarios.runner import run_scenario
 
 __all__ = ["run_fig12"]
 
@@ -29,9 +35,11 @@ def run_fig12(
     figure = Figure(figure_id="fig12", title="Serial & parallel request latency")
 
     # -- Fig 12a: serial ------------------------------------------------------
-    serial = SerialPattern(n_rounds=serial_rounds, round_ms=round_ms)
-    serial_default, _ = run_pattern_arm(serial, use_hotc=False, seed=seed)
-    serial_hotc, _ = run_pattern_arm(serial, use_hotc=True, seed=seed)
+    serial_report = run_scenario(
+        fig12_serial(seed=seed, n_rounds=serial_rounds, round_ms=round_ms)
+    )
+    serial_default = serial_report.arm("default").workload_result
+    serial_hotc = serial_report.arm("hotc").workload_result
     for label, result in (("default", serial_default), ("hotc", serial_hotc)):
         figure.add_series(
             Series.from_arrays(
@@ -44,15 +52,16 @@ def run_fig12(
         )
 
     # -- Fig 12b: parallel ------------------------------------------------------
-    parallel = ParallelPattern(
-        n_threads=n_threads, n_rounds=parallel_rounds, round_ms=round_ms
+    parallel_report = run_scenario(
+        fig12_parallel(
+            seed=seed,
+            n_rounds=parallel_rounds,
+            n_threads=n_threads,
+            round_ms=round_ms,
+        )
     )
-    parallel_default, _ = run_pattern_arm(
-        parallel, use_hotc=False, seed=seed, n_functions=n_threads
-    )
-    parallel_hotc, _ = run_pattern_arm(
-        parallel, use_hotc=True, seed=seed, n_functions=n_threads
-    )
+    parallel_default = parallel_report.arm("default").workload_result
+    parallel_hotc = parallel_report.arm("hotc").workload_result
     for label, result in (("default", parallel_default), ("hotc", parallel_hotc)):
         figure.add_series(
             Series.from_arrays(

@@ -4,15 +4,19 @@ Increasing (+2 requests every 30 s): with HotC, each round reuses the
 previous round's containers and cold-starts only the two extra
 requests.  Decreasing (−2 per round): after the first round there is
 always a hot container available, so latency stays low throughout.
+
+Both directions run through the scenario runner (the
+``fig13-increasing`` / ``fig13-decreasing`` bundled specs); outputs are
+bit-identical to the direct harness calls.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments._pattern_harness import run_pattern_arm
 from repro.metrics.report import Figure, Series, Table
-from repro.workloads.patterns import LinearPattern
+from repro.scenarios.bundled import fig13_decreasing, fig13_increasing
+from repro.scenarios.runner import run_scenario
 
 __all__ = ["run_fig13"]
 
@@ -26,15 +30,16 @@ def run_fig13(
     """Reproduce Fig 13 (linear increase / decrease)."""
     figure = Figure(figure_id="fig13", title="Linear increasing/decreasing requests")
     arms = {}
-    patterns = {
-        "increasing": LinearPattern(start=2, step=2, n_rounds=n_rounds, round_ms=round_ms),
-        "decreasing": LinearPattern(
-            start=start_decreasing, step=-2, n_rounds=n_rounds, round_ms=round_ms
+    specs = {
+        "increasing": fig13_increasing(seed=seed, n_rounds=n_rounds, round_ms=round_ms),
+        "decreasing": fig13_decreasing(
+            seed=seed, n_rounds=n_rounds, start=start_decreasing, round_ms=round_ms
         ),
     }
-    for direction, pattern in patterns.items():
-        for label, use_hotc in (("default", False), ("hotc", True)):
-            result, _ = run_pattern_arm(pattern, use_hotc=use_hotc, seed=seed)
+    for direction, spec in specs.items():
+        report = run_scenario(spec)
+        for label in ("default", "hotc"):
+            result = report.arm(label).workload_result
             arms[(direction, label)] = result
             figure.add_series(
                 Series.from_arrays(

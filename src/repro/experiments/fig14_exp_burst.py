@@ -7,15 +7,19 @@
   The first burst only benefits from the containers already pooled
   (~9% latency reduction in the paper); later bursts benefit from the
   ES+Markov prediction pre-warming the pool (up to 73%).
+
+Both panels run through the scenario runner (the
+``fig14-exponential-*`` and ``fig14-burst`` bundled specs); outputs are
+bit-identical to the direct harness calls.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments._pattern_harness import run_pattern_arm
 from repro.metrics.report import Figure, Series, Table
-from repro.workloads.patterns import BurstPattern, ExponentialPattern
+from repro.scenarios.bundled import fig14_burst, fig14_exponential
+from repro.scenarios.runner import run_scenario
 
 __all__ = ["run_fig14"]
 
@@ -32,11 +36,14 @@ def run_fig14(
     # -- Fig 14a ------------------------------------------------------------
     reuse_shares = {}
     for direction, decreasing in (("exp-increasing", False), ("exp-decreasing", True)):
-        pattern = ExponentialPattern(
-            n_rounds=exp_rounds, round_ms=round_ms, decreasing=decreasing
+        report = run_scenario(
+            fig14_exponential(
+                seed=seed, n_rounds=exp_rounds,
+                decreasing=decreasing, round_ms=round_ms,
+            )
         )
         for label, use_hotc in (("default", False), ("hotc", True)):
-            result, _ = run_pattern_arm(pattern, use_hotc=use_hotc, seed=seed)
+            result = report.arm(label).workload_result
             figure.add_series(
                 Series.from_arrays(
                     f"{direction}-{label}",
@@ -57,15 +64,11 @@ def run_fig14(
     )
 
     # -- Fig 14b ------------------------------------------------------------
-    pattern = BurstPattern(
-        n_rounds=burst_rounds,
-        round_ms=round_ms,
-        burst_rounds=tuple(r for r in (4, 8, 12, 16) if r < burst_rounds),
+    burst_report = run_scenario(
+        fig14_burst(seed=seed, n_rounds=burst_rounds, round_ms=round_ms)
     )
-    burst_default, _ = run_pattern_arm(pattern, use_hotc=False, seed=seed)
-    burst_hotc, _ = run_pattern_arm(
-        pattern, use_hotc=True, seed=seed, adaptive=True, control_interval_ms=round_ms
-    )
+    burst_default = burst_report.arm("default").workload_result
+    burst_hotc = burst_report.arm("hotc").workload_result
     for label, result in (("default", burst_default), ("hotc", burst_hotc)):
         figure.add_series(
             Series.from_arrays(

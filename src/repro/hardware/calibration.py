@@ -199,12 +199,35 @@ class LatencyModel:
         self.ops = op_costs
         self.languages = dict(languages)
         self.stage_costs = dict(stage_costs)
+        # Jitter draws dominate latency sampling at trace scale (one
+        # scalar numpy call per operation), so they are served from a
+        # pre-drawn block.  Vectorised ``Generator.lognormal`` consumes
+        # the bit stream exactly like repeated scalar calls, so the
+        # value sequence — and every simulation output — is unchanged.
+        self._jitter_buf: list = []
+        self._jitter_pos = 0
+        self._jitter_buf_sigma = jitter_sigma
 
     # -- jitter ----------------------------------------------------------
     def _jitter(self) -> float:
         if self.rng is None or self.jitter_sigma == 0.0:
             return 1.0
-        return float(self.rng.lognormal(mean=0.0, sigma=self.jitter_sigma))
+        pos = self._jitter_pos
+        buf = self._jitter_buf
+        if pos >= len(buf) or self.jitter_sigma != self._jitter_buf_sigma:
+            if self.jitter_sigma != self._jitter_buf_sigma:
+                # Sigma changed mid-run: the remaining pre-drawn block
+                # is stale; later draws differ from the scalar-call
+                # sequence, which only ever happens if a caller mutates
+                # ``jitter_sigma`` on a live model.
+                self._jitter_buf_sigma = self.jitter_sigma
+            buf = self.rng.lognormal(
+                mean=0.0, sigma=self.jitter_sigma, size=512
+            ).tolist()
+            self._jitter_buf = buf
+            pos = 0
+        self._jitter_pos = pos + 1
+        return buf[pos]
 
     def _op(self, base_ms: float) -> float:
         """Scale a container-op cost to this host and apply jitter."""

@@ -2,6 +2,7 @@
 and figure-ready report formatting."""
 
 from repro.metrics.latency import (
+    EMPTY_SUMMARY,
     LatencySummary,
     empirical_cdf,
     percentile,
@@ -29,6 +30,7 @@ from repro.metrics.report import (
 __all__ = [
     "BillingModel",
     "CostReport",
+    "EMPTY_SUMMARY",
     "Figure",
     "LatencySummary",
     "ResourceMonitor",

@@ -8,6 +8,7 @@ from typing import Tuple
 import numpy as np
 
 __all__ = [
+    "EMPTY_SUMMARY",
     "LatencySummary",
     "empirical_cdf",
     "percentile",
@@ -16,11 +17,11 @@ __all__ = [
 ]
 
 
-def _as_array(values) -> np.ndarray:
+def _as_array(values, allow_empty: bool = False) -> np.ndarray:
     array = np.asarray(values, dtype=float)
     if array.ndim != 1:
         raise ValueError("latencies must be a 1-D sequence")
-    if array.size == 0:
+    if array.size == 0 and not allow_empty:
         raise ValueError("latencies must be non-empty")
     if np.any(~np.isfinite(array)):
         raise ValueError("latencies must be finite")
@@ -60,7 +61,13 @@ def tail_ratio(values, tail_q: float = 99.0, reference_q: float = 50.0) -> float
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Standard latency digest of one experiment arm."""
+    """Standard latency digest of one experiment arm.
+
+    A summary with ``count == 0`` (an all-shed or all-failed arm) is a
+    legal value: every statistic is NaN and the ratio properties return
+    NaN rather than dividing by nothing, so report tables can carry
+    explicit ``n=0`` rows.
+    """
 
     count: int
     mean: float
@@ -72,18 +79,43 @@ class LatencySummary:
 
     @property
     def max_over_min(self) -> float:
-        """Fig 1a's "highest vs lowest" comparison."""
+        """Fig 1a's "highest vs lowest" comparison (NaN when empty)."""
+        if self.count == 0:
+            return float("nan")
         return self.maximum / self.minimum if self.minimum > 0 else float("inf")
 
     @property
     def max_over_mean(self) -> float:
-        """Fig 1a's "highest vs average" comparison."""
+        """Fig 1a's "highest vs average" comparison (NaN when empty)."""
+        if self.count == 0:
+            return float("nan")
         return self.maximum / self.mean if self.mean > 0 else float("inf")
 
 
-def summarize_latencies(values) -> LatencySummary:
-    """Compute the digest for a latency sample."""
-    array = _as_array(values)
+#: The digest of a sample with no successful observations.
+EMPTY_SUMMARY = LatencySummary(
+    count=0,
+    mean=float("nan"),
+    p50=float("nan"),
+    p90=float("nan"),
+    p99=float("nan"),
+    minimum=float("nan"),
+    maximum=float("nan"),
+)
+
+
+def summarize_latencies(values, allow_empty: bool = False) -> LatencySummary:
+    """Compute the digest for a latency sample.
+
+    An empty sample raises by default (matching :func:`percentile`);
+    with ``allow_empty=True`` it yields :data:`EMPTY_SUMMARY` instead —
+    the explicit ``n=0`` row an all-shed tenant reports.  A
+    single-sample input is well-defined: every percentile, the minimum
+    and the maximum all equal that one observation.
+    """
+    array = _as_array(values, allow_empty=allow_empty)
+    if array.size == 0:
+        return EMPTY_SUMMARY
     return LatencySummary(
         count=int(array.size),
         mean=float(array.mean()),

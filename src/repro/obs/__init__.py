@@ -14,6 +14,7 @@ from repro.obs.exporters import (
 )
 from repro.obs.registry import (
     DEFAULT_LATENCY_BUCKETS_MS,
+    WIDE_LATENCY_BUCKETS_MS,
     Counter,
     Gauge,
     Histogram,
@@ -36,6 +37,7 @@ __all__ = [
     "ObsEvent",
     "Observatory",
     "Snapshotter",
+    "WIDE_LATENCY_BUCKETS_MS",
     "chrome_trace",
     "format_accuracy_table",
     "prediction_accuracy_table",

@@ -31,6 +31,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "WIDE_LATENCY_BUCKETS_MS",
 ]
 
 #: Default bucket upper bounds (ms) for latency-shaped histograms:
@@ -38,6 +39,13 @@ __all__ = [
 DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
     500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0, 30_000.0,
+)
+
+#: Wider layout for scenario-scale runs: keeps the default resolution
+#: through 30 s but resolves queueing/fault tails out to ten minutes,
+#: so a day-long trace's p999 stays inside a finite bucket.
+WIDE_LATENCY_BUCKETS_MS: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS + (
+    60_000.0, 120_000.0, 300_000.0, 600_000.0,
 )
 
 LabelItems = Tuple[Tuple[str, str], ...]
@@ -139,9 +147,35 @@ class Histogram:
             cumulative.append(running)
         return cumulative
 
-    def quantile(self, q: float) -> float:
+    @property
+    def overflow_count(self) -> int:
+        """Observations past the last finite bound (the +Inf bucket).
+
+        A non-zero overflow means upper quantiles may be unresolvable:
+        any ``q`` whose rank lands here has no finite bucket bound, so
+        :meth:`quantile` reports ``inf`` (or raises under ``strict``)
+        rather than silently clamping to the top finite bound.
+        """
+        return self.bucket_counts[-1]
+
+    def quantile_resolvable(self, q: float) -> bool:
+        """Whether the q-th observation falls inside a finite bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return False
+        return q * self.count <= self.count - self.bucket_counts[-1]
+
+    def quantile(self, q: float, strict: bool = False) -> float:
         """Bucket-resolution quantile estimate (upper bound of the
-        bucket holding the q-th observation); NaN when empty."""
+        bucket holding the q-th observation); NaN when empty.
+
+        When the q-th observation landed past the last finite bound the
+        estimate is ``inf`` — never the top bucket's bound, which would
+        silently under-report the tail.  Under ``strict=True`` that
+        case raises instead, so million-request p999 gates fail loudly
+        when the bucket layout cannot resolve them.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
@@ -153,7 +187,13 @@ class Histogram:
             if running >= rank:
                 if index < len(self.bounds):
                     return self.bounds[index]
-                return float("inf")
+                break
+        if strict:
+            raise OverflowError(
+                f"histogram {self.name!r}: q={q} falls among the "
+                f"{self.bucket_counts[-1]} overflow observations past "
+                f"the last bound ({self.bounds[-1]}); widen the buckets"
+            )
         return float("inf")
 
 

@@ -132,12 +132,25 @@ def _summary(observatory: Observatory, traces) -> Dict[str, object]:
         if histogram.name != "request_latency_ms" or histogram.count == 0:
             continue
         label = ",".join(f"{k}={v}" for k, v in histogram.labels) or "all"
-        latency[label] = {
+        entry = {
             "count": histogram.count,
             "mean_ms": histogram.sum / histogram.count,
             "p50_ms": histogram.quantile(0.5),
             "p99_ms": histogram.quantile(0.99),
+            "p999_ms": histogram.quantile(0.999),
+            "overflow": histogram.overflow_count,
         }
+        # Quantiles landing among overflow observations have no finite
+        # bucket (they surface as inf); name them so report consumers
+        # see the unresolved tail instead of a silently clamped value.
+        unresolved = [
+            name
+            for name, q in (("p50_ms", 0.5), ("p99_ms", 0.99), ("p999_ms", 0.999))
+            if not histogram.quantile_resolvable(q)
+        ]
+        if unresolved:
+            entry["unresolved_quantiles"] = unresolved
+        latency[label] = entry
     if latency:
         summary["request_latency_ms"] = latency
     return summary

@@ -1,0 +1,48 @@
+"""Scenario DSL: declarative workload × cluster × fault × policy runs.
+
+The subsystem every large-scale evaluation plugs into (ROADMAP item 1):
+
+- :mod:`repro.scenarios.spec` — the declarative :class:`ScenarioSpec`
+  (traffic, cluster shape, fault plan, admission policy, arms), JSON
+  round-trippable and picklable.
+- :mod:`repro.scenarios.runner` — compiles a spec into simulations:
+  figure patterns through the existing harness (bit-identical), trace
+  workloads direct-driven into a multi-host ``ClusterHotC`` with
+  streaming per-tenant accounting.
+- :mod:`repro.scenarios.report` — structured, deterministic run
+  reports: per-tenant p50/p99/p999 and cold-start ratios.
+- :mod:`repro.scenarios.bundled` — named specs: the Figs 12–14
+  workloads and the ``day-smoke`` / ``day-1m`` trace days.
+
+Run from the CLI: ``python -m repro scenarios run day-smoke``.
+"""
+
+from repro.scenarios.bundled import BUNDLED_SCENARIOS, bundled_names, bundled_spec
+from repro.scenarios.report import ArmReport, ScenarioReport, TenantRow
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import (
+    AdmissionSpec,
+    ArmSpec,
+    ClusterSpec,
+    FaultsSpec,
+    ScenarioSpec,
+    TrafficSpec,
+    load_spec,
+)
+
+__all__ = [
+    "AdmissionSpec",
+    "ArmReport",
+    "ArmSpec",
+    "BUNDLED_SCENARIOS",
+    "ClusterSpec",
+    "FaultsSpec",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "TenantRow",
+    "TrafficSpec",
+    "bundled_names",
+    "bundled_spec",
+    "load_spec",
+    "run_scenario",
+]

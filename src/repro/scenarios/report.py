@@ -1,0 +1,190 @@
+"""Structured scenario run reports.
+
+One :class:`ScenarioReport` per run, one :class:`ArmReport` per arm,
+one :class:`TenantRow` per tenant.  Everything in the serialised form
+is a function of (spec, seed) only — no wall-clock stamps — so two runs
+of the same scenario at the same seed produce byte-identical report
+files, which is the property the CI determinism smoke compares.
+
+Latency quantiles come from fixed-bucket streaming histograms (bounded
+memory at any request count); a tenant whose tail lands past the last
+finite bucket reports the overflow count and an ``inf`` quantile rather
+than a silently clamped value.  Tenants with zero successful requests
+produce explicit ``n=0`` rows with NaN statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["ArmReport", "ScenarioReport", "TenantRow"]
+
+
+def _round_or_none(value: float, digits: int = 3) -> object:
+    if value != value:  # NaN
+        return None
+    if value == float("inf"):
+        return "inf"
+    return round(value, digits)
+
+
+@dataclass(frozen=True)
+class TenantRow:
+    """Per-tenant accounting of one arm.
+
+    ``n`` counts successful requests; ``cold_ratio`` is cold starts
+    over successes.  A tenant that saw traffic but had no successes
+    still appears, with ``n=0`` and NaN latency statistics.
+    """
+
+    tenant: str
+    n: int
+    cold: int
+    failed: int
+    shed: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    #: Observations past the last finite histogram bucket.
+    overflow: int
+
+    @property
+    def cold_ratio(self) -> float:
+        """Cold starts per successful request (NaN when ``n=0``)."""
+        return self.cold / self.n if self.n else float("nan")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (NaN→null, inf→"inf")."""
+        return {
+            "tenant": self.tenant,
+            "n": self.n,
+            "cold": self.cold,
+            "failed": self.failed,
+            "shed": self.shed,
+            "cold_ratio": _round_or_none(self.cold_ratio, 5),
+            "mean_ms": _round_or_none(self.mean_ms),
+            "p50_ms": _round_or_none(self.p50_ms),
+            "p99_ms": _round_or_none(self.p99_ms),
+            "p999_ms": _round_or_none(self.p999_ms),
+            "overflow": self.overflow,
+        }
+
+
+@dataclass
+class ArmReport:
+    """One arm's outcome: totals, overall quantiles, per-tenant rows."""
+
+    name: str
+    kind: str
+    requests: int
+    cold: int
+    failed: int
+    shed: int
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    overflow: int
+    sim_time_ms: float
+    tenants: Tuple[TenantRow, ...] = ()
+    #: Routing/reuse counters (cluster stats in trace mode).
+    counters: Dict[str, int] = field(default_factory=dict)
+    #: Pattern arms keep the raw per-round result for figure parity;
+    #: excluded from serialisation (and dropped by parallel workers).
+    workload_result: Optional[object] = field(default=None, repr=False, compare=False)
+
+    @property
+    def cold_ratio(self) -> float:
+        """Cold starts per successful request (NaN when none)."""
+        return self.cold / self.requests if self.requests else float("nan")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form — a pure function of (spec, seed)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "requests": self.requests,
+            "cold": self.cold,
+            "failed": self.failed,
+            "shed": self.shed,
+            "cold_ratio": _round_or_none(self.cold_ratio, 5),
+            "mean_ms": _round_or_none(self.mean_ms),
+            "p50_ms": _round_or_none(self.p50_ms),
+            "p99_ms": _round_or_none(self.p99_ms),
+            "p999_ms": _round_or_none(self.p999_ms),
+            "overflow": self.overflow,
+            "sim_time_ms": round(self.sim_time_ms, 3),
+            "counters": dict(sorted(self.counters.items())),
+            "tenants": [row.to_dict() for row in self.tenants],
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """The full outcome of one scenario run."""
+
+    scenario: str
+    seed: int
+    arms: Tuple[ArmReport, ...]
+
+    def arm(self, name: str) -> ArmReport:
+        """Look up an arm's report by name."""
+        for report in self.arms:
+            if report.name == name:
+                return report
+        known = ", ".join(a.name for a in self.arms)
+        raise KeyError(f"no arm {name!r}; arms: {known}")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the whole report."""
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "arms": [arm.to_dict() for arm in self.arms],
+        }
+
+    def to_json(self) -> str:
+        """Deterministic (sorted-key) JSON rendering."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        """Fixed-width text rendering for terminals and CI logs."""
+        lines: List[str] = [f"scenario {self.scenario} (seed {self.seed})"]
+        for arm in self.arms:
+            lines.append(
+                f"  arm {arm.name} [{arm.kind}]: "
+                f"{arm.requests} ok, {arm.cold} cold "
+                f"(ratio {_format(arm.cold_ratio, 4)}), "
+                f"{arm.failed} failed, {arm.shed} shed, "
+                f"mean {_format(arm.mean_ms)} ms, "
+                f"p50/p99/p999 {_format(arm.p50_ms)}/"
+                f"{_format(arm.p99_ms)}/{_format(arm.p999_ms)} ms, "
+                f"overflow {arm.overflow}, "
+                f"sim {arm.sim_time_ms / 1000.0:.1f} s"
+            )
+            if arm.tenants:
+                header = (
+                    "    tenant        n     cold  ratio    p50      p99      "
+                    "p999     failed  shed"
+                )
+                lines.append(header)
+                for row in arm.tenants:
+                    lines.append(
+                        f"    {row.tenant:<10}{row.n:>8} {row.cold:>8}  "
+                        f"{_format(row.cold_ratio, 4):<8}"
+                        f"{_format(row.p50_ms):<9}{_format(row.p99_ms):<9}"
+                        f"{_format(row.p999_ms):<9}"
+                        f"{row.failed:>6} {row.shed:>5}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _format(value: float, digits: int = 1) -> str:
+    if value != value:
+        return "-"
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.{digits}f}"

@@ -1,0 +1,286 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` names everything one run needs — the traffic
+(a figure-style request pattern or a :class:`~repro.workloads.tracegen.
+TraceConfig` production trace), the cluster shape, an optional fault
+plan and admission policy, and the arms to run — and compiles to a
+:class:`~repro.scenarios.report.ScenarioReport` via
+:func:`repro.scenarios.runner.run_scenario`.
+
+Specs are plain frozen dataclasses: picklable (for ``--jobs N`` arm
+parallelism), JSON round-trippable (:meth:`ScenarioSpec.to_dict` /
+:meth:`ScenarioSpec.from_dict`) and deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.patterns import (
+    BurstPattern,
+    ExponentialPattern,
+    LinearPattern,
+    ParallelPattern,
+    PoissonPattern,
+    RequestPattern,
+    SerialPattern,
+    SinusoidalPattern,
+)
+from repro.workloads.tracegen import TraceConfig
+
+__all__ = [
+    "AdmissionSpec",
+    "ArmSpec",
+    "ClusterSpec",
+    "FaultsSpec",
+    "ScenarioSpec",
+    "TrafficSpec",
+    "load_spec",
+]
+
+#: JSON-expressible pattern types (``MarkovModulatedPattern`` and
+#: ``TracePattern`` carry non-scalar state and stay Python-only).
+_PATTERN_TYPES: Dict[str, type] = {
+    "serial": SerialPattern,
+    "parallel": ParallelPattern,
+    "linear": LinearPattern,
+    "exponential": ExponentialPattern,
+    "burst": BurstPattern,
+    "poisson": PoissonPattern,
+    "sinusoidal": SinusoidalPattern,
+}
+
+
+def _pattern_to_dict(pattern: RequestPattern) -> Dict[str, object]:
+    for name, cls in _PATTERN_TYPES.items():
+        if type(pattern) is cls:
+            params = {
+                key: sorted(value) if isinstance(value, frozenset) else value
+                for key, value in vars(pattern).items()
+                if not key.startswith("_")
+            }
+            return {"type": name, **params}
+    raise ValueError(
+        f"pattern {type(pattern).__name__} is not JSON-expressible; "
+        f"supported: {sorted(_PATTERN_TYPES)}"
+    )
+
+
+def _pattern_from_dict(data: Dict[str, object]) -> RequestPattern:
+    params = dict(data)
+    type_name = params.pop("type", None)
+    cls = _PATTERN_TYPES.get(str(type_name))
+    if cls is None:
+        raise ValueError(
+            f"unknown pattern type {type_name!r}; known: {sorted(_PATTERN_TYPES)}"
+        )
+    return cls(**params)
+
+
+def _dataclass_from_dict(cls, data: Dict[str, object]):
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"{cls.__name__}: unknown fields {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cluster shape: host count, placement policy, and jitter."""
+
+    n_hosts: int = 1
+    placement: str = "reuse-aware"
+    jitter_sigma: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 1:
+            raise ValueError("n_hosts must be >= 1")
+        if self.placement not in ("reuse-aware", "round-robin"):
+            raise ValueError(f"unknown placement {self.placement!r}")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """What drives the run: a figure pattern or a production trace.
+
+    ``kind="pattern"`` replays a round-structured request pattern
+    through the full FaaS gateway stack (exactly what Figs 12–14 do);
+    ``kind="trace"`` streams a :class:`TraceConfig` arrival schedule
+    directly into a multi-host provider with bounded-memory per-tenant
+    accounting.
+    """
+
+    kind: str = "pattern"
+    pattern: Optional[RequestPattern] = None
+    trace: Optional[TraceConfig] = None
+    #: Trace mode: warm handler cost and one-time app init per key.
+    exec_ms: float = 15.0
+    app_init_ms: float = 0.0
+    #: Trace mode: distinct base images cycled over the key space.
+    n_images: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("pattern", "trace"):
+            raise ValueError(f"traffic kind must be pattern|trace, got {self.kind!r}")
+        if self.kind == "pattern" and self.pattern is None:
+            raise ValueError("pattern traffic needs a pattern")
+        if self.kind == "trace" and self.trace is None:
+            raise ValueError("trace traffic needs a TraceConfig")
+        if self.exec_ms < 0 or self.app_init_ms < 0:
+            raise ValueError("cost fields must be >= 0")
+        if not 1 <= self.n_images <= 3:
+            raise ValueError("n_images must be in [1, 3]")
+
+
+@dataclass(frozen=True)
+class ArmSpec:
+    """One run of the scenario's traffic under a provider configuration."""
+
+    name: str
+    use_hotc: bool = True
+    adaptive: bool = False
+    control_interval_ms: float = 5_000.0
+    #: Pattern mode: distinct runtime configurations (fig 12b threads).
+    n_functions: int = 1
+    gateway_concurrency: int = 1024
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("arm name must be non-empty")
+        if self.n_functions < 1:
+            raise ValueError("n_functions must be >= 1")
+        if self.control_interval_ms <= 0:
+            raise ValueError("control_interval_ms must be > 0")
+        if self.gateway_concurrency < 1:
+            raise ValueError("gateway_concurrency must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultsSpec:
+    """Declarative fault plan (compiled via ``FaultPlan.random``)."""
+
+    pool_deaths: int = 0
+    outages: int = 0
+    outage_ms: float = 5_000.0
+    gray_slowdowns: int = 0
+    gray_ms: float = 10_000.0
+    gray_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        if min(self.pool_deaths, self.outages, self.gray_slowdowns) < 0:
+            raise ValueError("fault counts must be >= 0")
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Declarative admission policy (compiled to ``AdmissionConfig``)."""
+
+    max_queue_depth: int = 64
+    default_deadline_ms: Optional[float] = 30_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be > 0 (or None)")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete scenario: traffic × cluster × faults × policy × arms."""
+
+    name: str
+    traffic: TrafficSpec
+    arms: Tuple[ArmSpec, ...]
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    faults: Optional[FaultsSpec] = None
+    admission: Optional[AdmissionSpec] = None
+    seed: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be non-empty")
+        if not self.arms:
+            raise ValueError("scenario needs at least one arm")
+        names = [arm.name for arm in self.arms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"arm names must be unique, got {names}")
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict form (inverse of :meth:`from_dict`)."""
+        traffic: Dict[str, object] = {
+            "kind": self.traffic.kind,
+            "exec_ms": self.traffic.exec_ms,
+            "app_init_ms": self.traffic.app_init_ms,
+            "n_images": self.traffic.n_images,
+        }
+        if self.traffic.pattern is not None:
+            traffic["pattern"] = _pattern_to_dict(self.traffic.pattern)
+        if self.traffic.trace is not None:
+            traffic["trace"] = asdict(self.traffic.trace)
+        document: Dict[str, object] = {
+            "name": self.name,
+            "seed": self.seed,
+            "description": self.description,
+            "traffic": traffic,
+            "cluster": asdict(self.cluster),
+            "arms": [asdict(arm) for arm in self.arms],
+        }
+        if self.faults is not None:
+            document["faults"] = asdict(self.faults)
+        if self.admission is not None:
+            document["admission"] = asdict(self.admission)
+        return document
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        """Build a spec from its :meth:`to_dict` form."""
+        data = dict(data)
+        traffic_data = dict(data.pop("traffic", {}))
+        pattern = traffic_data.pop("pattern", None)
+        trace = traffic_data.pop("trace", None)
+        traffic = TrafficSpec(
+            pattern=_pattern_from_dict(pattern) if pattern is not None else None,
+            trace=TraceConfig(**trace) if trace is not None else None,
+            **traffic_data,
+        )
+        cluster = _dataclass_from_dict(ClusterSpec, dict(data.pop("cluster", {})))
+        arms = tuple(
+            _dataclass_from_dict(ArmSpec, dict(arm)) for arm in data.pop("arms", [])
+        )
+        faults = data.pop("faults", None)
+        admission = data.pop("admission", None)
+        return cls(
+            traffic=traffic,
+            cluster=cluster,
+            arms=arms,
+            faults=(
+                _dataclass_from_dict(FaultsSpec, dict(faults))
+                if faults is not None
+                else None
+            ),
+            admission=(
+                _dataclass_from_dict(AdmissionSpec, dict(admission))
+                if admission is not None
+                else None
+            ),
+            **data,
+        )
+
+    def to_json(self) -> str:
+        """Pretty-printed, key-sorted JSON form."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def load_spec(path: str) -> ScenarioSpec:
+    """Load a :class:`ScenarioSpec` from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fp:
+        return ScenarioSpec.from_dict(json.load(fp))

@@ -11,6 +11,9 @@
   diurnal trace with the three features the paper extracts (Fig 11).
 - :mod:`repro.workloads.generator` — turns a pattern into scheduled
   platform invocations.
+- :mod:`repro.workloads.tracegen` — planet-scale synthetic production
+  traces (Zipf keys, diurnal cycles, flash crowds, tenant churn) for
+  the scenario runner.
 """
 
 from repro.workloads.apps import (
@@ -37,9 +40,11 @@ from repro.workloads.patterns import (
 )
 from repro.workloads.traces import UMassStyleTrace, youtube_campus_trace
 from repro.workloads.generator import WorkloadGenerator, WorkloadResult
+from repro.workloads.tracegen import ArrivalBatch, TraceConfig, TraceWorkload
 
 __all__ = [
     "AppCatalog",
+    "ArrivalBatch",
     "BurstPattern",
     "ExponentialPattern",
     "LinearPattern",
@@ -49,7 +54,9 @@ __all__ = [
     "RequestPattern",
     "SerialPattern",
     "SinusoidalPattern",
+    "TraceConfig",
     "TracePattern",
+    "TraceWorkload",
     "UMassStyleTrace",
     "WorkloadGenerator",
     "WorkloadResult",

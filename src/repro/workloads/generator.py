@@ -140,6 +140,25 @@ class WorkloadGenerator:
           ``function[j % len(function)]`` (the per-thread configs of the
           parallel experiment);
         * a callable ``(round_index, request_index) -> name``.
+
+        When ``run_until`` is given, requests still in flight at that
+        bound are missing from the result — callers that need a bounded
+        run *and* a complete result (the adaptive pattern harness)
+        should use :meth:`submit` / :meth:`collect` around their own
+        run/drain sequence instead.
+        """
+        scheduled = self.submit(pattern, function)
+        self.platform.run(until=run_until)
+        return self.collect(scheduled)
+
+    def submit(
+        self, pattern: RequestPattern, function: FunctionSelector
+    ) -> List[Tuple[int, float, List]]:
+        """Schedule every round of ``pattern`` without running the sim.
+
+        Returns the ``(round_index, start_ms, processes)`` schedule that
+        :meth:`collect` consumes once the caller has driven the
+        simulator to completion (possibly in several bounded runs).
         """
         selector = self._make_selector(function)
         offset = self.platform.sim.now
@@ -150,9 +169,15 @@ class WorkloadGenerator:
                 name = selector(round_index, request_index)
                 procs.append(self.platform.submit(name, delay=time_ms))
             scheduled.append((round_index, offset + time_ms, procs))
+        return scheduled
 
-        self.platform.run(until=run_until)
+    def collect(self, scheduled: List[Tuple[int, float, List]]) -> WorkloadResult:
+        """Gather a :meth:`submit` schedule's traces into a result.
 
+        Only triggered, successful processes contribute traces; callers
+        wanting a completeness guarantee assert on the schedule first
+        (see ``run_pattern_arm``'s drain assertion).
+        """
         rounds = []
         for round_index, time_ms, procs in scheduled:
             traces = tuple(

@@ -1,0 +1,76 @@
+"""The pattern harness's adaptive-run drain bound."""
+
+import pytest
+
+from repro.admission.controller import AdmissionConfig, AdmissionController
+from repro.experiments._pattern_harness import (
+    _FALLBACK_DRAIN_MS,
+    _drain_budget_ms,
+    run_pattern_arm,
+)
+from repro.faas.platform import FaasPlatform
+from repro.workloads.apps import default_catalog, qr_encoder_app
+from repro.workloads.patterns import SerialPattern
+
+
+def make_platform() -> FaasPlatform:
+    return FaasPlatform(default_catalog().make_registry(), seed=0)
+
+
+class TestDrainBudget:
+    def test_no_deadlines_uses_fallback(self):
+        platform = make_platform()
+        platform.deploy(qr_encoder_app(name="qr", language="python"))
+        assert _drain_budget_ms(platform) == _FALLBACK_DRAIN_MS
+
+    def test_spec_deadline_wins(self):
+        platform = make_platform()
+        spec = qr_encoder_app(name="qr", language="python").with_overrides(
+            deadline_ms=250_000.0
+        )
+        platform.deploy(spec)
+        assert _drain_budget_ms(platform) == 250_000.0
+
+    def test_admission_default_deadline_counts(self):
+        platform = make_platform()
+        platform.deploy(qr_encoder_app(name="qr", language="python"))
+        platform.attach_admission(
+            AdmissionController(AdmissionConfig(default_deadline_ms=300_000.0))
+        )
+        assert _drain_budget_ms(platform) == 300_000.0
+
+    def test_largest_declared_deadline_wins(self):
+        platform = make_platform()
+        platform.deploy(
+            qr_encoder_app(name="qr-a", language="python").with_overrides(
+                deadline_ms=40_000.0
+            )
+        )
+        platform.deploy(
+            qr_encoder_app(name="qr-b", language="python").with_overrides(
+                deadline_ms=500_000.0
+            )
+        )
+        assert _drain_budget_ms(platform) == 500_000.0
+
+
+class TestAdaptiveDrain:
+    def test_adaptive_arm_drains_every_request(self):
+        """The bound covers the workload: no truncated requests, and the
+        in-harness assertion (which raises when requests outlive the
+        bound) stays silent."""
+        result, platform = run_pattern_arm(
+            SerialPattern(n_rounds=4, round_ms=5_000.0),
+            use_hotc=True,
+            seed=0,
+            adaptive=True,
+            control_interval_ms=5_000.0,
+        )
+        assert result.total_requests == 4
+        assert platform.traces.all_terminal()
+
+    def test_n_functions_validated(self):
+        with pytest.raises(ValueError):
+            run_pattern_arm(
+                SerialPattern(n_rounds=1), use_hotc=True, n_functions=0
+            )

@@ -96,3 +96,37 @@ class TestSummary:
         assert summary.p90 <= summary.p99 + 1e-9
         assert summary.p99 <= summary.maximum + 1e-9
         assert summary.minimum - 1e-9 <= summary.mean <= summary.maximum + 1e-9
+
+
+class TestEmptyAndSingleSample:
+    """Edge cases: no observations, exactly one observation."""
+
+    def test_empty_raises_by_default(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    def test_allow_empty_yields_empty_summary(self):
+        from repro.metrics import EMPTY_SUMMARY
+
+        summary = summarize_latencies([], allow_empty=True)
+        assert summary is EMPTY_SUMMARY
+        assert summary.count == 0
+        assert summary.mean != summary.mean  # NaN
+        assert summary.max_over_min != summary.max_over_min  # NaN, not crash
+        assert summary.max_over_mean != summary.max_over_mean
+
+    def test_single_sample_percentiles_collapse(self):
+        for q in (0, 1, 50, 99, 100):
+            assert percentile([42.0], q) == 42.0
+
+    def test_single_sample_summary_well_defined(self):
+        summary = summarize_latencies([42.0])
+        assert summary.count == 1
+        assert summary.mean == summary.p50 == summary.p99 == 42.0
+        assert summary.minimum == summary.maximum == 42.0
+        assert summary.max_over_min == 1.0
+
+    def test_single_zero_sample_ratios_are_inf(self):
+        summary = summarize_latencies([0.0])
+        assert summary.max_over_min == float("inf")
+        assert summary.max_over_mean == float("inf")

@@ -147,3 +147,58 @@ class TestRegistryMerge:
         assert merged.bucket_counts == build(flat).bucket_counts
         assert merged.bucket_counts == merged_other.bucket_counts  # order-free
         assert merged.sum == pytest.approx(merged_other.sum)
+
+
+class TestHistogramOverflow:
+    """Tail observations past the last finite bound must be loud."""
+
+    def test_overflow_count_tracks_inf_bucket(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 11.0, 1e9):
+            hist.observe(value)
+        assert hist.overflow_count == 2
+        assert hist.count == 4
+
+    def test_overflow_quantile_reports_inf_not_clamp(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        hist.observe(0.5)
+        hist.observe(100.0)
+        # p99 lands among the overflow observations: never the top
+        # finite bound (10.0), which would silently hide the tail.
+        assert hist.quantile(0.99) == float("inf")
+        assert hist.quantile(0.25) == 1.0
+
+    def test_strict_quantile_raises_on_overflow(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(50.0)
+        with pytest.raises(OverflowError, match="widen the buckets"):
+            hist.quantile(0.5, strict=True)
+
+    def test_quantile_resolvable(self):
+        hist = Histogram("h", bounds=(1.0, 10.0))
+        assert not hist.quantile_resolvable(0.5)  # empty
+        hist.observe(0.5)
+        hist.observe(100.0)
+        assert hist.quantile_resolvable(0.5)
+        assert not hist.quantile_resolvable(0.99)
+
+    def test_empty_histogram_quantile_is_nan(self):
+        hist = Histogram("h", bounds=(1.0,))
+        assert hist.quantile(0.5) != hist.quantile(0.5)  # NaN
+        assert hist.overflow_count == 0
+
+    def test_quantile_range_validated(self):
+        hist = Histogram("h", bounds=(1.0,))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile_resolvable(-0.1)
+
+    def test_wide_buckets_resolve_scenario_tails(self):
+        from repro.obs import WIDE_LATENCY_BUCKETS_MS
+
+        hist = Histogram("h", bounds=WIDE_LATENCY_BUCKETS_MS)
+        for value in (5.0, 80.0, 900.0, 30_000.0):
+            hist.observe(value)
+        assert hist.overflow_count == 0
+        assert hist.quantile(0.999, strict=True) < float("inf")

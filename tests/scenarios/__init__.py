@@ -1,0 +1,1 @@
+"""Tests for the scenario DSL (spec, runner, bundled specs)."""

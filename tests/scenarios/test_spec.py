@@ -1,0 +1,165 @@
+"""Scenario spec validation and JSON round trips."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    AdmissionSpec,
+    ArmSpec,
+    ClusterSpec,
+    FaultsSpec,
+    ScenarioSpec,
+    TrafficSpec,
+    bundled_names,
+    bundled_spec,
+    load_spec,
+)
+from repro.workloads.patterns import MarkovModulatedPattern, SerialPattern
+from repro.workloads.tracegen import TraceConfig
+
+
+def pattern_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="unit-pattern",
+        seed=3,
+        description="unit fixture",
+        traffic=TrafficSpec(
+            kind="pattern", pattern=SerialPattern(n_rounds=4, round_ms=1_000.0)
+        ),
+        arms=(
+            ArmSpec(name="default", use_hotc=False),
+            ArmSpec(name="hotc", use_hotc=True),
+        ),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+def trace_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="unit-trace",
+        seed=5,
+        traffic=TrafficSpec(
+            kind="trace",
+            trace=TraceConfig(n_keys=8, n_tenants=2, duration_ms=120_000.0),
+        ),
+        cluster=ClusterSpec(n_hosts=2, placement="round-robin"),
+        faults=FaultsSpec(outages=1, outage_ms=3_000.0),
+        admission=AdmissionSpec(max_queue_depth=16, default_deadline_ms=9_000.0),
+        arms=(ArmSpec(name="hotc", use_hotc=True),),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestValidation:
+    def test_no_arms_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_spec(arms=())
+
+    def test_duplicate_arm_names_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_spec(arms=(ArmSpec(name="a"), ArmSpec(name="a")))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            pattern_spec(name="")
+
+    def test_pattern_traffic_needs_pattern(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="pattern", pattern=None)
+
+    def test_trace_traffic_needs_trace(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="trace", trace=None)
+
+    def test_unknown_traffic_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="replay", pattern=SerialPattern(n_rounds=1))
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(placement="random")
+
+    def test_bad_admission_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionSpec(default_deadline_ms=0.0)
+
+    def test_negative_fault_counts_rejected(self):
+        with pytest.raises(ValueError):
+            FaultsSpec(outages=-1)
+
+
+class TestRoundTrip:
+    def test_pattern_spec_round_trips(self):
+        spec = pattern_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()).to_json() == spec.to_json()
+
+    def test_trace_spec_round_trips_with_faults_and_admission(self):
+        spec = trace_spec()
+        rebuilt = ScenarioSpec.from_dict(spec.to_dict())
+        assert rebuilt.to_json() == spec.to_json()
+        assert rebuilt.faults == spec.faults
+        assert rebuilt.admission == spec.admission
+
+    def test_every_bundled_spec_round_trips(self):
+        for name in bundled_names():
+            spec = bundled_spec(name, seed=11)
+            rebuilt = ScenarioSpec.from_dict(json.loads(spec.to_json()))
+            assert rebuilt.to_json() == spec.to_json(), name
+
+    def test_load_spec_from_file(self, tmp_path):
+        spec = trace_spec()
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        assert load_spec(str(path)).to_json() == spec.to_json()
+
+    def test_unknown_nested_field_rejected(self):
+        data = pattern_spec().to_dict()
+        data["cluster"]["rack_count"] = 3
+        with pytest.raises(ValueError, match="rack_count"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_arm_field_rejected(self):
+        data = pattern_spec().to_dict()
+        data["arms"][0]["turbo"] = True
+        with pytest.raises(ValueError, match="turbo"):
+            ScenarioSpec.from_dict(data)
+
+    def test_unknown_pattern_type_rejected(self):
+        data = pattern_spec().to_dict()
+        data["traffic"]["pattern"]["type"] = "fractal"
+        with pytest.raises(ValueError, match="fractal"):
+            ScenarioSpec.from_dict(data)
+
+    def test_non_json_pattern_rejected(self):
+        pattern = MarkovModulatedPattern()
+        spec = pattern_spec(traffic=TrafficSpec(kind="pattern", pattern=pattern))
+        with pytest.raises(ValueError, match="not JSON-expressible"):
+            spec.to_dict()
+
+
+class TestBundled:
+    def test_names_sorted_and_complete(self):
+        names = bundled_names()
+        assert names == tuple(sorted(names))
+        assert "day-1m" in names
+        assert "fig14-burst" in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="no bundled scenario"):
+            bundled_spec("fig99-warp")
+
+    def test_seed_threads_through(self):
+        assert bundled_spec("day-smoke", seed=42).seed == 42
+
+    def test_day_1m_meets_issue_floor(self):
+        """The planet-scale gate spec matches its advertised shape."""
+        spec = bundled_spec("day-1m")
+        trace = spec.traffic.trace
+        assert trace.n_keys >= 1_000
+        assert trace.total_requests >= 1_000_000
+        assert trace.flash_crowds >= 1
+        assert trace.diurnal_amplitude > 0
+        assert spec.cluster.n_hosts >= 3

@@ -48,3 +48,51 @@ class TestCommands:
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
             main(["experiments", "fig99"])
+
+
+class TestScenarioCommands:
+    def test_list_names_bundled_specs(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "day-1m" in out
+        assert "fig12-serial" in out
+
+    def test_show_prints_spec_json(self, capsys):
+        assert main(["scenarios", "show", "fig12-serial"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        document = json.loads(out)
+        assert document["name"] == "fig12-serial"
+        assert [arm["name"] for arm in document["arms"]] == ["default", "hotc"]
+
+    def test_run_bundled_scenario(self, capsys):
+        assert main(["scenarios", "run", "fig12-serial"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario fig12-serial" in out
+        assert "arm hotc" in out
+
+    def test_run_spec_file_with_out_dir(self, capsys, tmp_path):
+        from repro.scenarios import bundled_spec
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            bundled_spec("fig12-serial", seed=1).to_json(), encoding="utf-8"
+        )
+        out_dir = tmp_path / "artifacts"
+        assert (
+            main(["scenarios", "run", str(spec_path), "--out", str(out_dir)])
+            == 0
+        )
+        assert (out_dir / "report.json").exists()
+        assert (out_dir / "report.txt").exists()
+
+    def test_unknown_scenario_exits(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["scenarios", "show", "fig99-warp"])
+
+    def test_seed_threads_into_spec(self, capsys):
+        assert main(["--seed", "7", "scenarios", "show", "day-smoke"]) == 0
+        import json
+
+        assert json.loads(capsys.readouterr().out)["seed"] == 7

@@ -1,0 +1,50 @@
+"""Quality gate: the scenario runner must keep trace days fast.
+
+Runs ``benchmarks/bench_scenario_day.py --smoke`` (the fast mode)
+inside the tier-1 suite: the bundled ``day-smoke`` trace day — every
+trace-mode axis at 1/50th of the planet-scale volume — must finish well
+inside its wall budget, so a future PR that quietly regresses the
+trace-arm hot path (driver scheduling, streaming accounting, GC taming)
+fails CI long before the nightly ``--check`` run of ``day-1m`` does.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.quality_gate
+
+_BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "benchmarks"
+    / "bench_scenario_day.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location(
+        "bench_scenario_day", _BENCH_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestScenarioGate:
+    def test_smoke_day_clears_budget(self):
+        bench = _load_bench()
+        summary = bench.run_smoke()
+        assert summary["wall_s"] <= bench.SMOKE_BUDGET_S
+        assert summary["processed"] >= bench.SMOKE_MIN_REQUESTS
+        # The smoke day must exercise the full trace-mode surface:
+        # multi-tenant rows with resolvable tails and some cold starts.
+        assert summary["tenants"] == 6
+        assert 0.0 < summary["cold_ratio"] < 1.0
+        assert summary["p999_ms"] < float("inf")
+
+    def test_day_1m_budget_documented(self):
+        """The nightly gate's constants stay at the advertised scale."""
+        bench = _load_bench()
+        assert bench.DAY_1M_BUDGET_S <= 60.0
+        assert bench.DAY_1M_MIN_REQUESTS >= 990_000

@@ -1,0 +1,219 @@
+"""Tests for the production-trace generator (Zipf/diurnal/flash/churn)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.tracegen import ArrivalBatch, TraceConfig, TraceWorkload
+
+
+def small_config(**overrides) -> TraceConfig:
+    """A one-hour trace small enough for statistical shape tests."""
+    defaults = dict(
+        n_keys=50,
+        n_tenants=5,
+        duration_ms=3_600_000.0,
+        slot_ms=60_000.0,
+        total_requests=30_000.0,
+        zipf_s=1.1,
+        diurnal_amplitude=0.4,
+        diurnal_period_ms=3_600_000.0,
+        flash_crowds=1,
+        flash_factor=8.0,
+        flash_duration_ms=300_000.0,
+        flash_keys=3,
+        churn_fraction=0.2,
+        churn_interval_ms=900_000.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return TraceConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        TraceConfig()
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("n_keys", 0),
+            ("n_tenants", 0),
+            ("duration_ms", 0.0),
+            ("slot_ms", -1.0),
+            ("total_requests", 0.0),
+            ("zipf_s", -0.1),
+            ("diurnal_amplitude", 1.0),
+            ("diurnal_period_ms", 0.0),
+            ("flash_crowds", -1),
+            ("flash_factor", 0.5),
+            ("flash_duration_ms", 0.0),
+            ("churn_fraction", 1.0),
+            ("churn_interval_ms", 0.0),
+        ],
+    )
+    def test_bad_field_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            small_config(**{field: value})
+
+    def test_more_tenants_than_keys_rejected(self):
+        with pytest.raises(ValueError):
+            small_config(n_keys=4, n_tenants=5)
+
+    def test_with_seed_replaces_only_seed(self):
+        config = small_config(seed=1)
+        reseeded = config.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.n_keys == config.n_keys
+
+    def test_n_slots_ceiling(self):
+        assert small_config(duration_ms=90_000.0, slot_ms=60_000.0).n_slots == 2
+
+
+class TestDeterminism:
+    def test_digest_stable_across_iterations(self):
+        workload = TraceWorkload(small_config())
+        assert workload.schedule_digest() == workload.schedule_digest()
+
+    def test_digest_stable_across_instances(self):
+        config = small_config()
+        assert (
+            TraceWorkload(config).schedule_digest()
+            == TraceWorkload(config).schedule_digest()
+        )
+
+    def test_digest_changes_with_seed(self):
+        assert (
+            TraceWorkload(small_config(seed=1)).schedule_digest()
+            != TraceWorkload(small_config(seed=2)).schedule_digest()
+        )
+
+    def test_batches_sorted_and_in_range(self):
+        config = small_config()
+        for batch in TraceWorkload(config).batches():
+            assert isinstance(batch, ArrivalBatch)
+            if batch.size:
+                assert np.all(np.diff(batch.offsets_ms) >= 0)
+                assert float(batch.offsets_ms[-1]) <= config.slot_ms
+                assert batch.key_ids.min() >= 0
+                assert batch.key_ids.max() < config.n_keys
+
+
+class TestVolumeNormalisation:
+    def test_realised_total_matches_expectation(self):
+        """Modulation shapes the trace without changing expected volume."""
+        config = small_config()
+        total = int(TraceWorkload(config).slot_counts().sum())
+        # Poisson: sd = sqrt(30k) ~ 173; allow a generous 6-sigma band.
+        assert abs(total - config.total_requests) < 6 * np.sqrt(
+            config.total_requests
+        )
+
+    def test_normalisation_holds_without_modulation(self):
+        config = small_config(
+            diurnal_amplitude=0.0, flash_crowds=0, churn_fraction=0.0
+        )
+        total = int(TraceWorkload(config).slot_counts().sum())
+        assert abs(total - config.total_requests) < 6 * np.sqrt(
+            config.total_requests
+        )
+
+
+class TestZipfShape:
+    def test_head_share_dominates(self):
+        workload = TraceWorkload(small_config(flash_crowds=0, churn_fraction=0.0))
+        # Top 10% of 50 keys under Zipf(1.1) should carry well over
+        # their uniform share (10%) of traffic.
+        assert workload.head_share(0.1) > 0.4
+
+    def test_counts_follow_popularity_rank(self):
+        workload = TraceWorkload(small_config(flash_crowds=0, churn_fraction=0.0))
+        counts = workload.key_counts()
+        assert counts[0] == counts.max()
+        assert counts[:5].sum() > counts[-5:].sum()
+
+    def test_head_share_validation(self):
+        with pytest.raises(ValueError):
+            TraceWorkload(small_config()).head_share(0.0)
+
+
+class TestDiurnalShape:
+    def test_peak_slots_busier_than_trough_slots(self):
+        config = small_config(
+            diurnal_amplitude=0.6, flash_crowds=0, churn_fraction=0.0
+        )
+        workload = TraceWorkload(config)
+        counts = workload.slot_counts().astype(float)
+        factors = np.array(
+            [
+                workload.diurnal_factor(slot * config.slot_ms + config.slot_ms / 2)
+                for slot in range(config.n_slots)
+            ]
+        )
+        order = np.argsort(factors)
+        n = max(1, config.n_slots // 5)
+        assert counts[order[-n:]].mean() > 1.5 * counts[order[:n]].mean()
+
+    def test_factor_mean_is_one_over_period(self):
+        workload = TraceWorkload(small_config())
+        period = workload.config.diurnal_period_ms
+        samples = [workload.diurnal_factor(t) for t in np.linspace(0, period, 720)]
+        assert np.mean(samples) == pytest.approx(1.0, abs=0.01)
+
+
+class TestChurn:
+    def test_inactive_fraction_near_configured(self):
+        config = small_config(n_keys=500, churn_fraction=0.3)
+        mask = TraceWorkload(config).active_mask(0.0)
+        inactive = 1.0 - mask.mean()
+        assert 0.15 < inactive < 0.45
+
+    def test_head_key_always_active(self):
+        config = small_config(churn_fraction=0.5)
+        workload = TraceWorkload(config)
+        for t in np.arange(0.0, config.duration_ms, config.churn_interval_ms):
+            assert workload.active_mask(float(t))[0]
+
+    def test_inactive_keys_receive_no_traffic(self):
+        # One churn interval spanning the whole trace: keys inactive at
+        # t=0 stay inactive throughout, so they must see zero requests.
+        config = small_config(
+            diurnal_amplitude=0.0,
+            flash_crowds=0,
+            churn_fraction=0.4,
+            churn_interval_ms=3_600_000.0,
+            duration_ms=3_600_000.0,
+        )
+        workload = TraceWorkload(config)
+        mask = workload.active_mask(0.0)
+        counts = workload.key_counts()
+        assert counts[~mask].sum() == 0
+
+    def test_zero_churn_keeps_every_key_active(self):
+        workload = TraceWorkload(small_config(churn_fraction=0.0))
+        assert workload.active_mask(0.0).all()
+
+
+class TestFlashCrowds:
+    def test_window_count_and_bounds(self):
+        config = small_config(flash_crowds=2)
+        windows = TraceWorkload(config).flash_windows()
+        assert len(windows) == 2
+        for start, end, hit in windows:
+            assert 0.0 <= start < end <= config.duration_ms
+            assert len(hit) == config.flash_keys
+
+    def test_busiest_slot_falls_inside_a_flash(self):
+        config = small_config(
+            diurnal_amplitude=0.0,
+            churn_fraction=0.0,
+            flash_crowds=1,
+            flash_factor=20.0,
+            flash_keys=5,
+        )
+        workload = TraceWorkload(config)
+        counts = workload.slot_counts()
+        busiest_mid = (
+            int(np.argmax(counts)) * config.slot_ms + config.slot_ms / 2
+        )
+        (start, end, _hit) = workload.flash_windows()[0]
+        assert start <= busiest_mid < end
