@@ -182,6 +182,30 @@ class Container:
         #: recovery sweep must neither adopt it as idle nor count it as
         #: request-owned demand.
         self.recycling = False
+        #: Degradation state, assigned by the fault injector at boot (or
+        #: per exec for poison) and carried for life.  All defaults are
+        #: inert: a clean run never reads past the guard checks.
+        #: Leaked RSS accumulated so far (MB), beyond the configured
+        #: footprint — observable trajectory, not a resource charge.
+        self.rss_mb = 0.0
+        #: RSS growth per completed exec (MB); 0 = no leak.
+        self.leak_slope_mb = 0.0
+        #: Dirty interpreter state: the next exec on this container
+        #: fails until the runtime is sanitized or destroyed.
+        self.poisoned = False
+        #: Compounding per-reuse exec-time multiplier; 1.0 = healthy.
+        self.decay_factor = 1.0
+        #: Exec count after which every exec crashes; ``None`` = never.
+        self.crash_loop_after: Optional[int] = None
+        #: Health-plane verdicts, carried on the container so they
+        #: survive a control-plane crash (like ``leased``/``recycling``):
+        #: ``tainted`` (SUSPECT — stops serving and donating until
+        #: recycled), ``condemned`` (QUARANTINED — never serves again).
+        self.tainted = False
+        self.condemned = False
+        #: Exec time (ms) of the last successful execution, stamped by
+        #: the engine; the health plane reads it at release time.
+        self.last_exec_ms = 0.0
 
     # -- state machine ----------------------------------------------------
     def transition(self, new_state: ContainerState) -> None:

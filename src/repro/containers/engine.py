@@ -75,6 +75,9 @@ class EngineStats:
     boot_failures: int = 0
     transient_errors: int = 0
     exec_crashes: int = 0
+    #: Execs refused because the container's runtime state was left
+    #: dirty by an earlier run (STATE_POISON degradation).
+    poison_failures: int = 0
     boot_retries: int = 0
     hedged_boots: int = 0
     breaker_opens: int = 0
@@ -360,6 +363,10 @@ class ContainerEngine:
         container.transition(ContainerState.RUNNING)
         container.started_at = self.sim.now
         self.stats.boots += 1
+        if self.fault_injector is not None:
+            # Per-boot degradation lottery (leak / decay / crash loop);
+            # zero-rate specs consume no RNG draw here.
+            self.fault_injector.assign_degradation(container)
 
         image = self.registry.resolve(config.image)
         if warm_runtime and image.language is not None:
@@ -393,6 +400,17 @@ class ContainerEngine:
             raise ContainerError(
                 f"image {image.reference} provides {image.language!r}, "
                 f"spec wants {spec.language!r}"
+            )
+        if container.poisoned:
+            # Dirty interpreter state from an earlier run: fail before
+            # touching the lifecycle so the watchdog can discard the
+            # container and retry elsewhere.
+            from repro.faults.errors import StatePoisonError
+
+            self.stats.poison_failures += 1
+            raise StatePoisonError(
+                f"container {container.container_id} has poisoned "
+                "runtime state"
             )
 
         container.transition(ContainerState.EXECUTING)
@@ -438,6 +456,20 @@ class ContainerEngine:
                 pending_ms += app_init_ms
 
             exec_ms = scale * self.latency.app_execution(spec.exec_ms, spec.language)
+            if container.decay_factor != 1.0:
+                # Compounding per-reuse slowdown (PERF_DECAY).
+                exec_ms *= container.decay_factor ** container.exec_count
+            if (
+                container.crash_loop_after is not None
+                and container.exec_count >= container.crash_loop_after
+            ):
+                from repro.faults.errors import ExecCrash
+
+                yield self.sim.timeout(pending_ms + 0.5 * exec_ms)
+                raise ExecCrash(
+                    f"container {container.container_id} is crash-looping "
+                    f"(exec #{container.exec_count})"
+                )
             if self.fault_injector is not None:
                 crash_at_ms = self.fault_injector.exec_crash_point(exec_ms)
                 if crash_at_ms is not None:
@@ -483,6 +515,14 @@ class ContainerEngine:
             )
         container.last_app_id = spec.app_id
         container.exec_count += 1
+        container.last_exec_ms = exec_ms
+        if container.leak_slope_mb:
+            container.rss_mb += container.leak_slope_mb
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.exec_poison()
+        ):
+            container.poisoned = True
         container.transition(ContainerState.RUNNING)
         return ExecResult(
             container_id=container.container_id,

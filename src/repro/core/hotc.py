@@ -32,6 +32,11 @@ from repro.core.predictor.combined import CombinedPredictor
 from repro.core.predictor.controller import AdaptivePoolController
 from repro.core.similarity import KeySimilarityModel
 from repro.faas.platform import RuntimeProvider
+from repro.health.container import (
+    ContainerCondition,
+    ContainerHealthConfig,
+    ContainerHealthPlane,
+)
 from repro.obs.events import EventKind
 from repro.faults.errors import (
     BootFailure,
@@ -107,6 +112,13 @@ class HotCConfig:
     #: long-running gateway must not grow predictor state without bound.
     #: ``None`` keeps every residual (the pre-window batch behaviour).
     markov_window: Optional[int] = 512
+    #: Container aging & self-healing (DESIGN.md §14): a per-container
+    #: health plane scores exec outcomes, latency residuals and RSS
+    #: trajectory, quarantines contaminated containers, and proactively
+    #: recycles aged ones (demote-drain-replace, token-bucket limited).
+    #: ``None`` disables the whole plane: no records, no RNG, no events
+    #: — runs stay bit-identical to a build without it.
+    container_health: Optional[ContainerHealthConfig] = None
 
     def __post_init__(self) -> None:
         if self.fallback_key_policy is self.key_policy:
@@ -209,6 +221,27 @@ class HotC(RuntimeProvider):
         #: Bumped by absorb_pending_boots(); a prewarm landing with a
         #: stale epoch belongs to a previous host life and is retired.
         self._prewarm_epoch = 0
+        #: Container health plane (aging/contamination verdicts), only
+        #: constructed when opted in — distinct from the cluster's
+        #: *host* health monitor.
+        self.container_health: Optional[ContainerHealthPlane] = (
+            ContainerHealthPlane(
+                self.config.container_health, host=engine.name
+            )
+            if self.config.container_health is not None
+            else None
+        )
+        #: Quarantined ``(container, key, reason)`` triples awaiting
+        #: their token-bucket-limited recycle.
+        self._recycle_queue: List[tuple] = []
+        #: Recycle token bucket: starts full so the first verdicts act
+        #: immediately; refilled lazily from sim-time deltas.
+        self._recycle_tokens: float = (
+            float(self.config.container_health.recycle_burst)
+            if self.config.container_health is not None
+            else 0.0
+        )
+        self._recycle_refill_at = 0.0
 
     # -- the provider protocol ------------------------------------------------
     def key_of(self, config: ContainerConfig) -> RuntimeKey:
@@ -236,6 +269,8 @@ class HotC(RuntimeProvider):
         self.engine.attach_observatory(observatory)
         self.pool.attach_observatory(observatory, host=self.engine.name)
         self.cleanup.obs = observatory
+        if self.container_health is not None:
+            self.container_health.obs = observatory
 
     def attach_admission(self, controller) -> None:
         """Wire overload protection through this host (``None`` detaches).
@@ -519,6 +554,24 @@ class HotC(RuntimeProvider):
                 # (same-language zygotes keep the warm interpreter —
                 # that is the Pagurus saving).
                 container.runtime_initialized = False
+            injector = self.engine.fault_injector
+            if injector is not None and injector.exec_poison():
+                # A re-spec can leave dirty state behind too — the
+                # STATE_POISON fault covers both exec and re-spec.
+                container.poisoned = True
+            if self.container_health is not None:
+                # Post-repurpose hygiene: the new key starts a fresh
+                # health record, and a poisoned donor is scrubbed for
+                # ``sanitize_ms`` instead of carrying the contamination.
+                sanitize_ms = self.container_health.note_respec(
+                    container, key, self.sim.now
+                )
+                if sanitize_ms > 0.0:
+                    yield self.sim.timeout(sanitize_ms)
+                    if not container.is_reusable:
+                        self.pool.discard_dead(container, reuse="repurpose")
+                        continue
+                    cost += sanitize_ms
             self._adopt_donor(container, key, config, "repurpose", cost)
             self.engine.stats.repurposes += 1
             if self.obs is not None:
@@ -745,6 +798,16 @@ class HotC(RuntimeProvider):
             # Shutdown mid-burst: busy containers retire on release.
             yield from self.cleanup.retire(container)
             return
+        if self.container_health is not None:
+            plane = self.container_health
+            plane.observe_success(container, key, self.sim.now)
+            reason = plane.recycle_reason(container, self.sim.now)
+            if reason is not None:
+                # Demote-drain-replace: out of every index now, destroyed
+                # under the token bucket, replaced by a paired prewarm.
+                self._quarantine_for_recycle(container, key, reason)
+                yield from self._drain_recycle_queue()
+                return
         yield from self.cleanup.clean_and_recycle(container)
         if self.metadata_store is not None:
             yield from self._journal(key, container, "available")
@@ -765,6 +828,19 @@ class HotC(RuntimeProvider):
         key = self.key_of(container.config)
         container.leased = False
         self._bump_busy(key, -1)
+        if self.container_health is not None:
+            # An exec failure is hard contamination evidence: it feeds
+            # the per-container crash-loop breaker (threshold 1 by
+            # default — the watchdog discards after one failure, so a
+            # second chance would serve a request on known-bad state).
+            self.container_health.observe_failure(container, key, self.sim.now)
+            if self.pool.contains(container) and container.is_live:
+                self._quarantine_for_recycle(container, key, "breaker")
+                self.sim.process(
+                    self._drain_recycle_queue(), name="hotc-recycle"
+                )
+                return
+            self.container_health.forget(container)
         if self.pool.contains(container):
             self.pool.remove(container)
         if container.is_live:
@@ -772,6 +848,87 @@ class HotC(RuntimeProvider):
                 self.cleanup.retire(container),
                 name=f"discard:{container.container_id}",
             )
+
+    # -- container health: quarantine + token-bucket recycling -----------------
+    def _quarantine_for_recycle(
+        self, container: Container, key: RuntimeKey, reason: str
+    ) -> None:
+        """Pull a contaminated/aged container out of service (synchronous).
+
+        The entry leaves every availability index immediately — no
+        acquire, donor claim or half-open probe can see it once this
+        returns — and joins the recycle queue; the destroy itself waits
+        for a token so a wave of simultaneous verdicts cannot become a
+        cold-start storm.
+        """
+        plane = self.container_health
+        record = plane.record_of(container)
+        if record is None or record.state is not ContainerCondition.QUARANTINED:
+            plane.condemn(container, record, self.sim.now, reason=reason)
+        self.pool.quarantine(container)
+        self._recycle_queue.append((container, key, reason))
+
+    def _refill_recycle_tokens(self) -> None:
+        config = self.config.container_health
+        elapsed = self.sim.now - self._recycle_refill_at
+        if elapsed > 0.0:
+            self._recycle_tokens = min(
+                float(config.recycle_burst),
+                self._recycle_tokens
+                + config.recycle_rate_per_s * elapsed / 1000.0,
+            )
+            self._recycle_refill_at = self.sim.now
+
+    def _drain_recycle_queue(self) -> Generator:
+        """Process: destroy queued containers while tokens last.
+
+        Runs from release() and from the control tick; overlapping
+        drains are safe — each queue item is popped exactly once and a
+        token is spent before any yield.  Items the bucket cannot cover
+        stay queued for the next tick.
+        """
+        self._refill_recycle_tokens()
+        while self._recycle_queue and self._recycle_tokens >= 1.0:
+            self._recycle_tokens -= 1.0
+            container, key, reason = self._recycle_queue.pop(0)
+            yield from self._recycle_one(container, key, reason)
+
+    def _recycle_one(
+        self, container: Container, key: RuntimeKey, reason: str
+    ) -> Generator:
+        """Process: destroy one quarantined container, prewarm its key.
+
+        The replacement prewarm is requested *before* the destroy so the
+        key's warm-capacity dip is already being covered while the old
+        container stops.  The prewarm self-guards on drain/brownout/
+        breaker — that is the brownout coordination: recycling proceeds
+        under pressure (it frees memory) while the replacement pauses.
+        """
+        self.container_health.note_recycling(container, self.sim.now, reason)
+        if key in self._config_for_key:
+            self._spawn_prewarm(key)
+        yield from self.cleanup.retire(container)
+        if self.pool.is_quarantined(container):
+            # A control-plane crash mid-retire wipes the quarantine set;
+            # guard so the close-out never double-counts.
+            self.pool.mark_recycled(container)
+        self.container_health.forget(container)
+
+    def _health_sweep(self) -> None:
+        """Control-tick sweep: recycle verdicts for *idle* containers.
+
+        Release-time checks cover containers that serve requests; an
+        idle container can still age past ``max_age_ms`` without ever
+        being released again, so the control loop sweeps the
+        availability lists too.
+        """
+        plane = self.container_health
+        now = self.sim.now
+        for key in tuple(self.pool.keys()):
+            for entry in self.pool.available_entries(key):
+                reason = plane.recycle_reason(entry.container, now)
+                if reason is not None:
+                    self._quarantine_for_recycle(entry.container, key, reason)
 
     def drain_dead(self) -> int:
         """Purge pool metadata of containers that are no longer live.
@@ -837,6 +994,16 @@ class HotC(RuntimeProvider):
             predictor_factory=self.config.make_predictor,
             max_target=self.config.limits.max_containers,
         )
+        # Health records and the recycle queue are in-memory control
+        # state too; the ``condemned`` flag stays on the containers, so
+        # the recovery sweep retires them instead of re-adopting.
+        self._recycle_queue.clear()
+        if self.container_health is not None:
+            self.container_health = ContainerHealthPlane(
+                self.config.container_health,
+                obs=self.obs,
+                host=self.engine.name,
+            )
         return lost
 
     def _recover_host(
@@ -880,6 +1047,24 @@ class HotC(RuntimeProvider):
             provenance = (
                 "checkpointed" if cid in snapshots else "post-checkpoint"
             )
+            if container.condemned and not container.leased:
+                # The health plane's verdict travels on the container,
+                # so even a rebuilt-from-scratch control plane honors
+                # it: condemned containers retire, never re-adopt.
+                self.sim.process(
+                    self.cleanup.retire(container),
+                    name=f"retire-condemned:{cid}",
+                )
+                repairs.append(
+                    RepairEvent(
+                        RepairKind.RETIRED_ORPHAN,
+                        host,
+                        cid,
+                        str(key),
+                        "condemned by the container health plane",
+                    )
+                )
+                continue
             if container.leased:
                 self.pool.register(container, key, now=now, available=False)
                 self._bump_busy(key, +1)
@@ -982,6 +1167,11 @@ class HotC(RuntimeProvider):
             assert (
                 0 < prewarms <= self._pending_boots.get(key, 0)
             ), f"prewarm count for {key} exceeds its pending boots"
+        for item in self._recycle_queue:
+            assert self.pool.is_quarantined(item[0]), (
+                f"queued-for-recycle container {item[0].container_id} "
+                "is not quarantined"
+            )
 
     def scan_divergences(self) -> List[str]:
         """Report-only sweep comparing the pool against ground truth.
@@ -1019,6 +1209,12 @@ class HotC(RuntimeProvider):
         for key in tuple(self.pool.keys()):
             for entry in self.pool.available_entries(key):
                 yield from self.cleanup.retire(entry.container)
+        # Flush the recycle queue ignoring the token bucket: rate
+        # limiting protects a serving host from destroy storms, but a
+        # draining host must leave nothing behind.
+        while self._recycle_queue:
+            container, key, reason = self._recycle_queue.pop(0)
+            yield from self._recycle_one(container, key, reason)
 
     # -- demand accounting ------------------------------------------------------
     def _bump_busy(self, key: RuntimeKey, delta: int) -> None:
@@ -1215,6 +1411,12 @@ class HotC(RuntimeProvider):
             # Background auditor + checkpoint cadence; the manager
             # collapses co-scheduled multi-host ticks.
             self.recovery.on_control_tick(self.sim.now)
+        if self.container_health is not None:
+            self._health_sweep()
+            if self._recycle_queue:
+                self.sim.process(
+                    self._drain_recycle_queue(), name="hotc-recycle"
+                )
 
     def _update_brownout(self) -> None:
         """Advance the brownout state machine with this tick's pressure.

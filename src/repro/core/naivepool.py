@@ -61,6 +61,7 @@ class NaiveContainerRuntimePool:
         self.on_key_empty: Optional[Callable[[RuntimeKey], None]] = None
         self._entries: Dict[RuntimeKey, List[PoolEntry]] = {}
         self._by_container: Dict[str, PoolEntry] = {}
+        self._quarantined: Dict[str, PoolEntry] = {}
 
     # -- the paper's views --------------------------------------------------
     def state_of(self, key: RuntimeKey) -> int:
@@ -84,7 +85,7 @@ class NaiveContainerRuntimePool:
     def acquire(self, key: RuntimeKey, now: float) -> Optional[Container]:
         """Take the first available container of type ``key`` (linear scan)."""
         for entry in self._entries.get(key, ()):
-            if entry.available:
+            if entry.available and not entry.container.tainted:
                 entry.available = False
                 entry.last_used_at = now
                 self.stats.hits += 1
@@ -99,7 +100,7 @@ class NaiveContainerRuntimePool:
         if reuse not in ("relaxed", "repurpose"):
             raise ValueError(f"reuse must be 'relaxed' or 'repurpose', got {reuse!r}")
         for entry in self._entries.get(key, ()):
-            if entry.available:
+            if entry.available and not entry.container.tainted:
                 entry.available = False
                 entry.last_used_at = now
                 if reuse == "relaxed":
@@ -156,6 +157,45 @@ class NaiveContainerRuntimePool:
         if key_emptied and self.on_key_empty is not None:
             self.on_key_empty(entry.key)
         return entry
+
+    def quarantine(self, container: Container) -> PoolEntry:
+        """Pull a pooled container out of availability into quarantine."""
+        entry = self._entry_of(container)
+        self._quarantined[container.container_id] = entry
+        self.stats.quarantined += 1
+        del self._by_container[container.container_id]
+        siblings = self._entries[entry.key]
+        siblings.remove(entry)
+        key_emptied = not siblings
+        if key_emptied:
+            del self._entries[entry.key]
+        if key_emptied and self.on_key_empty is not None:
+            self.on_key_empty(entry.key)
+        return entry
+
+    def mark_recycled(self, container: Container) -> PoolEntry:
+        """Close out a quarantined container whose recycle completed."""
+        try:
+            entry = self._quarantined.pop(container.container_id)
+        except KeyError:
+            raise KeyError(
+                f"container {container.container_id} is not quarantined"
+            ) from None
+        self.stats.recycled += 1
+        return entry
+
+    def is_quarantined(self, container: Container) -> bool:
+        """Whether the container sits in the quarantine set."""
+        return container.container_id in self._quarantined
+
+    @property
+    def total_quarantined(self) -> int:
+        """Current quarantine-set size."""
+        return len(self._quarantined)
+
+    def quarantined_containers(self) -> Tuple[Container, ...]:
+        """Snapshot of the quarantine set's containers."""
+        return tuple(e.container for e in self._quarantined.values())
 
     def discard_dead(
         self, container: Container, reuse: str = "hit"

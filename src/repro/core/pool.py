@@ -159,6 +159,12 @@ class PoolStats:
     evictions_pressure: int = 0
     #: Pool hits whose container turned out dead; un-counted from hits.
     dead_discards: int = 0
+    #: Containers pulled out of every availability index by the
+    #: container health plane (cumulative).
+    quarantined: int = 0
+    #: Quarantined containers whose recycle completed (cumulative);
+    #: ``quarantined - recycled`` is the current quarantine-set size.
+    recycled: int = 0
 
     @property
     def lookups(self) -> int:
@@ -222,6 +228,10 @@ class ContainerRuntimePool:
         #: built and pushed lazily by :meth:`eviction_candidate`, keeping
         #: the acquire/release cycle free of eviction bookkeeping.
         self._evict_pending: List[PoolEntry] = []
+        #: Quarantined entries (container_id -> entry): out of every
+        #: availability index but still owned by the pool's conservation
+        #: accounting until :meth:`mark_recycled`.
+        self._quarantined: Dict[str, PoolEntry] = {}
         self._seq = 0
         if eviction == "oldest":
             self._evict_primary = lambda e: e.added_at
@@ -264,18 +274,33 @@ class ContainerRuntimePool:
 
         "First" means earliest-registered, as in the original list scan.
         Returns ``None`` on miss — the caller then cold-boots.
+        Tainted containers (SUSPECT in the health plane) are passed
+        over but stay available, so they keep their place until the
+        recycle loop drains them; nothing ever sets ``tainted`` when
+        the health plane is off, so this costs one attribute read.
         """
         avail = self._avail_lists.get(key)
+        skipped = None
         while avail:
-            entry = avail.pop()[1]
+            item = avail.pop()
+            entry = item[1]
             if not (entry.available and entry.in_pool):
                 continue  # stale copy left by remove()-while-available
+            if entry.container.tainted:
+                if skipped is None:
+                    skipped = []
+                skipped.append(item)
+                continue
             entry.available = False
             entry.stamp += 1
             entry.last_used_at = now
             entry.counts[0] -= 1
             self._total_available -= 1
             self.stats.hits += 1
+            if skipped:
+                # Items were popped tail-first (ascending seq), so the
+                # reverse re-extends the list in sorted order.
+                avail.extend(reversed(skipped))
             if self.obs is not None:
                 self.obs.emit(
                     EventKind.POOL_HIT, t=now, host=self._obs_host, key=str(key)
@@ -287,6 +312,8 @@ class ContainerRuntimePool:
                     key=str(key),
                 ).inc()
             return entry.container
+        if skipped:
+            avail.extend(reversed(skipped))
         self.stats.misses += 1
         if self.obs is not None:
             self.obs.emit(
@@ -311,19 +338,30 @@ class ContainerRuntimePool:
         requester's own exact-key miss has already been counted, so
         neither a hit nor a second miss is recorded against the donor
         key.  Returns ``None`` when the donor key has nothing idle.
+        Tainted (SUSPECT) containers are never donated: a failing
+        container must not contaminate another key.
         """
         if reuse not in ("relaxed", "repurpose"):
             raise ValueError(f"reuse must be 'relaxed' or 'repurpose', got {reuse!r}")
         avail = self._avail_lists.get(key)
+        skipped = None
         while avail:
-            entry = avail.pop()[1]
+            item = avail.pop()
+            entry = item[1]
             if not (entry.available and entry.in_pool):
                 continue  # stale copy left by remove()-while-available
+            if entry.container.tainted:
+                if skipped is None:
+                    skipped = []
+                skipped.append(item)
+                continue
             entry.available = False
             entry.stamp += 1
             entry.last_used_at = now
             entry.counts[0] -= 1
             self._total_available -= 1
+            if skipped:
+                avail.extend(reversed(skipped))
             if reuse == "relaxed":
                 self.stats.relaxed_hits += 1
             else:
@@ -342,6 +380,8 @@ class ContainerRuntimePool:
                     key=str(key),
                 ).inc()
             return entry.container
+        if skipped:
+            avail.extend(reversed(skipped))
         return None
 
     def register(
@@ -405,6 +445,53 @@ class ContainerRuntimePool:
     def remove(self, container: Container) -> PoolEntry:
         """Forget a container (being stopped/evicted)."""
         entry = self._entry_of(container)
+        self.stats.retired += 1
+        self._unlink(entry)
+        return entry
+
+    def quarantine(self, container: Container) -> PoolEntry:
+        """Pull a pooled container out of every availability index.
+
+        The entry leaves the exact/relaxed/repurpose indices, the
+        eviction heap and donor candidacy exactly like :meth:`remove`,
+        but stays tracked in the quarantine set until
+        :meth:`mark_recycled` closes it out — so conservation holds:
+        ``registered == live + quarantine set + recycled + retired``.
+        """
+        entry = self._entry_of(container)
+        self._quarantined[container.container_id] = entry
+        self.stats.quarantined += 1
+        self._unlink(entry)
+        return entry
+
+    def mark_recycled(self, container: Container) -> PoolEntry:
+        """Close out a quarantined container whose recycle completed."""
+        try:
+            entry = self._quarantined.pop(container.container_id)
+        except KeyError:
+            raise KeyError(
+                f"container {container.container_id} is not quarantined"
+            ) from None
+        self.stats.recycled += 1
+        return entry
+
+    def is_quarantined(self, container: Container) -> bool:
+        """Whether the container sits in the quarantine set."""
+        return container.container_id in self._quarantined
+
+    @property
+    def total_quarantined(self) -> int:
+        """Current quarantine-set size."""
+        return len(self._quarantined)
+
+    def quarantined_containers(self) -> Tuple[Container, ...]:
+        """Snapshot of the quarantine set's containers."""
+        return tuple(e.container for e in self._quarantined.values())
+
+    def _unlink(self, entry: PoolEntry) -> None:
+        # Shared tail of remove()/quarantine(): drop the entry from
+        # every index and fire the key-emptied hook.
+        container = entry.container
         entry.in_pool = False
         entry.stamp += 1
         del self._by_container[container.container_id]
@@ -420,13 +507,11 @@ class ContainerRuntimePool:
             del self._entries[entry.key]
             del self._counts[entry.key]
             self._avail_lists.pop(entry.key, None)
-        self.stats.retired += 1
         if not key_emptied:
             self._maybe_compact_avail(entry.key)
         self._maybe_compact_evictions()
         if key_emptied and self.on_key_empty is not None:
             self.on_key_empty(entry.key)
-        return entry
 
     def discard_dead(
         self, container: Container, reuse: str = "hit"
@@ -480,6 +565,10 @@ class ContainerRuntimePool:
         self._by_container.clear()
         self._counts.clear()
         self._avail_lists.clear()
+        # The quarantine set is in-memory control-plane state too; the
+        # physical containers still carry ``condemned``, so the recovery
+        # sweep retires them instead of re-adopting.
+        self._quarantined.clear()
         self._evict_heap.clear()
         for entry in self._evict_pending:
             entry.evict_pending = False
@@ -599,6 +688,34 @@ class ContainerRuntimePool:
             f"by-container index drifted: indexed={len(self._by_container)} "
             f"actual={total}"
         )
+        # Quarantine-set disjointness from every availability index.
+        for container_id, entry in self._quarantined.items():
+            assert container_id not in self._by_container, (
+                f"quarantined container {container_id} still pooled"
+            )
+            assert not entry.in_pool, (
+                f"quarantined entry still flagged in-pool: {entry}"
+            )
+        for key, avail in self._avail_lists.items():
+            for item in avail:
+                entry = item[1]
+                if entry.available and entry.in_pool:
+                    assert (
+                        entry.container.container_id not in self._quarantined
+                    ), (
+                        f"quarantined container "
+                        f"{entry.container.container_id} still in the "
+                        f"avail list of {key}"
+                    )
+        for item in self._evict_heap:
+            entry = item[-1]
+            if entry.in_pool and entry.available and entry.stamp == item[-2]:
+                assert (
+                    entry.container.container_id not in self._quarantined
+                ), (
+                    f"quarantined container {entry.container.container_id} "
+                    "still live on the eviction heap"
+                )
 
     # -- heap maintenance ---------------------------------------------------
     def _make_available(self, entry: PoolEntry) -> None:

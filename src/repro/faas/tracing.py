@@ -82,6 +82,10 @@ class RequestTrace:
     #: How the container was obtained: "" (cold boot), "hit",
     #: "relaxed", or "repurpose".
     reuse: str = ""
+    #: Reuse depth of the serving container: how many requests it had
+    #: already executed before this one (0 = first exec, i.e. a cold
+    #: boot or a fresh prewarm).
+    reuse_count: int = 0
     #: Terminal disposition (stamped by the watchdog / admission layer).
     outcome: RequestOutcome = RequestOutcome.PENDING
     #: Request-level retries this request consumed.

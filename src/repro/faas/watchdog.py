@@ -118,6 +118,9 @@ class Watchdog:
         trace.exec_ms = result.exec_ms
         trace.respec_ms = container.respec_ms
         trace.reuse = container.reuse
+        # exec_count was already bumped for this exec, so depth is the
+        # number of requests the container had served *before* this one.
+        trace.reuse_count = max(0, container.exec_count - 1)
         trace.retries = attempts
         trace.outcome = (
             RequestOutcome.RETRIED if attempts else RequestOutcome.SUCCESS

@@ -22,6 +22,7 @@ from repro.faults.errors import (
     HostDownError,
     InjectedFault,
     RuntimeUnavailableError,
+    StatePoisonError,
     TransientEngineError,
 )
 from repro.faults.injector import FaultInjector
@@ -45,5 +46,6 @@ __all__ = [
     "InjectedFault",
     "RuntimeUnavailableError",
     "ScheduledFault",
+    "StatePoisonError",
     "TransientEngineError",
 ]

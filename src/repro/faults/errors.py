@@ -14,6 +14,9 @@ classes:
   pointless; the cluster scheduler fails over to the next-best host.
 * **request-level** — :class:`ExecCrash`: the container died mid
   execution; the watchdog discards it and retries the whole request.
+  :class:`StatePoisonError` is its sibling for contaminated runtimes:
+  the container is intact but its interpreter state is dirty, so the
+  exec fails instantly and the watchdog discards the container.
 
 :class:`RuntimeUnavailableError` is *not* injected: it is raised by the
 middleware itself when a circuit breaker is open (fail fast instead of
@@ -30,6 +33,7 @@ __all__ = [
     "HostDownError",
     "InjectedFault",
     "RuntimeUnavailableError",
+    "StatePoisonError",
     "TransientEngineError",
 ]
 
@@ -48,6 +52,12 @@ class TransientEngineError(InjectedFault):
 
 class ExecCrash(InjectedFault):
     """The container died mid-execution (OOM kill, segfault)."""
+
+
+class StatePoisonError(InjectedFault):
+    """The container's runtime state was left dirty by an earlier
+    execution or re-spec; execs on it fail until it is sanitized or
+    destroyed."""
 
 
 class HostDownError(InjectedFault):

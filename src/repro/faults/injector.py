@@ -61,6 +61,10 @@ class FaultInjector:
         self._forced_transient_errors = 0
         self._forced_exec_crashes = 0
         self._forced_boot_delays: List[float] = []
+        self._forced_leaks: List[float] = []
+        self._forced_decays: List[float] = []
+        self._forced_crash_loops: List[int] = []
+        self._forced_poisons = 0
 
     # -- scripting hooks (deterministic unit-test control) --------------------
     def fail_next_boots(self, n: int = 1) -> None:
@@ -78,6 +82,24 @@ class FaultInjector:
     def crash_next_execs(self, n: int = 1) -> None:
         """Force the next ``n`` executions to crash mid-run."""
         self._forced_exec_crashes += n
+
+    def leak_next_boots(self, slope_mb: float, n: int = 1) -> None:
+        """Give the next ``n`` booted containers a memory leak."""
+        self._forced_leaks.extend([float(slope_mb)] * n)
+
+    def decay_next_boots(self, factor: float, n: int = 1) -> None:
+        """Give the next ``n`` booted containers compounding perf decay."""
+        self._forced_decays.extend([float(factor)] * n)
+
+    def crashloop_next_boots(self, after: int, n: int = 1) -> None:
+        """Make the next ``n`` booted containers crash-loop after
+        ``after`` completed execs."""
+        self._forced_crash_loops.extend([int(after)] * n)
+
+    def poison_next_execs(self, n: int = 1) -> None:
+        """Leave the container dirty after each of the next ``n``
+        successful executions."""
+        self._forced_poisons += n
 
     # -- engine hook: boot path ------------------------------------------------
     def host_is_down(self) -> bool:
@@ -146,6 +168,51 @@ class FaultInjector:
             self.stats.exec_crashes += 1
             return exec_ms * float(self.rng.uniform(0.1, 0.9))
         return None
+
+    # -- engine hook: container degradation ------------------------------------
+    def assign_degradation(self, container) -> None:
+        """Afflict a freshly booted container (called once per boot).
+
+        Decision order is fixed — memory leak, perf decay, crash loop —
+        and each zero-rate kind consumes no RNG draw, so an all-zero
+        spec leaves the boot path bit-identical.  Scripted hooks take
+        precedence over (and skip) the probabilistic draw of their kind.
+        """
+        spec = self.spec
+        if self._forced_leaks:
+            container.leak_slope_mb = self._forced_leaks.pop(0)
+            self.stats.memory_leaks += 1
+        elif spec.memory_leak_rate and self.rng.random() < spec.memory_leak_rate:
+            container.leak_slope_mb = spec.memory_leak_mb
+            self.stats.memory_leaks += 1
+        if self._forced_decays:
+            container.decay_factor = self._forced_decays.pop(0)
+            self.stats.perf_decays += 1
+        elif spec.perf_decay_rate and self.rng.random() < spec.perf_decay_rate:
+            container.decay_factor = spec.perf_decay_factor
+            self.stats.perf_decays += 1
+        if self._forced_crash_loops:
+            container.crash_loop_after = self._forced_crash_loops.pop(0)
+            self.stats.crash_loops += 1
+        elif spec.crash_loop_rate and self.rng.random() < spec.crash_loop_rate:
+            container.crash_loop_after = spec.crash_loop_after
+            self.stats.crash_loops += 1
+
+    def exec_poison(self) -> bool:
+        """Whether this (successful) exec leaves the container dirty.
+
+        Called once per successful execution on a not-yet-poisoned
+        container; a zero rate consumes no RNG draw.
+        """
+        if self._forced_poisons > 0:
+            self._forced_poisons -= 1
+            self.stats.state_poisons += 1
+            return True
+        spec = self.spec
+        if spec.state_poison_rate and self.rng.random() < spec.state_poison_rate:
+            self.stats.state_poisons += 1
+            return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FaultInjector down={self.down} spec_zero={self.spec.is_zero}>"

@@ -18,7 +18,7 @@ Usage::
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,6 +51,19 @@ class FaultKind(enum.Enum):
     #: metadata; a :class:`~repro.recovery.RecoveryManager` rebuilds it
     #: after ``duration_ms``.
     CONTROLLER_CRASH = "controller_crash"
+    #: Container-degradation kinds (assigned probabilistically per boot
+    #: or per exec; the container carries the affliction from then on).
+    #: The container leaks ``memory_leak_mb`` of RSS per reuse.
+    MEMORY_LEAK = "memory_leak"
+    #: An exec (or a repurpose re-spec) leaves the runtime dirty;
+    #: every subsequent exec on the container fails.
+    STATE_POISON = "state_poison"
+    #: Each reuse multiplies the container's exec time by
+    #: ``perf_decay_factor`` (compounding slowdown).
+    PERF_DECAY = "perf_decay"
+    #: After ``crash_loop_after`` execs the container crashes on every
+    #: further exec until it is destroyed.
+    CRASH_LOOP = "crash_loop"
 
 
 @dataclass(frozen=True)
@@ -70,29 +83,52 @@ class FaultSpec:
     boot_straggler_ms: float = 10_000.0
     transient_error_rate: float = 0.0
     exec_crash_rate: float = 0.0
+    #: Degradation rates: ``*_rate`` decides per boot (MEMORY_LEAK,
+    #: PERF_DECAY, CRASH_LOOP) or per successful exec (STATE_POISON)
+    #: whether the container picks up the affliction; the companion
+    #: magnitude fields shape it.
+    memory_leak_rate: float = 0.0
+    #: RSS growth (MB) a leaky container accumulates per reuse.
+    memory_leak_mb: float = 8.0
+    state_poison_rate: float = 0.0
+    perf_decay_rate: float = 0.0
+    #: Compounding per-reuse exec-time multiplier of a decaying
+    #: container (must be > 1 to be a decay).
+    perf_decay_factor: float = 1.05
+    crash_loop_rate: float = 0.0
+    #: Execs a crash-looping container completes before every further
+    #: exec crashes.
+    crash_loop_after: int = 5
+
+    _RATES = (
+        "boot_failure_rate",
+        "boot_straggler_rate",
+        "transient_error_rate",
+        "exec_crash_rate",
+        "memory_leak_rate",
+        "state_poison_rate",
+        "perf_decay_rate",
+        "crash_loop_rate",
+    )
 
     def __post_init__(self) -> None:
-        for name in (
-            "boot_failure_rate",
-            "boot_straggler_rate",
-            "transient_error_rate",
-            "exec_crash_rate",
-        ):
+        for name in self._RATES:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if self.boot_straggler_ms < 0:
             raise ValueError("boot_straggler_ms must be >= 0")
+        if self.memory_leak_mb <= 0:
+            raise ValueError("memory_leak_mb must be > 0")
+        if self.perf_decay_factor <= 1.0:
+            raise ValueError("perf_decay_factor must be > 1")
+        if self.crash_loop_after < 1:
+            raise ValueError("crash_loop_after must be >= 1")
 
     @property
     def is_zero(self) -> bool:
         """Whether this spec injects nothing probabilistically."""
-        return (
-            self.boot_failure_rate == 0.0
-            and self.boot_straggler_rate == 0.0
-            and self.transient_error_rate == 0.0
-            and self.exec_crash_rate == 0.0
-        )
+        return all(getattr(self, name) == 0.0 for name in self._RATES)
 
 
 @dataclass(frozen=True)
@@ -130,6 +166,10 @@ class ScheduledFault:
             FaultKind.BOOT_STRAGGLER,
             FaultKind.TRANSIENT_ERROR,
             FaultKind.EXEC_CRASH,
+            FaultKind.MEMORY_LEAK,
+            FaultKind.STATE_POISON,
+            FaultKind.PERF_DECAY,
+            FaultKind.CRASH_LOOP,
         ):
             raise ValueError(
                 f"{self.kind} is probabilistic (FaultSpec), not schedulable"
@@ -156,6 +196,10 @@ class FaultStats:
     partitions: int = 0
     heartbeat_losses: int = 0
     controller_crashes: int = 0
+    memory_leaks: int = 0
+    state_poisons: int = 0
+    perf_decays: int = 0
+    crash_loops: int = 0
 
     @property
     def total(self) -> int:
@@ -222,6 +266,13 @@ class FaultPlan:
         heartbeat_loss_ms: float = 3_000.0,
         controller_crashes: int = 0,
         controller_crash_ms: float = 1_500.0,
+        memory_leak_rate: float = 0.0,
+        memory_leak_mb: float = 8.0,
+        state_poison_rate: float = 0.0,
+        perf_decay_rate: float = 0.0,
+        perf_decay_factor: float = 1.05,
+        crash_loop_rate: float = 0.0,
+        crash_loop_after: int = 5,
     ) -> "FaultPlan":
         """A randomized-but-deterministic plan for chaos runs.
 
@@ -230,7 +281,9 @@ class FaultPlan:
         recovery is observable); the same ``seed`` always yields the
         identical schedule.  ``spec`` defaults to a moderate
         probabilistic mix.  The gray-failure and controller-crash kinds
-        default to zero occurrences, so existing plans are unchanged.
+        default to zero occurrences, and the container-degradation
+        rates (memory leak, state poison, perf decay, crash loop)
+        default to zero, so existing plans are unchanged.
         Controller crashes are stratified over equal slices of the run
         so consecutive crash/recover windows never overlap.
         """
@@ -304,6 +357,25 @@ class FaultPlan:
                 boot_straggler_ms=2_000.0,
                 transient_error_rate=0.05,
                 exec_crash_rate=0.05,
+            )
+        if (
+            memory_leak_rate
+            or state_poison_rate
+            or perf_decay_rate
+            or crash_loop_rate
+        ):
+            # Degradation rates layer onto the spec (default or caller
+            # supplied); all-zero keeps the spec — and thus every
+            # existing plan — untouched.
+            spec = replace(
+                spec,
+                memory_leak_rate=memory_leak_rate,
+                memory_leak_mb=memory_leak_mb,
+                state_poison_rate=state_poison_rate,
+                perf_decay_rate=perf_decay_rate,
+                perf_decay_factor=perf_decay_factor,
+                crash_loop_rate=crash_loop_rate,
+                crash_loop_after=crash_loop_after,
             )
         return cls(seed=seed, spec=spec, scheduled=tuple(scheduled))
 

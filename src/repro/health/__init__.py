@@ -22,11 +22,21 @@ Everything is strictly opt-in: a cluster without an attached monitor
 behaves bit-identically to one built before this package existed.
 """
 
+from repro.health.container import (
+    ContainerCondition,
+    ContainerHealth,
+    ContainerHealthConfig,
+    ContainerHealthPlane,
+)
 from repro.health.detector import PhiAccrualDetector
 from repro.health.lifecycle import HealthConfig, HostHealth, HostState
 from repro.health.monitor import HealthMonitor
 
 __all__ = [
+    "ContainerCondition",
+    "ContainerHealth",
+    "ContainerHealthConfig",
+    "ContainerHealthPlane",
     "HealthConfig",
     "HealthMonitor",
     "HostHealth",

@@ -19,6 +19,7 @@ __all__ = [
     "Table",
     "failure_table",
     "format_table",
+    "reuse_depth_histogram",
     "reuse_table",
 ]
 
@@ -200,6 +201,50 @@ def failure_table(
     )
 
 
+#: Reuse-depth histogram bucket edges: [lo, hi) per label, last open.
+_DEPTH_BUCKETS = (
+    ("0", 0, 1),
+    ("1", 1, 2),
+    ("2-3", 2, 4),
+    ("4-7", 4, 8),
+    ("8-15", 8, 16),
+    ("16-31", 16, 32),
+    ("32-63", 32, 64),
+    ("64+", 64, None),
+)
+
+
+def reuse_depth_histogram(traces) -> dict:
+    """Bucketed reuse-depth counts over terminal traces, plus the max.
+
+    Depth is ``trace.reuse_count`` — how many requests the serving
+    container had executed before this one.  Deep tails are where
+    container aging lives (leaks, drift), so the run report surfaces
+    the distribution, not just the hit ratio.  Traces without the field
+    (older captures) count as depth 0.
+    """
+    counts = [0] * len(_DEPTH_BUCKETS)
+    max_depth = 0
+    seen = 0
+    for trace in traces:
+        depth = int(getattr(trace, "reuse_count", 0) or 0)
+        seen += 1
+        if depth > max_depth:
+            max_depth = depth
+        for index, (_, lo, hi) in enumerate(_DEPTH_BUCKETS):
+            if depth >= lo and (hi is None or depth < hi):
+                counts[index] += 1
+                break
+    histogram = {
+        label: counts[index]
+        for index, (label, _, _) in enumerate(_DEPTH_BUCKETS)
+        if counts[index]
+    }
+    if seen:
+        histogram["max"] = max_depth
+    return histogram
+
+
 def reuse_table(
     pool_stats: Sequence = (),
     engine_stats: Sequence = (),
@@ -265,6 +310,8 @@ def reuse_table(
             reuse_counts[kind] = reuse_counts.get(kind, 0) + 1
         for kind, count in sorted(reuse_counts.items()):
             rows.append(("requests", kind, int(count)))
+        for label, count in reuse_depth_histogram(traces).items():
+            rows.append(("reuse_depth", label, int(count)))
     return Table(
         name=name,
         columns=("source", "counter", "count"),

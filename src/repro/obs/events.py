@@ -94,6 +94,16 @@ class EventKind(enum.Enum):
     #: One anti-entropy repair action (``action``: adopted_busy/
     #: adopted_idle/retired_orphan/purged_phantom/...).
     REPAIR = "repair"
+    #: The container health plane demoted a container to SUSPECT
+    #: (``reason``: residual/..; it stops serving and donating).
+    CONTAINER_SUSPECT = "container_suspect"
+    #: A container was quarantined (``reason``: breaker/rss/...); it is
+    #: out of every availability index and will never serve again.
+    CONTAINER_QUARANTINED = "container_quarantined"
+    #: A container's recycle completed: it was destroyed and (outside
+    #: brownout) replaced by a paired prewarm (``reason`` carries the
+    #: recycle trigger: max_reuses/max_age/leak/suspect/quarantined).
+    CONTAINER_RECYCLED = "container_recycled"
 
 
 @dataclass(frozen=True)

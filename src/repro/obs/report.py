@@ -127,6 +127,13 @@ def _summary(observatory: Observatory, traces) -> Dict[str, object]:
                 k.value if hasattr(k, "value") else str(k): v
                 for k, v in outcome_counts().items()
             }
+        # Imported lazily: the metrics package pulls in the engine,
+        # which (through the obs package) would close an import cycle.
+        from repro.metrics.report import reuse_depth_histogram
+
+        depths = reuse_depth_histogram(traces)
+        if depths:
+            summary["reuse_depth"] = depths
     latency: Dict[str, object] = {}
     for histogram in observatory.registry.histograms():
         if histogram.name != "request_latency_ms" or histogram.count == 0:

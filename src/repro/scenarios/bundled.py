@@ -20,6 +20,7 @@ from typing import Callable, Dict, Tuple
 from repro.scenarios.spec import (
     ArmSpec,
     ClusterSpec,
+    FaultsSpec,
     ScenarioSpec,
     TrafficSpec,
 )
@@ -191,6 +192,55 @@ def day_smoke(seed: int = 0) -> ScenarioSpec:
     )
 
 
+def leaky_day(seed: int = 0) -> ScenarioSpec:
+    """A degradation day: leaky, poisonous containers, with and without
+    the self-healing recycle loop.
+
+    One hour of Zipf-headed traffic over 2 hosts while every boot rolls
+    the container-degradation lottery: 20 % of containers leak RSS each
+    exec, 1 % of execs leave poisoned state behind, 5 % of containers
+    slow down per reuse, and 2 % crash-loop after a few execs.  The
+    ``hotc`` arm reuses at depth with no defenses; the ``hotc-health``
+    arm runs the container health plane (quarantine + token-bucket
+    recycling + paired prewarm).  Comparing the two arms' p99/failed
+    columns is the point of the scenario.
+    """
+    return ScenarioSpec(
+        name="leaky-day",
+        seed=seed,
+        description="1-hour degradation trace: leaks+poison, health on/off",
+        traffic=TrafficSpec(
+            kind="trace",
+            trace=TraceConfig(
+                n_keys=40,
+                n_tenants=4,
+                duration_ms=3_600_000.0,
+                slot_ms=60_000.0,
+                total_requests=12_000.0,
+                zipf_s=1.1,
+                diurnal_amplitude=0.3,
+                diurnal_period_ms=3_600_000.0,
+            ),
+        ),
+        cluster=ClusterSpec(n_hosts=2),
+        faults=FaultsSpec(
+            memory_leak_rate=0.2,
+            memory_leak_mb=24.0,
+            state_poison_rate=0.01,
+            perf_decay_rate=0.05,
+            perf_decay_factor=1.03,
+            crash_loop_rate=0.02,
+            crash_loop_after=8,
+        ),
+        arms=(
+            ArmSpec(name="hotc", use_hotc=True, adaptive=True,
+                    control_interval_ms=60_000.0),
+            ArmSpec(name="hotc-health", use_hotc=True, adaptive=True,
+                    control_interval_ms=60_000.0, container_health=True),
+        ),
+    )
+
+
 def day_1m(seed: int = 0) -> ScenarioSpec:
     """The planet-scale gate: an expected 1M-request simulated day.
 
@@ -242,6 +292,7 @@ BUNDLED_SCENARIOS: Dict[str, Callable[..., ScenarioSpec]] = {
     ),
     "fig14-burst": fig14_burst,
     "day-smoke": day_smoke,
+    "leaky-day": leaky_day,
     "day-1m": day_1m,
 }
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 import contextlib
 import gc
 import os
-from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -37,6 +36,7 @@ from repro.containers.container import ContainerError
 from repro.containers.engine import ContainerEngine
 from repro.core.cluster import ClusterHotC, make_cluster_engines
 from repro.core.hotc import HotCConfig
+from repro.health.container import ContainerHealthConfig
 from repro.faas.function import FunctionSpec
 from repro.faas.platform import ColdBootProvider
 from repro.faas.tracing import RequestOutcome, RequestTrace
@@ -256,7 +256,10 @@ def _run_trace_arm_report(spec: ScenarioSpec, arm: ArmSpec) -> ArmReport:
         provider = ClusterHotC(
             engines,
             config=HotCConfig(
-                control_interval_ms=arm.control_interval_ms if arm.adaptive else 0.0
+                control_interval_ms=arm.control_interval_ms if arm.adaptive else 0.0,
+                container_health=(
+                    ContainerHealthConfig() if arm.container_health else None
+                ),
             ),
             placement=spec.cluster.placement,
         )
@@ -285,6 +288,13 @@ def _run_trace_arm_report(spec: ScenarioSpec, arm: ArmSpec) -> ArmReport:
             gray_slowdowns=spec.faults.gray_slowdowns,
             gray_ms=spec.faults.gray_ms,
             gray_factor=spec.faults.gray_factor,
+            memory_leak_rate=spec.faults.memory_leak_rate,
+            memory_leak_mb=spec.faults.memory_leak_mb,
+            state_poison_rate=spec.faults.state_poison_rate,
+            perf_decay_rate=spec.faults.perf_decay_rate,
+            perf_decay_factor=spec.faults.perf_decay_factor,
+            crash_loop_rate=spec.faults.crash_loop_rate,
+            crash_loop_after=spec.faults.crash_loop_after,
         )
         plan.install(sim, engines)
 
@@ -424,6 +434,13 @@ def _run_trace_arm_report(spec: ScenarioSpec, arm: ArmSpec) -> ArmReport:
             "failovers": stats.failovers,
             "hosts_lost": stats.hosts_lost,
         }
+    if arm.use_hotc and arm.container_health:
+        counters["quarantined"] = sum(
+            host.pool.stats.quarantined for host in provider.hosts
+        )
+        counters["recycled"] = sum(
+            host.pool.stats.recycled for host in provider.hosts
+        )
     return ArmReport(
         name=arm.name,
         kind="trace",

@@ -149,6 +149,9 @@ class ArmSpec:
     #: Pattern mode: distinct runtime configurations (fig 12b threads).
     n_functions: int = 1
     gateway_concurrency: int = 1024
+    #: Trace mode: enable the per-container health plane (aging,
+    #: contamination, token-bucket recycling) with default tunables.
+    container_health: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -159,6 +162,11 @@ class ArmSpec:
             raise ValueError("control_interval_ms must be > 0")
         if self.gateway_concurrency < 1:
             raise ValueError("gateway_concurrency must be >= 1")
+        if self.container_health and not self.use_hotc:
+            raise ValueError(
+                "container_health needs use_hotc (the cold-boot baseline "
+                "pools no containers to recycle)"
+            )
 
 
 @dataclass(frozen=True)
@@ -171,10 +179,34 @@ class FaultsSpec:
     gray_slowdowns: int = 0
     gray_ms: float = 10_000.0
     gray_factor: float = 3.0
+    #: Container-degradation rates (per boot / per exec); zero keeps
+    #: the degradation lottery fully inert (no RNG draws).
+    memory_leak_rate: float = 0.0
+    memory_leak_mb: float = 8.0
+    state_poison_rate: float = 0.0
+    perf_decay_rate: float = 0.0
+    perf_decay_factor: float = 1.05
+    crash_loop_rate: float = 0.0
+    crash_loop_after: int = 5
 
     def __post_init__(self) -> None:
         if min(self.pool_deaths, self.outages, self.gray_slowdowns) < 0:
             raise ValueError("fault counts must be >= 0")
+        for name in (
+            "memory_leak_rate",
+            "state_poison_rate",
+            "perf_decay_rate",
+            "crash_loop_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.memory_leak_mb <= 0:
+            raise ValueError("memory_leak_mb must be > 0")
+        if self.perf_decay_factor <= 1.0:
+            raise ValueError("perf_decay_factor must be > 1")
+        if self.crash_loop_after < 1:
+            raise ValueError("crash_loop_after must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,8 @@ class MirroredPools:
         # cid -> (container, key); tracked outside both pools so the
         # driver picks operands identically for both.
         self.tracked = {}
+        # cid -> container for entries sitting in the quarantine set.
+        self.quarantined = {}
         self.counter = 0
         self.now = 0.0
 
@@ -139,6 +141,53 @@ class MirroredPools:
         assert (entry_indexed is None) == (entry_naive is None)
         del self.tracked[got_indexed.container_id]
 
+    def op_taint(self):
+        """Mark a pooled container SUSPECT: both pools must skip it."""
+        picked = self.random_container()
+        if picked is None:
+            return
+        container, _ = picked
+        container.tainted = True
+
+    def op_untaint(self):
+        """Clear a suspicion verdict (half-open probe vindicated it)."""
+        picked = self.random_container()
+        if picked is None:
+            return
+        container, _ = picked
+        if not container.condemned:
+            container.tainted = False
+
+    def op_quarantine(self):
+        """Pull a pooled container into the quarantine set."""
+        picked = self.random_container()
+        if picked is None:
+            return
+        container, _ = picked
+        if not self.indexed.contains(container):
+            return
+        container.tainted = True
+        container.condemned = True
+        self.indexed.quarantine(container)
+        self.naive.quarantine(container)
+        self.quarantined[container.container_id] = container
+        del self.tracked[container.container_id]
+        assert self.indexed.is_quarantined(container)
+        assert self.naive.is_quarantined(container)
+
+    def op_mark_recycled(self):
+        """Close out a quarantined container (its recycle completed)."""
+        if not self.quarantined:
+            return
+        cid = self.rng.choice(sorted(self.quarantined))
+        container = self.quarantined.pop(cid)
+        entry_indexed = self.indexed.mark_recycled(container)
+        entry_naive = self.naive.mark_recycled(container)
+        assert entry_indexed.container.container_id == cid
+        assert entry_naive.container.container_id == cid
+        assert not self.indexed.is_quarantined(container)
+        assert not self.naive.is_quarantined(container)
+
     def op_evict(self):
         victim_indexed = self.indexed.eviction_candidate()
         victim_naive = self.naive.eviction_candidate()
@@ -162,6 +211,7 @@ class MirroredPools:
         assert self.indexed.num_total(key) == self.naive.num_total(key)
         assert self.indexed.total_live == self.naive.total_live
         assert self.indexed.total_available == self.naive.total_available
+        assert self.indexed.total_quarantined == self.naive.total_quarantined
 
     def check_full(self):
         assert self.indexed.snapshot() == self.naive.snapshot()
@@ -185,6 +235,14 @@ class MirroredPools:
                 == victim_naive.container.container_id
             )
         assert self.indexed.stats == self.naive.stats
+        quarantined_indexed = sorted(
+            c.container_id for c in self.indexed.quarantined_containers()
+        )
+        quarantined_naive = sorted(
+            c.container_id for c in self.naive.quarantined_containers()
+        )
+        assert quarantined_indexed == quarantined_naive
+        self.indexed.check_consistency()
 
 
 @pytest.mark.parametrize("eviction", ["oldest", "lru", "largest"])
@@ -201,6 +259,10 @@ def test_indexed_pool_matches_reference(eviction):
         + [mirror.op_discard_dead] * 4
         + [mirror.op_acquire_donor] * 8
         + [mirror.op_discard_dead_donor] * 2
+        + [mirror.op_taint] * 6
+        + [mirror.op_untaint] * 4
+        + [mirror.op_quarantine] * 4
+        + [mirror.op_mark_recycled] * 3
     )
     for step in range(N_OPERATIONS):
         mirror.now += 1.0

@@ -1,0 +1,291 @@
+"""Container-degradation fault kinds: leak, poison, decay, crash loop.
+
+Engine-level unit tests for the four aging afflictions (MEMORY_LEAK,
+STATE_POISON, PERF_DECAY, CRASH_LOOP): the scripted injector hooks, the
+boot-time lottery, the per-exec effects, and the bit-identity guarantee
+that all-zero degradation rates consume no RNG and change nothing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.containers import (
+    ContainerConfig,
+    ContainerEngine,
+    ContainerState,
+    ExecSpec,
+    Registry,
+    make_base_image,
+)
+from repro.faults import (
+    ExecCrash,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    ScheduledFault,
+    StatePoisonError,
+)
+from repro.hardware import T430_SERVER
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def engine(sim):
+    registry = Registry(
+        [make_base_image("python", "3.6", size_mb=330, language="python")]
+    )
+    engine = ContainerEngine(sim, registry, profile=T430_SERVER, rng=None)
+    engine.attach_fault_injector(FaultInjector())
+    return engine
+
+
+def run_process(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+def boot(sim, engine):
+    return run_process(
+        sim, engine.boot_container(ContainerConfig(image="python:3.6"))
+    )
+
+
+def execute(sim, engine, container, exec_ms=20.0):
+    return run_process(
+        sim,
+        engine.execute(
+            container, ExecSpec(app_id="fn", exec_ms=exec_ms, language="python")
+        ),
+    )
+
+
+class TestSpecValidation:
+    def test_degradation_rates_are_probabilities(self):
+        for field in (
+            "memory_leak_rate",
+            "state_poison_rate",
+            "perf_decay_rate",
+            "crash_loop_rate",
+        ):
+            with pytest.raises(ValueError):
+                FaultSpec(**{field: 1.01})
+
+    def test_magnitude_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec(memory_leak_mb=0.0)
+        with pytest.raises(ValueError):
+            FaultSpec(perf_decay_factor=1.0)
+        with pytest.raises(ValueError):
+            FaultSpec(crash_loop_after=0)
+
+    def test_degradation_rates_break_is_zero(self):
+        assert FaultSpec().is_zero
+        assert not FaultSpec(memory_leak_rate=0.1).is_zero
+        assert not FaultSpec(state_poison_rate=0.1).is_zero
+        assert not FaultSpec(perf_decay_rate=0.1).is_zero
+        assert not FaultSpec(crash_loop_rate=0.1).is_zero
+
+    def test_degradation_kinds_not_schedulable(self):
+        for kind in (
+            FaultKind.MEMORY_LEAK,
+            FaultKind.STATE_POISON,
+            FaultKind.PERF_DECAY,
+            FaultKind.CRASH_LOOP,
+        ):
+            with pytest.raises(ValueError):
+                ScheduledFault(at_ms=0.0, kind=kind)
+
+    def test_plan_random_threads_degradation_params(self):
+        plan = FaultPlan.random(
+            seed=1,
+            duration_ms=60_000,
+            memory_leak_rate=0.2,
+            memory_leak_mb=16.0,
+            state_poison_rate=0.01,
+            perf_decay_rate=0.05,
+            perf_decay_factor=1.07,
+            crash_loop_rate=0.02,
+            crash_loop_after=3,
+        )
+        assert plan.spec.memory_leak_rate == 0.2
+        assert plan.spec.memory_leak_mb == 16.0
+        assert plan.spec.state_poison_rate == 0.01
+        assert plan.spec.perf_decay_rate == 0.05
+        assert plan.spec.perf_decay_factor == 1.07
+        assert plan.spec.crash_loop_rate == 0.02
+        assert plan.spec.crash_loop_after == 3
+
+    def test_plan_random_defaults_keep_degradation_off(self):
+        plan = FaultPlan.random(seed=1, duration_ms=60_000)
+        assert plan.spec.memory_leak_rate == 0.0
+        assert plan.spec.state_poison_rate == 0.0
+        assert plan.spec.perf_decay_rate == 0.0
+        assert plan.spec.crash_loop_rate == 0.0
+
+
+class TestZeroRateBitIdentity:
+    def test_zero_rates_consume_no_rng(self):
+        """The boot lottery and poison draw must not touch the RNG
+        stream when every degradation rate is zero — otherwise adding
+        the feature would shift every existing seeded run."""
+        injector = FaultInjector(spec=FaultSpec(), rng=np.random.default_rng(7))
+        before = injector.rng.bit_generator.state
+
+        class FakeContainer:
+            leak_slope_mb = 0.0
+            decay_factor = 1.0
+            crash_loop_after = None
+
+        injector.assign_degradation(FakeContainer())
+        assert not injector.exec_poison()
+        assert injector.rng.bit_generator.state == before
+
+    def test_nonzero_rates_do_draw(self):
+        injector = FaultInjector(
+            spec=FaultSpec(memory_leak_rate=0.5),
+            rng=np.random.default_rng(7),
+        )
+        before = injector.rng.bit_generator.state
+
+        class FakeContainer:
+            leak_slope_mb = 0.0
+            decay_factor = 1.0
+            crash_loop_after = None
+
+        injector.assign_degradation(FakeContainer())
+        assert injector.rng.bit_generator.state != before
+
+
+class TestScriptedHooks:
+    def test_leak_next_boots_afflicts_container(self, sim, engine):
+        engine.fault_injector.leak_next_boots(12.0)
+        leaky = boot(sim, engine)
+        clean = boot(sim, engine)
+        assert leaky.leak_slope_mb == 12.0
+        assert clean.leak_slope_mb == 0.0
+        assert engine.fault_injector.stats.memory_leaks == 1
+
+    def test_decay_next_boots_afflicts_container(self, sim, engine):
+        engine.fault_injector.decay_next_boots(1.5)
+        decayed = boot(sim, engine)
+        assert decayed.decay_factor == 1.5
+        assert engine.fault_injector.stats.perf_decays == 1
+
+    def test_crashloop_next_boots_afflicts_container(self, sim, engine):
+        engine.fault_injector.crashloop_next_boots(after=2)
+        looping = boot(sim, engine)
+        assert looping.crash_loop_after == 2
+        assert engine.fault_injector.stats.crash_loops == 1
+
+    def test_forced_hooks_skip_probabilistic_draw(self):
+        """A forced leak must not also burn that kind's RNG draw."""
+        injector = FaultInjector(
+            spec=FaultSpec(memory_leak_rate=0.5),
+            rng=np.random.default_rng(7),
+        )
+        injector.leak_next_boots(4.0)
+        before = injector.rng.bit_generator.state
+
+        class FakeContainer:
+            leak_slope_mb = 0.0
+            decay_factor = 1.0
+            crash_loop_after = None
+
+        container = FakeContainer()
+        injector.assign_degradation(container)
+        assert container.leak_slope_mb == 4.0
+        assert injector.rng.bit_generator.state == before
+
+
+class TestMemoryLeak:
+    def test_rss_grows_per_exec(self, sim, engine):
+        engine.fault_injector.leak_next_boots(8.0)
+        container = boot(sim, engine)
+        assert container.rss_mb == 0.0
+        for expected in (8.0, 16.0, 24.0):
+            execute(sim, engine, container)
+            assert container.rss_mb == expected
+
+    def test_clean_container_stays_flat(self, sim, engine):
+        container = boot(sim, engine)
+        execute(sim, engine, container)
+        execute(sim, engine, container)
+        assert container.rss_mb == 0.0
+
+
+class TestStatePoison:
+    def test_poisoned_exec_fails_before_lifecycle(self, sim, engine):
+        engine.fault_injector.poison_next_execs(1)
+        container = boot(sim, engine)
+        execute(sim, engine, container)  # succeeds, leaves dirt behind
+        assert container.poisoned
+        with pytest.raises(StatePoisonError):
+            execute(sim, engine, container)
+        # The refusal happens before the EXECUTING transition, so the
+        # container stays RUNNING and a watchdog can discard it cleanly.
+        assert container.state is ContainerState.RUNNING
+        assert engine.stats.poison_failures == 1
+        assert engine.fault_injector.stats.state_poisons == 1
+
+    def test_poison_repeats_until_discarded(self, sim, engine):
+        engine.fault_injector.poison_next_execs(1)
+        container = boot(sim, engine)
+        execute(sim, engine, container)
+        for _ in range(3):
+            with pytest.raises(StatePoisonError):
+                execute(sim, engine, container)
+        assert engine.stats.poison_failures == 3
+
+
+class TestPerfDecay:
+    def test_exec_time_compounds_per_reuse(self, sim, engine):
+        engine.fault_injector.decay_next_boots(2.0)
+        container = boot(sim, engine)
+        observed = []
+        for _ in range(3):
+            execute(sim, engine, container, exec_ms=100.0)
+            observed.append(container.last_exec_ms)
+        # factor ** exec_count: each reuse doubles the exec time
+        # (whatever constant language overhead the latency model adds).
+        assert observed[1] == pytest.approx(2.0 * observed[0])
+        assert observed[2] == pytest.approx(2.0 * observed[1])
+
+    def test_healthy_container_does_not_decay(self, sim, engine):
+        container = boot(sim, engine)
+        execute(sim, engine, container, exec_ms=100.0)
+        first = container.last_exec_ms
+        execute(sim, engine, container, exec_ms=100.0)
+        assert container.last_exec_ms == first
+
+
+class TestCrashLoop:
+    def test_crashes_past_trigger_and_destroys(self, sim, engine):
+        engine.fault_injector.crashloop_next_boots(after=2)
+        container = boot(sim, engine)
+        execute(sim, engine, container)
+        execute(sim, engine, container)
+        assert container.exec_count == 2
+        with pytest.raises(ExecCrash):
+            execute(sim, engine, container)
+        assert container.state is ContainerState.REMOVED
+        assert engine.stats.exec_crashes == 1
+        assert engine.live_count == 0
+
+    def test_crash_lands_mid_exec(self, sim, engine):
+        engine.fault_injector.crashloop_next_boots(after=0)
+        container = boot(sim, engine)
+        start = sim.now
+        with pytest.raises(ExecCrash):
+            execute(sim, engine, container, exec_ms=100.0)
+        # Half the exec ran before the crash — time advanced, but by
+        # less than a full successful execution would have taken.
+        assert sim.now > start

@@ -1,0 +1,466 @@
+"""Container health plane: FSM, verdicts, and the HotC recycle loop.
+
+Unit tests drive :class:`ContainerHealthPlane` directly (it is pure
+bookkeeping — no simulator needed); integration tests run a
+:class:`FaasPlatform` with ``HotCConfig.container_health`` set and
+assert the end-to-end quarantine → token-bucket recycle → paired
+prewarm behavior, plus the strict-opt-in guarantee that an enabled but
+never-triggered plane changes nothing.
+"""
+
+import pytest
+
+from repro.containers import Container, ContainerConfig
+from repro.core import HotC, HotCConfig, runtime_key
+from repro.faas import FaasPlatform
+from repro.faults import FaultPlan, FaultSpec
+from repro.health import (
+    ContainerCondition,
+    ContainerHealthConfig,
+    ContainerHealthPlane,
+)
+
+
+def make_container(cid="c0", image="python:3.6", created_at=0.0):
+    return Container(
+        cid, ContainerConfig(image=image, mem_mb=128.0), created_at=created_at
+    )
+
+
+def key_for(container):
+    return runtime_key(container.config)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_reuses": 0},
+            {"max_age_ms": 0.0},
+            {"warm_after": 0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"residual_threshold": 1.0},
+            {"suspect_after": 0},
+            {"leak_slope_mb": 0.0},
+            {"rss_limit_mb": -1.0},
+            {"breaker_threshold": 0},
+            {"breaker_cooldown_ms": 0.0},
+            {"recycle_rate_per_s": 0.0},
+            {"recycle_burst": 0},
+            {"sanitize_ms": -1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ContainerHealthConfig(**kwargs)
+
+    def test_none_disables_caps(self):
+        config = ContainerHealthConfig(max_reuses=None, max_age_ms=None)
+        assert config.max_reuses is None
+        assert config.max_age_ms is None
+
+    def test_condition_codes_follow_fsm_order(self):
+        codes = [c.code for c in ContainerCondition]
+        assert codes == sorted(codes)
+        assert ContainerCondition.FRESH.serving
+        assert ContainerCondition.WARM.serving
+        assert not ContainerCondition.SUSPECT.serving
+        assert not ContainerCondition.QUARANTINED.serving
+        assert not ContainerCondition.RECYCLING.serving
+
+
+class TestPlaneEvidence:
+    def test_fresh_graduates_to_warm(self):
+        plane = ContainerHealthPlane(ContainerHealthConfig(warm_after=2))
+        container = make_container()
+        key = key_for(container)
+        container.exec_count = 1
+        container.last_exec_ms = 20.0
+        record = plane.observe_success(container, key, now=1.0)
+        assert record.state is ContainerCondition.FRESH
+        container.exec_count = 2
+        record = plane.observe_success(container, key, now=2.0)
+        assert record.state is ContainerCondition.WARM
+        assert record.transitions == [
+            (2.0, ContainerCondition.FRESH, ContainerCondition.WARM)
+        ]
+
+    def test_residual_drift_demotes_to_suspect(self):
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(
+                residual_threshold=1.5, suspect_after=2, ewma_alpha=1.0
+            )
+        )
+        container = make_container()
+        key = key_for(container)
+        # Establish the key baseline with a healthy sibling.
+        healthy = make_container("h0")
+        healthy.exec_count = 5
+        healthy.last_exec_ms = 20.0
+        plane.observe_success(healthy, key, now=0.0)
+        # The aging container runs 4x over baseline.
+        container.exec_count = 3
+        container.last_exec_ms = 80.0
+        record = plane.observe_success(container, key, now=1.0)
+        assert record.state is ContainerCondition.SUSPECT
+        assert container.tainted
+        assert not container.condemned
+        assert plane.suspects == 1
+        # A second drifted sample doesn't double-count the demotion.
+        container.last_exec_ms = 90.0
+        plane.observe_success(container, key, now=2.0)
+        assert plane.suspects == 1
+
+    def test_residual_needs_enough_execs(self):
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(
+                residual_threshold=1.5, suspect_after=5, ewma_alpha=1.0
+            )
+        )
+        container = make_container()
+        key = key_for(container)
+        healthy = make_container("h0")
+        healthy.exec_count = 5
+        healthy.last_exec_ms = 20.0
+        plane.observe_success(healthy, key, now=0.0)
+        container.exec_count = 2  # below suspect_after
+        container.last_exec_ms = 200.0
+        record = plane.observe_success(container, key, now=1.0)
+        assert record.state.serving
+
+    def test_rss_limit_condemns_immediately(self):
+        plane = ContainerHealthPlane(ContainerHealthConfig(rss_limit_mb=100.0))
+        container = make_container()
+        container.exec_count = 3
+        container.last_exec_ms = 20.0
+        container.rss_mb = 120.0
+        record = plane.observe_success(container, key_for(container), now=1.0)
+        assert record.state is ContainerCondition.QUARANTINED
+        assert container.condemned
+        assert plane.quarantines == 1
+
+    def test_failure_opens_breaker_and_condemns(self):
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(breaker_threshold=1)
+        )
+        container = make_container()
+        record = plane.observe_failure(container, key_for(container), now=1.0)
+        assert record.state is ContainerCondition.QUARANTINED
+        assert record.breaker.is_open(1.0)
+        assert container.condemned
+
+    def test_failure_threshold_above_one_gives_grace(self):
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(breaker_threshold=2)
+        )
+        container = make_container()
+        key = key_for(container)
+        record = plane.observe_failure(container, key, now=1.0)
+        assert record.state.serving
+        record = plane.observe_failure(container, key, now=2.0)
+        assert record.state is ContainerCondition.QUARANTINED
+
+    def test_failure_on_suspect_condemns(self):
+        """A failed half-open probe on a SUSPECT container is terminal."""
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(breaker_threshold=3)
+        )
+        container = make_container()
+        key = key_for(container)
+        record = plane.track(container, key)
+        record.transition_to(ContainerCondition.SUSPECT, 0.0)
+        container.tainted = True
+        record = plane.observe_failure(container, key, now=1.0)
+        assert record.state is ContainerCondition.QUARANTINED
+
+
+class TestRecycleVerdicts:
+    def test_healthy_container_has_no_reason(self):
+        plane = ContainerHealthPlane(ContainerHealthConfig())
+        container = make_container()
+        container.exec_count = 5
+        assert plane.recycle_reason(container, now=1_000.0) is None
+
+    def test_condemned_wins_over_everything(self):
+        plane = ContainerHealthPlane(ContainerHealthConfig(max_reuses=1))
+        container = make_container()
+        container.exec_count = 10
+        container.tainted = container.condemned = True
+        assert plane.recycle_reason(container, now=0.0) == "quarantined"
+
+    def test_condemned_flag_survives_record_loss(self):
+        """The verdict rides on the container, so a control-plane crash
+        that wiped the records cannot resurrect a condemned container."""
+        plane = ContainerHealthPlane(ContainerHealthConfig())
+        container = make_container()
+        container.condemned = True
+        assert plane.record_of(container) is None
+        assert plane.recycle_reason(container, now=0.0) == "quarantined"
+
+    def test_tainted_reports_suspect(self):
+        plane = ContainerHealthPlane(ContainerHealthConfig())
+        container = make_container()
+        container.tainted = True
+        assert plane.recycle_reason(container, now=0.0) == "suspect"
+
+    def test_max_reuses_cap(self):
+        plane = ContainerHealthPlane(ContainerHealthConfig(max_reuses=3))
+        container = make_container()
+        container.exec_count = 3
+        assert plane.recycle_reason(container, now=0.0) == "max_reuses"
+        container.exec_count = 2
+        assert plane.recycle_reason(container, now=0.0) is None
+
+    def test_max_age_cap(self):
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(max_age_ms=1_000.0)
+        )
+        container = make_container(created_at=100.0)
+        assert plane.recycle_reason(container, now=500.0) is None
+        assert plane.recycle_reason(container, now=1_100.0) == "max_age"
+
+    def test_leak_slope_detector(self):
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(leak_slope_mb=4.0)
+        )
+        container = make_container()
+        container.exec_count = 10
+        container.rss_mb = 50.0  # 5 MB/exec >= 4
+        assert plane.recycle_reason(container, now=0.0) == "leak"
+        container.rss_mb = 30.0  # 3 MB/exec < 4
+        assert plane.recycle_reason(container, now=0.0) is None
+
+    def test_disabled_caps_never_fire(self):
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(max_reuses=None, max_age_ms=None)
+        )
+        container = make_container(created_at=0.0)
+        container.exec_count = 10_000
+        assert plane.recycle_reason(container, now=1e12) is None
+
+
+class TestRespecHygiene:
+    def test_respec_resets_record_under_new_key(self):
+        plane = ContainerHealthPlane(ContainerHealthConfig())
+        container = make_container()
+        old_key = key_for(container)
+        container.exec_count = 5
+        container.last_exec_ms = 20.0
+        record = plane.observe_success(container, old_key, now=1.0)
+        assert record.state is ContainerCondition.WARM
+        cost = plane.note_respec(container, "new-key", now=2.0)
+        assert cost == 0.0
+        fresh = plane.record_of(container)
+        assert fresh.key == "new-key"
+        assert fresh.state is ContainerCondition.FRESH
+
+    def test_respec_scrubs_poison_for_sanitize_cost(self):
+        plane = ContainerHealthPlane(
+            ContainerHealthConfig(sanitize_ms=40.0)
+        )
+        container = make_container()
+        container.poisoned = True
+        cost = plane.note_respec(container, "new-key", now=1.0)
+        assert cost == 40.0
+        assert not container.poisoned
+        # Clean donors pay nothing.
+        assert plane.note_respec(container, "other-key", now=2.0) == 0.0
+
+
+def health_platform(registry, fn, *, health=None, seed=3, plan=None):
+    config = HotCConfig(
+        control_interval_ms=0,
+        container_health=health,
+    )
+    platform = FaasPlatform(
+        registry,
+        seed=seed,
+        jitter_sigma=0.0,
+        provider_factory=lambda e: HotC(e, config),
+    )
+    platform.deploy(fn)
+    if plan is not None:
+        plan.install(platform.sim, [platform.engine])
+    return platform
+
+
+def trace_tuples(platform):
+    return [
+        (t.total_latency, t.cold_start, t.container_id, t.reuse_count)
+        for t in platform.traces
+    ]
+
+
+class TestHotCIntegration:
+    def test_enabled_but_untriggered_plane_changes_nothing(
+        self, registry, fn_python
+    ):
+        """With generous caps and no faults the plane observes but never
+        intervenes — traces must be bit-identical to a disabled run."""
+
+        def run(health):
+            platform = health_platform(registry, fn_python, health=health)
+            for i in range(20):
+                platform.submit(fn_python.name, delay=i * 400.0)
+            platform.run(until=60_000.0)
+            return trace_tuples(platform)
+
+        lenient = ContainerHealthConfig(
+            max_reuses=10_000, max_age_ms=None, residual_threshold=50.0
+        )
+        assert run(lenient) == run(None)
+
+    def test_max_reuses_bounds_reuse_depth(self, registry, fn_python):
+        health = ContainerHealthConfig(max_reuses=3, max_age_ms=None)
+        platform = health_platform(registry, fn_python, health=health)
+        for i in range(12):
+            platform.submit(fn_python.name, delay=i * 1_000.0)
+        platform.run(until=120_000.0)
+        assert platform.traces.failed_count() == 0
+        # No trace ever saw a container past its reuse cap.
+        assert all(t.reuse_count < 3 for t in platform.traces)
+        provider = platform.provider
+        assert provider.pool.stats.recycled >= 2
+        assert provider.container_health.recycles >= 2
+        provider.check_consistency()
+        provider.pool.check_consistency()
+
+    def test_poisoned_container_never_serves_again(
+        self, registry, fn_python
+    ):
+        platform = health_platform(
+            registry,
+            fn_python,
+            health=ContainerHealthConfig(),
+            plan=FaultPlan(seed=0, spec=FaultSpec()),
+        )
+        platform.engine.fault_injector.poison_next_execs(1)
+        served = {}
+        for i in range(10):
+            platform.submit(fn_python.name, delay=i * 1_000.0)
+        platform.run(until=120_000.0)
+        for t in platform.traces:
+            served.setdefault(t.container_id, 0)
+            served[t.container_id] += 1
+        # The poisoned exec failed once, was retried elsewhere, and the
+        # contaminated container was quarantined — nobody served on it
+        # after the poison verdict.
+        plane = platform.provider.container_health
+        assert plane.quarantines >= 1
+        assert platform.traces.failed_count() == 0
+        for trace in platform.traces:
+            container = trace.container_id
+            assert container  # every request eventually ran somewhere
+        provider = platform.provider
+        assert provider.pool.stats.recycled >= 1
+        provider.check_consistency()
+
+    def test_crash_looping_container_is_quarantined(
+        self, registry, fn_python
+    ):
+        platform = health_platform(
+            registry,
+            fn_python,
+            health=ContainerHealthConfig(),
+            plan=FaultPlan(seed=0, spec=FaultSpec()),
+        )
+        platform.engine.fault_injector.crashloop_next_boots(after=2)
+        for i in range(8):
+            platform.submit(fn_python.name, delay=i * 1_000.0)
+        platform.run(until=120_000.0)
+        assert platform.traces.failed_count() == 0
+        plane = platform.provider.container_health
+        # The crash-looper served its grace execs, crashed once, and was
+        # condemned; the engine had already destroyed it.
+        assert plane.quarantines >= 1
+        platform.provider.check_consistency()
+
+    def test_recycle_rate_respects_token_bucket(self, registry, fn_python):
+        health = ContainerHealthConfig(
+            max_reuses=1,
+            recycle_rate_per_s=1.0,
+            recycle_burst=2,
+        )
+        platform = health_platform(registry, fn_python, health=health)
+        provider = platform.provider
+        # Burn the burst down to zero, then verify refill is rate-bound.
+        provider._recycle_tokens = 0.0
+        provider._recycle_refill_at = platform.sim.now
+        for i in range(6):
+            platform.submit(fn_python.name, delay=i * 250.0)
+        platform.run(until=2_000.0)
+        # 2 seconds at 1 recycle/s: no more than ~2 tokens could have
+        # been spent (plus none of the burst, which we zeroed).
+        assert provider.pool.stats.recycled <= 2
+        # The queue holds whatever the bucket refused so far; everything
+        # queued must already be quarantined (check_consistency pins it).
+        provider.check_consistency()
+        # At shutdown the queue drains regardless of tokens.
+        platform.run()
+        platform.shutdown()
+        platform.sim.run()
+        assert not provider._recycle_queue
+
+    def test_recycle_pairs_a_prewarm(self, registry, fn_python):
+        health = ContainerHealthConfig(max_reuses=2, max_age_ms=None)
+        platform = health_platform(registry, fn_python, health=health)
+        for i in range(6):
+            platform.submit(fn_python.name, delay=i * 2_000.0)
+        platform.run(until=60_000.0)
+        provider = platform.provider
+        assert provider.pool.stats.recycled >= 1
+        # The paired prewarm kept the key warm: later requests still hit
+        # warm containers despite the recycling underneath.
+        warm_hits = sum(1 for t in platform.traces if not t.cold_start)
+        assert warm_hits > 0
+        provider.check_consistency()
+
+    def test_crash_rebuilds_plane_and_recovery_retires_condemned(
+        self, registry, fn_python
+    ):
+        health = ContainerHealthConfig()
+        platform = health_platform(
+            registry,
+            fn_python,
+            health=health,
+            plan=FaultPlan(seed=0, spec=FaultSpec()),
+        )
+        provider = platform.provider
+        platform.submit(fn_python.name)
+        platform.run(until=10_000.0)
+        # Condemn the pooled container by hand, then crash the control
+        # plane before the recycle loop can drain it.
+        [entry] = list(
+            provider.pool.available_entries(
+                next(iter(provider.pool.keys()))
+            )
+        )
+        container = entry.container
+        provider.container_health.condemn(
+            container, None, platform.sim.now, reason="test"
+        )
+        provider.crash_control_plane()
+        assert provider._recycle_queue == []
+        # Recovery adopts the live containers but retires the condemned
+        # one instead of putting it back into service.
+        platform.run(until=30_000.0)
+        repairs = provider.recover_from()
+        assert any(
+            event.container_id == container.container_id for event in repairs
+        )
+        platform.run(until=60_000.0)
+        assert container.condemned
+        assert not provider.pool.contains(container)
+        served_before = len(platform.traces)
+        for i in range(3):
+            platform.submit(fn_python.name, delay=100.0 + i * 500.0)
+        platform.run(until=90_000.0)
+        assert platform.traces.failed_count() == 0
+        after = list(platform.traces)[served_before:]
+        assert len(after) == 3
+        # Nothing served on the condemned container after recovery.
+        assert all(
+            t.container_id != container.container_id for t in after
+        )
+        provider.check_consistency()
